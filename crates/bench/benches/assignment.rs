@@ -1,0 +1,69 @@
+//! Throughput of the point-assignment paths: adaptive replication
+//! (Algorithms 2–4 with full marking machinery) versus PBSM's plain
+//! `MINDIST ≤ ε` enumeration. The paper's construction-time split (Fig. 13c)
+//! rests on this mapping being cheap.
+
+use asj_core::{AgreementGraph, AgreementPolicy, GridSample, SetLabel};
+use asj_data::{Catalog, PAPER_BBOX};
+use asj_grid::{Grid, GridSpec};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_assignment(c: &mut Criterion) {
+    let eps = 0.24;
+    let grid = Grid::new(GridSpec::new(PAPER_BBOX, eps));
+    let catalog = Catalog::new(20_000);
+    let r = catalog.s1.points();
+    let s = catalog.s2.points();
+    let sample = GridSample::from_points(
+        &grid,
+        r.iter().step_by(33).copied(),
+        s.iter().step_by(33).copied(),
+    );
+    let adaptive = AgreementGraph::build(&grid, &sample, AgreementPolicy::Lpib);
+    let uniform = AgreementGraph::build(&grid, &sample, AgreementPolicy::UniformR);
+
+    let mut group = c.benchmark_group("assignment_20k_points");
+    group.bench_function("adaptive_lpib", |b| {
+        b.iter(|| {
+            let mut cells = Vec::with_capacity(4);
+            let mut total = 0usize;
+            for p in &r {
+                adaptive.assign(*p, SetLabel::R, &mut cells);
+                total += cells.len();
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function("uniform_pbsm", |b| {
+        b.iter(|| {
+            let mut cells = Vec::with_capacity(4);
+            let mut total = 0usize;
+            for p in &r {
+                uniform.assign(*p, SetLabel::R, &mut cells);
+                total += cells.len();
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function("raw_mindist_enumeration", |b| {
+        b.iter(|| {
+            let mut cells = Vec::with_capacity(4);
+            let mut total = 0usize;
+            for p in &r {
+                cells.clear();
+                cells.push(grid.cell_of(*p));
+                grid.push_cells_within_eps(*p, &mut cells);
+                total += cells.len();
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_assignment
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Cost of the agreement-graph construction pipeline (the driver-side part
+//! of the paper's construction phase): sampling statistics, policy-driven
+//! type selection, and Algorithm 1's marking/locking sweep.
+
+use asj_core::{AgreementGraph, AgreementPolicy, GridSample};
+use asj_data::{Catalog, PAPER_BBOX};
+use asj_grid::{Grid, GridSpec};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_graph_build(c: &mut Criterion) {
+    let catalog = Catalog::new(50_000);
+    let r = catalog.s1.points();
+    let s = catalog.s2.points();
+    let mut group = c.benchmark_group("agreement_graph");
+    for eps in [0.18f64, 0.24, 0.36] {
+        let grid = Grid::new(GridSpec::new(PAPER_BBOX, eps));
+        let sample = GridSample::from_points(
+            &grid,
+            r.iter().step_by(33).copied(),
+            s.iter().step_by(33).copied(),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("build_lpib", format!("eps{eps}")),
+            &eps,
+            |b, _| {
+                b.iter(|| black_box(AgreementGraph::build(&grid, &sample, AgreementPolicy::Lpib)))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("build_diff", format!("eps{eps}")),
+            &eps,
+            |b, _| {
+                b.iter(|| black_box(AgreementGraph::build(&grid, &sample, AgreementPolicy::Diff)))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sample_stats", format!("eps{eps}")),
+            &eps,
+            |b, _| {
+                b.iter(|| {
+                    black_box(GridSample::from_points(
+                        &grid,
+                        r.iter().step_by(33).copied(),
+                        s.iter().step_by(33).copied(),
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_graph_build
+}
+criterion_main!(benches);

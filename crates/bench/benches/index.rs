@@ -1,0 +1,89 @@
+//! Micro-benchmarks of the index substrates: bulk-load and ε-probe
+//! throughput of the R-tree vs k-d tree, and quadtree routing.
+
+use asj_data::Catalog;
+use asj_geom::{Point, Rect};
+use asj_index::{KdTree, QuadTreePartitioner, RTree};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_indexes(c: &mut Criterion) {
+    let catalog = Catalog::new(50_000);
+    let points = catalog.s1.points();
+    let queries: Vec<Point> = catalog.s2.points().into_iter().take(2_000).collect();
+    let eps = 0.3;
+
+    let mut group = c.benchmark_group("index_build_50k");
+    group.bench_function("rtree_str_bulk_load", |b| {
+        b.iter(|| {
+            black_box(RTree::bulk_load(
+                points.iter().map(|&p| (Rect::from_point(p), ())).collect(),
+                16,
+            ))
+        })
+    });
+    group.bench_function("kdtree_build", |b| {
+        b.iter(|| black_box(KdTree::build(points.iter().map(|&p| (p, ())).collect())))
+    });
+    group.bench_function("quadtree_build", |b| {
+        b.iter(|| {
+            black_box(QuadTreePartitioner::build(
+                catalog.s1.bbox,
+                &points[..5_000],
+                64,
+                12,
+            ))
+        })
+    });
+    group.finish();
+
+    let rtree = RTree::bulk_load(
+        points.iter().map(|&p| (Rect::from_point(p), ())).collect(),
+        16,
+    );
+    let kdtree = KdTree::build(points.iter().map(|&p| (p, ())).collect());
+    let mut group = c.benchmark_group("index_probe_2k_queries");
+    for (name, run) in [
+        (
+            "rtree_eps_probe",
+            Box::new(|| {
+                let mut hits = 0u64;
+                for &q in &queries {
+                    rtree.query_within(q, eps, |_, _| hits += 1);
+                }
+                hits
+            }) as Box<dyn Fn() -> u64>,
+        ),
+        (
+            "kdtree_eps_probe",
+            Box::new(|| {
+                let mut hits = 0u64;
+                for &q in &queries {
+                    kdtree.query_within(q, eps, |_, _| hits += 1);
+                }
+                hits
+            }),
+        ),
+        (
+            "kdtree_knn10",
+            Box::new(|| {
+                let mut total = 0u64;
+                for &q in &queries {
+                    total += kdtree.nearest(q, 10).len() as u64;
+                }
+                total
+            }),
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
+            b.iter(|| black_box(run()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_indexes
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Ablation A1: partition-local join kernels — the paper-faithful
+//! nested-loop-with-refinement versus the PBSM-style plane sweep, across cell
+//! populations.
+
+use asj_geom::Point;
+use asj_index::kernels::{nested_loop, plane_sweep};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn cell_points(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // One grid cell of side 2ε = 0.48, matching the default experiment scale.
+    (0..n)
+        .map(|_| Point::new(rng.gen_range(0.0..0.48), rng.gen_range(0.0..0.48)))
+        .collect()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let eps = 0.24;
+    let mut group = c.benchmark_group("local_join_kernel");
+    for n in [64usize, 256, 1024] {
+        let a = cell_points(n, 1);
+        let b = cell_points(n, 2);
+        group.bench_with_input(BenchmarkId::new("nested_loop", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut hits = 0u64;
+                let stats = nested_loop(&a, &b, eps, |p| *p, |p| *p, |_, _| hits += 1);
+                black_box((hits, stats.results))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("plane_sweep", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut hits = 0u64;
+                let stats = plane_sweep(&a, &b, eps, |p| *p, |p| *p, |_, _| hits += 1);
+                black_box((hits, stats.results))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_kernels
+}
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Full-scale reproduction driver.
+//!
+//! ```text
+//! repro [EXPERIMENT...] [--quick] [--scale N] [--reps N]
+//!
+//! EXPERIMENT: table1 fig1b fig10 table4 fig13 fig14 fig15 fig16 fig17
+//!             fig18 table5 table6 table7 all   (default: all)
+//! --quick     reduced scale (same as `cargo bench --bench figures`)
+//! --scale N   x1 cardinality of the synthetic sets (default 100000)
+//! --reps N    repetitions per configuration (times averaged; default 3)
+//! ```
+
+use asj_bench::{experiments, Combo, ExpConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ExpConfig::full();
+    let mut wanted: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => cfg = ExpConfig::quick(),
+            "--scale" => {
+                i += 1;
+                cfg.base = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("missing value for --scale"));
+            }
+            "--reps" => {
+                i += 1;
+                cfg.reps = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("missing value for --reps"));
+            }
+            "--help" | "-h" => usage(""),
+            other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
+            other => wanted.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
+        experiments::run_all(&cfg);
+        return;
+    }
+    let start = std::time::Instant::now();
+    for w in &wanted {
+        match w.as_str() {
+            "table1" => {
+                experiments::table1();
+            }
+            "fig1b" => {
+                experiments::fig1b(&cfg);
+            }
+            "fig10" | "fig11" | "fig12" => {
+                experiments::fig10_11_12(&cfg, Combo::S1S2);
+                experiments::fig10_11_12(&cfg, Combo::R1S1);
+            }
+            "table4" => {
+                experiments::table4(&cfg);
+            }
+            "fig13" => {
+                experiments::fig13(&cfg);
+            }
+            "fig14" => {
+                experiments::fig14(&cfg);
+            }
+            "fig15" => {
+                experiments::fig15(&cfg);
+            }
+            "fig16" => {
+                experiments::fig16_18(&cfg, Combo::S1S2);
+            }
+            "fig17" => {
+                experiments::fig16_18(&cfg, Combo::R1S1);
+            }
+            "fig18" => {
+                experiments::fig16_18(&cfg, Combo::R2R1);
+            }
+            "table5" => {
+                experiments::table5(&cfg);
+            }
+            "table6" => {
+                experiments::table6(&cfg);
+            }
+            "table7" => {
+                experiments::table7(&cfg);
+            }
+            "a1" | "kernels" => {
+                experiments::ablation_kernels(&cfg);
+            }
+            "a2" | "edgeorder" => {
+                experiments::ablation_edge_order(&cfg);
+            }
+            "ext" | "extensions" => {
+                experiments::extensions(&cfg);
+            }
+            other => usage(&format!("unknown experiment {other}")),
+        }
+    }
+    eprintln!("\ncompleted in {:.1}s", start.elapsed().as_secs_f64());
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: repro [EXPERIMENT...] [--quick] [--scale N] [--reps N]\n\
+         experiments: table1 fig1b fig10 table4 fig13 fig14 fig15 fig16 \
+         fig17 fig18 table5 table6 table7 a1 a2 ext all"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

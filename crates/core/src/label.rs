@@ -1,0 +1,76 @@
+/// Which of the two join inputs a point (or an agreement) refers to.
+///
+/// The paper calls these the `R` and `S` sets; an agreement of type `α_R`
+/// means *only R points are replicated across this border* (and symmetrically
+/// for `α_S`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SetLabel {
+    R,
+    S,
+}
+
+impl SetLabel {
+    pub const BOTH: [SetLabel; 2] = [SetLabel::R, SetLabel::S];
+
+    /// The other dataset.
+    #[inline]
+    pub fn other(self) -> SetLabel {
+        match self {
+            SetLabel::R => SetLabel::S,
+            SetLabel::S => SetLabel::R,
+        }
+    }
+
+    /// Dense index (`R = 0`, `S = 1`) for per-label arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            SetLabel::R => 0,
+            SetLabel::S => 1,
+        }
+    }
+
+    #[inline]
+    pub fn from_index(i: usize) -> SetLabel {
+        match i {
+            0 => SetLabel::R,
+            1 => SetLabel::S,
+            _ => panic!("SetLabel index out of range: {i}"),
+        }
+    }
+}
+
+impl std::fmt::Display for SetLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SetLabel::R => write!(f, "R"),
+            SetLabel::S => write!(f, "S"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn other_is_involutive() {
+        for l in SetLabel::BOTH {
+            assert_eq!(l.other().other(), l);
+            assert_ne!(l.other(), l);
+        }
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for l in SetLabel::BOTH {
+            assert_eq!(SetLabel::from_index(l.index()), l);
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_names() {
+        assert_eq!(SetLabel::R.to_string(), "R");
+        assert_eq!(SetLabel::S.to_string(), "S");
+    }
+}

@@ -1,0 +1,129 @@
+use asj_geom::Point;
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Writes points as `id,x,y` CSV lines — the raw text format the paper's
+/// pipeline loads from HDFS (`sc.textFile(path).map(line → tup)`).
+pub fn write_points_csv(path: &Path, points: &[Point]) -> io::Result<()> {
+    let mut out = BufWriter::new(std::fs::File::create(path)?);
+    for (id, p) in points.iter().enumerate() {
+        writeln!(out, "{id},{},{}", p.x, p.y)?;
+    }
+    out.flush()
+}
+
+/// Reads `id,x,y` CSV lines back into `(id, point)` tuples.
+///
+/// Malformed lines are reported as errors with their line number — a corrupt
+/// record should fail loudly rather than silently skew a join result.
+pub fn read_points_csv(path: &Path) -> io::Result<Vec<(u64, Point)>> {
+    let file = std::fs::File::open(path)?;
+    let reader = io::BufReader::new(file);
+    let mut out = Vec::new();
+    let mut line = String::new();
+    let mut lines = reader.lines();
+    let mut lineno = 0usize;
+    loop {
+        lineno += 1;
+        line.clear();
+        match lines.next() {
+            None => break,
+            Some(l) => line.push_str(&l?),
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut fields = line.splitn(3, ',');
+        let parse = |s: Option<&str>, what: &str| -> io::Result<f64> {
+            s.ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {lineno}: missing {what}"),
+                )
+            })?
+            .trim()
+            .parse::<f64>()
+            .map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {lineno}: bad {what}: {e}"),
+                )
+            })
+        };
+        let id = parse(fields.next(), "id")? as u64;
+        let x = parse(fields.next(), "x")?;
+        let y = parse(fields.next(), "y")?;
+        if !x.is_finite() || !y.is_finite() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {lineno}: non-finite coordinate"),
+            ));
+        }
+        out.push((id, Point::new(x, y)));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("asj-io-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip() {
+        let path = tmpfile("roundtrip.csv");
+        let pts = vec![
+            Point::new(1.5, -2.25),
+            Point::new(0.0, 0.0),
+            Point::new(-100.0, 49.0),
+        ];
+        write_points_csv(&path, &pts).unwrap();
+        let back = read_points_csv(&path).unwrap();
+        assert_eq!(back.len(), 3);
+        for (i, (id, p)) in back.iter().enumerate() {
+            assert_eq!(*id, i as u64);
+            assert_eq!(*p, pts[i]);
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn empty_lines_are_skipped() {
+        let path = tmpfile("blank.csv");
+        std::fs::write(&path, "0,1.0,2.0\n\n1,3.0,4.0\n").unwrap();
+        let back = read_points_csv(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let path = tmpfile("bad.csv");
+        std::fs::write(&path, "0,1.0,2.0\n1,oops,4.0\n").unwrap();
+        let err = read_points_csv(&path).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let path = tmpfile("inf.csv");
+        std::fs::write(&path, "0,inf,2.0\n").unwrap();
+        assert!(read_points_csv(&path).is_err());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn missing_field_rejected() {
+        let path = tmpfile("short.csv");
+        std::fs::write(&path, "0,1.0\n").unwrap();
+        let err = read_points_csv(&path).unwrap_err();
+        assert!(err.to_string().contains("missing y"), "{err}");
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -1,0 +1,35 @@
+//! Workload generators and the dataset catalog for the evaluation.
+//!
+//! The paper evaluates on two real datasets obtained from the SpatialHadoop
+//! repository — TIGER/Area Hydrography (94.1 M points, `R1`) and OSM/Parks
+//! (42.7 M points, `R2`) — plus synthetic Gaussian datasets (`S1`, `S2`,
+//! 100 M points each: 30 clustered areas with per-cluster standard deviation
+//! drawn from [0.1, 0.8], generated inside the same minimum bounding
+//! rectangle as the real data).
+//!
+//! The real files are not redistributable here, so this crate generates
+//! *skew-equivalent* substitutes in the same bounding box (see DESIGN.md):
+//!
+//! * [`GenKind::GaussianClusters`] — the paper's synthetic generator,
+//!   parameterized exactly as described.
+//! * [`GenKind::Hydrography`] — river-polyline random walks plus lake blobs,
+//!   mimicking the linear, strongly clustered skew of TIGER hydrography.
+//! * [`GenKind::Parks`] — power-law-sized urban clusters over a sparse
+//!   background, mimicking OSM parks.
+//! * [`GenKind::Uniform`] — uniform background, used by tests and ablations.
+//!
+//! Generation is deterministic in the seed and **partition-stable**: a
+//! dataset can be produced partition-by-partition in parallel
+//! ([`DatasetSpec::partition_points`]) and always yields the same points.
+
+mod catalog;
+mod generators;
+mod io;
+mod payload;
+mod shapes;
+
+pub use catalog::{Catalog, DatasetSpec, GenKind, PAPER_BBOX};
+pub use generators::{gaussian_cluster_params, gaussian_cluster_params_scaled, GenParams};
+pub use io::{read_points_csv, write_points_csv};
+pub use payload::TupleSizeFactor;
+pub use shapes::{random_boxes, random_polylines};

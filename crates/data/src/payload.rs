@@ -1,0 +1,107 @@
+/// The paper's *tuple size factor* (Figs. 16–18): real records carry
+/// non-spatial attributes (names, descriptions, …) that must travel with the
+/// tuple through the shuffle. Each factor adds a fixed payload per tuple on
+/// top of the spatial information.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TupleSizeFactor {
+    F0,
+    F1,
+    F2,
+    F3,
+    F4,
+}
+
+impl TupleSizeFactor {
+    pub const ALL: [TupleSizeFactor; 5] = [
+        TupleSizeFactor::F0,
+        TupleSizeFactor::F1,
+        TupleSizeFactor::F2,
+        TupleSizeFactor::F3,
+        TupleSizeFactor::F4,
+    ];
+
+    /// Extra bytes per tuple beyond id and coordinates. The paper does not
+    /// publish the absolute sizes, only that factors grow monotonically; we
+    /// use a doubling ladder starting at 32 B (a short name string) up to
+    /// 256 B (name + description + tags).
+    pub fn payload_bytes(self) -> usize {
+        match self {
+            TupleSizeFactor::F0 => 0,
+            TupleSizeFactor::F1 => 32,
+            TupleSizeFactor::F2 => 64,
+            TupleSizeFactor::F3 => 128,
+            TupleSizeFactor::F4 => 256,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            TupleSizeFactor::F0 => "f0",
+            TupleSizeFactor::F1 => "f1",
+            TupleSizeFactor::F2 => "f2",
+            TupleSizeFactor::F3 => "f3",
+            TupleSizeFactor::F4 => "f4",
+        }
+    }
+
+    /// Deterministic filler payload for a tuple id (pseudo-text bytes, so
+    /// payloads differ across tuples like real attributes do).
+    pub fn make_payload(self, id: u64) -> Vec<u8> {
+        let n = self.payload_bytes();
+        let mut out = Vec::with_capacity(n);
+        let mut state = id
+            .wrapping_mul(0x5851_F42D_4C95_7F2D)
+            .wrapping_add(0x14057B7E);
+        while out.len() < n {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Printable ASCII range keeps payloads text-like.
+            out.push(b' ' + ((state >> 33) % 94) as u8);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factors_grow_monotonically() {
+        let sizes: Vec<usize> = TupleSizeFactor::ALL
+            .iter()
+            .map(|f| f.payload_bytes())
+            .collect();
+        assert_eq!(sizes[0], 0);
+        for w in sizes.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn payload_has_exact_size_and_is_deterministic() {
+        for f in TupleSizeFactor::ALL {
+            let a = f.make_payload(42);
+            let b = f.make_payload(42);
+            assert_eq!(a.len(), f.payload_bytes());
+            assert_eq!(a, b);
+        }
+        assert_ne!(
+            TupleSizeFactor::F2.make_payload(1),
+            TupleSizeFactor::F2.make_payload(2)
+        );
+    }
+
+    #[test]
+    fn payload_is_printable_ascii() {
+        let p = TupleSizeFactor::F4.make_payload(7);
+        assert!(p.iter().all(|&b| (b' '..=b'~').contains(&b)));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(TupleSizeFactor::F0.name(), "f0");
+        assert_eq!(TupleSizeFactor::F4.name(), "f4");
+    }
+}

@@ -1,0 +1,82 @@
+use asj_geom::{Point, Polygon, Polyline, Rect};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Random-walk polylines ("rivers"/"roads") inside `bbox`, for the extent
+/// join. Each polyline has `2..=max_vertices` vertices with steps of about
+/// 1 % of the bbox diagonal.
+pub fn random_polylines(bbox: Rect, n: usize, max_vertices: usize, seed: u64) -> Vec<Polyline> {
+    assert!(max_vertices >= 2, "polylines need at least 2 vertices");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x11E5);
+    let diag = (bbox.width().powi(2) + bbox.height().powi(2)).sqrt();
+    let step = diag / 100.0;
+    (0..n)
+        .map(|_| {
+            let mut p = Point::new(
+                rng.gen_range(bbox.min_x..bbox.max_x),
+                rng.gen_range(bbox.min_y..bbox.max_y),
+            );
+            let mut dir: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+            let count = rng.gen_range(2..=max_vertices);
+            let mut pts = Vec::with_capacity(count);
+            for _ in 0..count {
+                pts.push(p);
+                dir += rng.gen_range(-0.7..0.7);
+                p = Point::new(
+                    (p.x + step * dir.cos()).clamp(bbox.min_x, bbox.max_x),
+                    (p.y + step * dir.sin()).clamp(bbox.min_y, bbox.max_y),
+                );
+            }
+            Polyline::new(pts)
+        })
+        .collect()
+}
+
+/// Axis-aligned rectangular polygons ("parks"/"lots") inside `bbox`, with
+/// sides up to `max_side`.
+pub fn random_boxes(bbox: Rect, n: usize, max_side: f64, seed: u64) -> Vec<Polygon> {
+    assert!(max_side > 0.0, "max_side must be positive");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xB0C5);
+    (0..n)
+        .map(|_| {
+            let w = rng.gen_range(max_side * 0.05..max_side);
+            let h = rng.gen_range(max_side * 0.05..max_side);
+            let x = rng.gen_range(bbox.min_x..(bbox.max_x - w).max(bbox.min_x + 1e-9));
+            let y = rng.gen_range(bbox.min_y..(bbox.max_y - h).max(bbox.min_y + 1e-9));
+            Polygon::from_rect(Rect::new(x, y, x + w, y + h))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bbox() -> Rect {
+        Rect::new(0.0, 0.0, 50.0, 30.0)
+    }
+
+    #[test]
+    fn polylines_stay_inside_and_are_deterministic() {
+        let a = random_polylines(bbox(), 40, 8, 3);
+        let b = random_polylines(bbox(), 40, 8, 3);
+        assert_eq!(a, b);
+        for l in &a {
+            assert!(l.points().len() >= 2 && l.points().len() <= 8);
+            for p in l.points() {
+                assert!(bbox().contains(*p));
+            }
+        }
+    }
+
+    #[test]
+    fn boxes_stay_inside_with_bounded_sides() {
+        let boxes = random_boxes(bbox(), 60, 4.0, 9);
+        for g in &boxes {
+            let e = g.envelope();
+            assert!(e.width() <= 4.0 && e.height() <= 4.0);
+            assert!(bbox().contains(Point::new(e.min_x, e.min_y)));
+            assert!(bbox().contains(Point::new(e.max_x, e.max_y)));
+        }
+    }
+}

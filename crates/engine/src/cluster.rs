@@ -1,0 +1,157 @@
+use crate::metrics::ExecStats;
+use crate::pool::run_tasks;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Shape of the simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Simulated worker nodes (the paper's executors; Fig. 14 varies 4–12).
+    pub nodes: usize,
+    /// Real host threads used to execute tasks. Defaults to the host's
+    /// available parallelism; decoupled from `nodes` so that a 12-node
+    /// cluster can be simulated faithfully on any machine.
+    pub threads: usize,
+}
+
+impl ClusterConfig {
+    /// `nodes` simulated workers, host-default real parallelism.
+    pub fn new(nodes: usize) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ClusterConfig { nodes, threads }
+    }
+
+    pub fn with_threads(nodes: usize, threads: usize) -> Self {
+        ClusterConfig { nodes, threads }
+    }
+}
+
+/// A handle to the simulated cluster: executes partitioned stages and owns
+/// the node topology (partition → node binding).
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    config: ClusterConfig,
+}
+
+impl Cluster {
+    pub fn new(config: ClusterConfig) -> Self {
+        assert!(config.nodes > 0, "cluster needs at least one node");
+        Cluster { config }
+    }
+
+    #[inline]
+    pub fn nodes(&self) -> usize {
+        self.config.nodes
+    }
+
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.config.threads
+    }
+
+    /// The node hosting a partition: partitions are bound round-robin, like
+    /// Spark binds partitions to executors.
+    #[inline]
+    pub fn node_of_partition(&self, partition: usize) -> usize {
+        partition % self.config.nodes
+    }
+
+    /// Runs one task per element of `tasks`, placing task `i` on
+    /// `node_of_partition(i)`.
+    pub fn run_partitioned<T, R, F>(&self, tasks: Vec<T>, f: F) -> (Vec<R>, ExecStats)
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let placement: Vec<usize> = (0..tasks.len())
+            .map(|i| self.node_of_partition(i))
+            .collect();
+        run_tasks(self.config.threads, self.config.nodes, tasks, &placement, f)
+    }
+
+    /// Runs tasks with an explicit node placement.
+    pub fn run_placed<T, R, F>(
+        &self,
+        tasks: Vec<T>,
+        placement: &[usize],
+        f: F,
+    ) -> (Vec<R>, ExecStats)
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        run_tasks(self.config.threads, self.config.nodes, tasks, placement, f)
+    }
+
+    /// Makes a value available to every task, like Spark's broadcast
+    /// variables (Algorithm 5 broadcasts the agreement-loaded grid).
+    pub fn broadcast<T>(&self, value: T) -> Broadcast<T> {
+        Broadcast {
+            inner: Arc::new(value),
+        }
+    }
+}
+
+/// A read-only value shared with all tasks.
+#[derive(Debug)]
+pub struct Broadcast<T> {
+    inner: Arc<T>,
+}
+
+impl<T> Clone for Broadcast<T> {
+    fn clone(&self) -> Self {
+        Broadcast {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Deref for Broadcast<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_partition_binding() {
+        let c = Cluster::new(ClusterConfig::with_threads(4, 1));
+        assert_eq!(c.node_of_partition(0), 0);
+        assert_eq!(c.node_of_partition(5), 1);
+        assert_eq!(c.node_of_partition(96), 0);
+        assert_eq!(c.nodes(), 4);
+    }
+
+    #[test]
+    fn run_partitioned_attributes_round_robin() {
+        let c = Cluster::new(ClusterConfig::with_threads(3, 2));
+        let (out, stats) = c.run_partitioned(vec![1u64, 2, 3, 4, 5, 6], |i, t| t + i as u64);
+        assert_eq!(out, vec![1, 3, 5, 7, 9, 11]);
+        assert_eq!(stats.per_node_busy.len(), 3);
+    }
+
+    #[test]
+    fn broadcast_shares_one_value() {
+        let c = Cluster::new(ClusterConfig::with_threads(2, 2));
+        let b = c.broadcast(vec![1, 2, 3]);
+        let b2 = b.clone();
+        assert_eq!(*b2, vec![1, 2, 3]);
+        assert!(std::ptr::eq(&*b, &*b2));
+    }
+
+    #[test]
+    fn default_config_uses_host_parallelism() {
+        let cfg = ClusterConfig::new(12);
+        assert_eq!(cfg.nodes, 12);
+        assert!(cfg.threads >= 1);
+    }
+}

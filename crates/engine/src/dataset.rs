@@ -1,0 +1,656 @@
+use crate::cluster::Cluster;
+use crate::metrics::{ExecStats, ShuffleStats};
+use crate::partitioner::Partitioner;
+use crate::wire::Wire;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A partitioned, in-memory collection — the engine's RDD analog.
+///
+/// Partition `i` lives on simulated node [`Cluster::node_of_partition`]`(i)`.
+/// All transformations execute one task per partition on the cluster pool and
+/// report per-node [`ExecStats`].
+///
+/// # Example
+///
+/// ```
+/// use asj_engine::{Cluster, ClusterConfig, Dataset, HashPartitioner};
+///
+/// let cluster = Cluster::new(ClusterConfig::new(4));
+/// let data = Dataset::from_vec((0..1000u64).collect(), 8);
+/// let (evens, _) = data.filter(&cluster, |x| x % 2 == 0);
+/// let (keyed, _) = evens.flat_map_to_pairs(&cluster, |x, out| out.push((x % 10, x)));
+/// let (shuffled, stats, _) = keyed.shuffle(&cluster, &HashPartitioner::new(16));
+/// assert_eq!(shuffled.len(), 500);
+/// assert!(stats.remote_bytes + stats.local_bytes > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dataset<T> {
+    parts: Vec<Vec<T>>,
+}
+
+impl<T: Send> Dataset<T> {
+    /// Splits `data` into `partitions` near-equal chunks (like reading a file
+    /// into fixed-size input splits).
+    pub fn from_vec(data: Vec<T>, partitions: usize) -> Self {
+        assert!(partitions > 0, "need at least one partition");
+        let n = data.len();
+        let mut parts: Vec<Vec<T>> = (0..partitions).map(|_| Vec::new()).collect();
+        let base = n / partitions;
+        let extra = n % partitions;
+        let mut it = data.into_iter();
+        for (i, part) in parts.iter_mut().enumerate() {
+            let take = base + usize::from(i < extra);
+            part.reserve_exact(take);
+            part.extend(it.by_ref().take(take));
+        }
+        Dataset { parts }
+    }
+
+    /// Wraps pre-built partitions.
+    pub fn from_partitions(parts: Vec<Vec<T>>) -> Self {
+        assert!(!parts.is_empty(), "need at least one partition");
+        Dataset { parts }
+    }
+
+    /// Builds a dataset by running one generator task per partition in
+    /// parallel (used by the synthetic workload generators).
+    pub fn generate<F>(cluster: &Cluster, partitions: usize, f: F) -> (Self, ExecStats)
+    where
+        F: Fn(usize) -> Vec<T> + Sync,
+    {
+        let (parts, stats) =
+            cluster.run_partitioned((0..partitions).collect::<Vec<_>>(), |_, i| f(i));
+        (Dataset { parts }, stats)
+    }
+
+    #[inline]
+    pub fn num_partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Total records across partitions.
+    pub fn len(&self) -> usize {
+        self.parts.iter().map(Vec::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.parts.iter().all(Vec::is_empty)
+    }
+
+    /// Iterates over all records (driver-side).
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.parts.iter().flatten()
+    }
+
+    /// Concatenates everything on the driver.
+    pub fn collect(self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.parts.iter().map(Vec::len).sum());
+        for p in self.parts {
+            out.extend(p);
+        }
+        out
+    }
+
+    pub fn partitions(&self) -> &[Vec<T>] {
+        &self.parts
+    }
+
+    /// Consumes the dataset into its raw partitions.
+    pub fn into_partitions(self) -> Vec<Vec<T>> {
+        self.parts
+    }
+
+    /// Element-wise transformation (Spark `map`).
+    pub fn map<U, F>(self, cluster: &Cluster, f: F) -> (Dataset<U>, ExecStats)
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        let (parts, stats) =
+            cluster.run_partitioned(self.parts, |_, part| part.into_iter().map(&f).collect());
+        (Dataset { parts }, stats)
+    }
+
+    /// Keeps only records satisfying `pred` (Spark `filter`).
+    pub fn filter<F>(self, cluster: &Cluster, pred: F) -> (Dataset<T>, ExecStats)
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
+        let (parts, stats) = cluster.run_partitioned(self.parts, |_, part: Vec<T>| {
+            part.into_iter().filter(|t| pred(t)).collect::<Vec<T>>()
+        });
+        (Dataset { parts }, stats)
+    }
+
+    /// Concatenates two datasets partition-wise (Spark `union`): the result
+    /// has the partitions of `self` followed by those of `other`.
+    pub fn union(mut self, other: Dataset<T>) -> Dataset<T> {
+        self.parts.extend(other.parts);
+        self
+    }
+
+    /// Bernoulli sample of every partition, gathered on the driver — the
+    /// `sample(φ).forEach(...)` step of Algorithm 5. Deterministic for a
+    /// given `seed`.
+    pub fn sample(&self, cluster: &Cluster, fraction: f64, seed: u64) -> (Vec<T>, ExecStats)
+    where
+        T: Clone + Sync,
+    {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+        let refs: Vec<&Vec<T>> = self.parts.iter().collect();
+        let (sampled, stats) = cluster.run_partitioned(refs, |idx, part| {
+            let mut rng = SmallRng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(0xA24B_AED4));
+            part.iter()
+                .filter(|_| rng.gen_bool(fraction))
+                .cloned()
+                .collect::<Vec<T>>()
+        });
+        (sampled.into_iter().flatten().collect(), stats)
+    }
+
+    /// Expands every record into zero or more key–value pairs (Spark
+    /// `flatMapToPair`): the spatial-mapping step that replicates a tuple
+    /// once per assigned cell id.
+    pub fn flat_map_to_pairs<K, V, F>(
+        self,
+        cluster: &Cluster,
+        f: F,
+    ) -> (KeyedDataset<K, V>, ExecStats)
+    where
+        K: Send,
+        V: Send,
+        F: Fn(T, &mut Vec<(K, V)>) + Sync,
+    {
+        let (parts, stats) = cluster.run_partitioned(self.parts, |_, part| {
+            let mut out = Vec::with_capacity(part.len());
+            for rec in part {
+                f(rec, &mut out);
+            }
+            out
+        });
+        (KeyedDataset { parts }, stats)
+    }
+}
+
+/// The zipped per-partition inputs of a co-grouped join.
+type CogroupTasks<K, V, V2> = Vec<(Vec<(K, V)>, Vec<(K, V2)>)>;
+
+/// A partitioned collection of key–value pairs (Spark `PairRDD`).
+#[derive(Debug, Clone)]
+pub struct KeyedDataset<K, V> {
+    parts: Vec<Vec<(K, V)>>,
+}
+
+impl<K, V> KeyedDataset<K, V>
+where
+    K: Wire + Send + Copy,
+    V: Wire + Send,
+{
+    pub fn from_partitions(parts: Vec<Vec<(K, V)>>) -> Self {
+        assert!(!parts.is_empty(), "need at least one partition");
+        KeyedDataset { parts }
+    }
+
+    #[inline]
+    pub fn num_partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    pub fn len(&self) -> usize {
+        self.parts.iter().map(Vec::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.parts.iter().all(Vec::is_empty)
+    }
+
+    pub fn partitions(&self) -> &[Vec<(K, V)>] {
+        &self.parts
+    }
+
+    /// Consumes the dataset into its raw partitions.
+    pub fn into_partitions(self) -> Vec<Vec<(K, V)>> {
+        self.parts
+    }
+
+    /// Repartitions by key. Every record is charged its [`Wire`]-encoded size
+    /// against the simulated network: bytes are *remote* when the source and
+    /// target partitions live on different nodes, *local* otherwise — Spark's
+    /// shuffle remote reads versus local reads.
+    pub fn shuffle<P>(
+        self,
+        cluster: &Cluster,
+        partitioner: &P,
+    ) -> (KeyedDataset<K, V>, ShuffleStats, ExecStats)
+    where
+        P: Partitioner<K> + ?Sized,
+    {
+        let targets = partitioner.num_partitions();
+        // Map side: bucket each source partition by target partition and
+        // meter bytes by destination node.
+        let (bucketed, stats) = cluster.run_partitioned(self.parts, |src_idx, part| {
+            let src_node = cluster.node_of_partition(src_idx);
+            let mut buckets: Vec<Vec<(K, V)>> = (0..targets).map(|_| Vec::new()).collect();
+            let mut shuffle = ShuffleStats::default();
+            for (k, v) in part {
+                let t = partitioner.partition_of(&k);
+                debug_assert!(t < targets);
+                let bytes = k.encoded_size() as u64 + v.encoded_size() as u64;
+                if cluster.node_of_partition(t) == src_node {
+                    shuffle.local_bytes += bytes;
+                } else {
+                    shuffle.remote_bytes += bytes;
+                }
+                shuffle.records += 1;
+                buckets[t].push((k, v));
+            }
+            (buckets, shuffle)
+        });
+        // Reduce side: concatenate the buckets of each target partition and
+        // account the per-partition memory footprint.
+        let mut shuffle = ShuffleStats::default();
+        let mut parts: Vec<Vec<(K, V)>> = (0..targets).map(|_| Vec::new()).collect();
+        let mut partition_bytes = vec![0u64; targets];
+        for (buckets, s) in bucketed {
+            shuffle.merge(&s);
+            for (t, bucket) in buckets.into_iter().enumerate() {
+                for (k, v) in &bucket {
+                    partition_bytes[t] += k.encoded_size() as u64 + v.encoded_size() as u64;
+                }
+                parts[t].extend(bucket);
+            }
+        }
+        shuffle.partition_bytes = partition_bytes;
+        (KeyedDataset { parts }, shuffle, stats)
+    }
+
+    /// Processes each partition's key groups with `kernel` (a one-sided
+    /// co-group): values are grouped by key within every partition and the
+    /// kernel is invoked once per key. Used by the distance *self-join*,
+    /// where a single shuffled dataset joins with itself cell by cell.
+    pub fn process_groups<R, F>(
+        self,
+        cluster: &Cluster,
+        placement: &[usize],
+        kernel: F,
+    ) -> (Dataset<R>, ExecStats)
+    where
+        K: Ord,
+        R: Send,
+        F: Fn(K, &[V], &mut Vec<R>) + Sync,
+    {
+        let (parts, stats) = cluster.run_placed(self.parts, placement, |_, mut part| {
+            part.sort_unstable_by_key(|x| x.0);
+            let mut out = Vec::new();
+            let mut values: Vec<V> = Vec::new();
+            let mut it = part.into_iter().peekable();
+            while let Some(k) = it.peek().map(|x| x.0) {
+                values.clear();
+                while it.peek().is_some_and(|x| x.0 == k) {
+                    values.push(it.next().expect("peeked").1);
+                }
+                kernel(k, &values, &mut out);
+            }
+            out
+        });
+        (Dataset { parts }, stats)
+    }
+
+    /// Combines the values of every key with `combine` after shuffling by
+    /// `partitioner` (Spark `reduceByKey`). Returns one `(key, value)` per
+    /// distinct key.
+    pub fn reduce_by_key<P, F>(
+        self,
+        cluster: &Cluster,
+        partitioner: &P,
+        combine: F,
+    ) -> (KeyedDataset<K, V>, ShuffleStats, ExecStats)
+    where
+        K: Ord,
+        P: Partitioner<K> + ?Sized,
+        F: Fn(V, V) -> V + Sync,
+    {
+        let (shuffled, shuffle, mut exec) = self.shuffle(cluster, partitioner);
+        let (parts, ex) = cluster.run_partitioned(shuffled.parts, |_, mut part| {
+            part.sort_unstable_by_key(|x| x.0);
+            let mut out: Vec<(K, V)> = Vec::new();
+            let mut it = part.into_iter();
+            if let Some((mut ck, mut cv)) = it.next() {
+                for (k, v) in it {
+                    if k == ck {
+                        cv = combine(cv, v);
+                    } else {
+                        out.push((ck, cv));
+                        ck = k;
+                        cv = v;
+                    }
+                }
+                out.push((ck, cv));
+            }
+            out
+        });
+        exec.accumulate(&ex);
+        (KeyedDataset { parts }, shuffle, exec)
+    }
+
+    /// Co-grouped join against `other` (must be partitioned by the same
+    /// partitioner): for every key present on both sides of a partition,
+    /// `kernel` receives the two value groups and emits results.
+    ///
+    /// This fuses Spark's `join(...)` with the subsequent refinement
+    /// `filter(d(r, s) ≤ ε)` of Algorithm 5, exactly as the paper describes
+    /// ("directly after the production of a candidate pair, their actual
+    /// distance is computed").
+    ///
+    /// `placement[i]` gives the simulated node of partition `i`; pass
+    /// round-robin for Spark-default behaviour.
+    pub fn cogroup_join<V2, R, F>(
+        self,
+        cluster: &Cluster,
+        other: KeyedDataset<K, V2>,
+        placement: &[usize],
+        kernel: F,
+    ) -> (Dataset<R>, ExecStats)
+    where
+        K: Ord,
+        V2: Wire + Send,
+        R: Send,
+        F: Fn(K, &[V], &[V2], &mut Vec<R>) + Sync,
+    {
+        assert_eq!(
+            self.parts.len(),
+            other.parts.len(),
+            "joined datasets must share the partitioner"
+        );
+        let tasks: CogroupTasks<K, V, V2> = self.parts.into_iter().zip(other.parts).collect();
+        let (parts, stats) = cluster.run_placed(tasks, placement, |_, (mut a, mut b)| {
+            a.sort_unstable_by_key(|x| x.0);
+            b.sort_unstable_by_key(|x| x.0);
+            let mut out = Vec::new();
+            let mut ia = a.into_iter().peekable();
+            let mut ib = b.into_iter().peekable();
+            let mut va: Vec<V> = Vec::new();
+            let mut vb: Vec<V2> = Vec::new();
+            while let (Some(ka), Some(kb)) = (ia.peek().map(|x| x.0), ib.peek().map(|x| x.0)) {
+                match ka.cmp(&kb) {
+                    std::cmp::Ordering::Less => {
+                        ia.next();
+                    }
+                    std::cmp::Ordering::Greater => {
+                        ib.next();
+                    }
+                    std::cmp::Ordering::Equal => {
+                        va.clear();
+                        vb.clear();
+                        while ia.peek().is_some_and(|x| x.0 == ka) {
+                            va.push(ia.next().expect("peeked").1);
+                        }
+                        while ib.peek().is_some_and(|x| x.0 == ka) {
+                            vb.push(ib.next().expect("peeked").1);
+                        }
+                        kernel(ka, &va, &vb, &mut out);
+                    }
+                }
+            }
+            out
+        });
+        (Dataset { parts }, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use crate::partitioner::HashPartitioner;
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterConfig::with_threads(3, 2))
+    }
+
+    #[test]
+    fn from_vec_balances_partitions() {
+        let d = Dataset::from_vec((0..10u32).collect(), 3);
+        let sizes: Vec<usize> = d.partitions().iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+        assert_eq!(d.len(), 10);
+        assert!(!d.is_empty());
+        assert_eq!(d.collect(), (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn map_preserves_partitioning() {
+        let c = cluster();
+        let d = Dataset::from_vec((0..100u64).collect(), 7);
+        let (d2, _) = d.map(&c, |x| x * 3);
+        assert_eq!(d2.num_partitions(), 7);
+        assert_eq!(
+            d2.iter().copied().sum::<u64>(),
+            (0..100u64).map(|x| x * 3).sum()
+        );
+    }
+
+    #[test]
+    fn generate_runs_one_task_per_partition() {
+        let c = cluster();
+        let (d, _) = Dataset::generate(&c, 5, |i| vec![i as u32; i + 1]);
+        assert_eq!(d.num_partitions(), 5);
+        assert_eq!(d.len(), 1 + 2 + 3 + 4 + 5);
+    }
+
+    #[test]
+    fn sample_is_deterministic_and_proportional() {
+        let c = cluster();
+        let d = Dataset::from_vec((0..20_000u64).collect(), 4);
+        let (s1, _) = d.sample(&c, 0.1, 7);
+        let (s2, _) = d.sample(&c, 0.1, 7);
+        assert_eq!(s1, s2);
+        assert!(
+            (s1.len() as f64 - 2000.0).abs() < 300.0,
+            "sample size {}",
+            s1.len()
+        );
+        let (s3, _) = d.sample(&c, 0.1, 8);
+        assert_ne!(s1, s3);
+    }
+
+    #[test]
+    fn sample_extremes() {
+        let c = cluster();
+        let d = Dataset::from_vec((0..100u64).collect(), 4);
+        assert!(d.sample(&c, 0.0, 1).0.is_empty());
+        assert_eq!(d.sample(&c, 1.0, 1).0.len(), 100);
+    }
+
+    #[test]
+    fn flat_map_to_pairs_expands_records() {
+        let c = cluster();
+        let d = Dataset::from_vec(vec![1u64, 2, 3], 2);
+        let (kd, _) = d.flat_map_to_pairs(&c, |x, out| {
+            for k in 0..x {
+                out.push((k, x));
+            }
+        });
+        assert_eq!(kd.len(), 6); // 1 + 2 + 3
+    }
+
+    #[test]
+    fn shuffle_routes_by_key_and_meters_bytes() {
+        let c = cluster();
+        let kd = KeyedDataset::from_partitions(vec![
+            vec![(0u64, 10u64), (1, 11), (2, 12)],
+            vec![(0, 20), (1, 21)],
+        ]);
+        let p = HashPartitioner::new(4);
+        let (shuffled, stats, _) = kd.shuffle(&c, &p);
+        assert_eq!(shuffled.num_partitions(), 4);
+        assert_eq!(stats.records, 5);
+        // Every record is 16 bytes (u64 key + u64 value).
+        assert_eq!(stats.total_bytes(), 5 * 16);
+        // All copies of a key land in one partition.
+        for part in shuffled.partitions() {
+            for (k, _) in part {
+                assert_eq!(
+                    p.partition_of(k),
+                    shuffled
+                        .partitions()
+                        .iter()
+                        .position(|pp| pp.iter().any(|(kk, _)| kk == k))
+                        .unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_local_vs_remote_split() {
+        // 1 node: everything is local. Many nodes: most records go remote.
+        let one = Cluster::new(ClusterConfig::with_threads(1, 1));
+        let kd = KeyedDataset::from_partitions(vec![(0..100u64).map(|k| (k, k)).collect()]);
+        let (_, stats, _) = kd.shuffle(&one, &HashPartitioner::new(8));
+        assert_eq!(stats.remote_bytes, 0);
+        assert_eq!(stats.local_bytes, 100 * 16);
+
+        let many = Cluster::new(ClusterConfig::with_threads(8, 2));
+        let kd = KeyedDataset::from_partitions(vec![(0..100u64).map(|k| (k, k)).collect()]);
+        let (_, stats, _) = kd.shuffle(&many, &HashPartitioner::new(8));
+        assert!(stats.remote_bytes > stats.local_bytes);
+        assert_eq!(stats.total_bytes(), 100 * 16);
+    }
+
+    #[test]
+    fn cogroup_join_pairs_matching_keys() {
+        let c = cluster();
+        let p = HashPartitioner::new(3);
+        let a = KeyedDataset::from_partitions(vec![vec![(1u64, 10u64), (2, 20), (2, 21), (3, 30)]]);
+        let b =
+            KeyedDataset::from_partitions(vec![vec![(2u64, 200u64), (3, 300), (3, 301), (4, 400)]]);
+        let (a, _, _) = a.shuffle(&c, &p);
+        let (b, _, _) = b.shuffle(&c, &p);
+        let placement: Vec<usize> = (0..3).map(|i| c.node_of_partition(i)).collect();
+        let (joined, _) = a.cogroup_join(&c, b, &placement, |k, va, vb, out| {
+            for &x in va {
+                for &y in vb {
+                    out.push((k, x, y));
+                }
+            }
+        });
+        let mut rows = joined.collect();
+        rows.sort();
+        assert_eq!(
+            rows,
+            vec![(2, 20, 200), (2, 21, 200), (3, 30, 300), (3, 30, 301)]
+        );
+    }
+
+    #[test]
+    fn cogroup_join_empty_sides() {
+        let c = cluster();
+        let a: KeyedDataset<u64, u64> = KeyedDataset::from_partitions(vec![vec![], vec![(1, 1)]]);
+        let b: KeyedDataset<u64, u64> = KeyedDataset::from_partitions(vec![vec![(2, 2)], vec![]]);
+        let placement = vec![0usize, 1];
+        let (joined, _) = a.cogroup_join(&c, b, &placement, |k, va, vb, out| {
+            for &x in va {
+                for &y in vb {
+                    out.push((k, x, y));
+                }
+            }
+        });
+        assert!(joined.collect().is_empty());
+    }
+}
+
+#[cfg(test)]
+mod group_tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use crate::partitioner::HashPartitioner;
+
+    #[test]
+    fn process_groups_sees_each_key_once_with_all_values() {
+        let c = Cluster::new(ClusterConfig::with_threads(2, 2));
+        let kd = KeyedDataset::from_partitions(vec![
+            vec![(1u64, 10u64), (2, 20), (1, 11)],
+            vec![(2, 21), (3, 30)],
+        ]);
+        let (kd, _, _) = kd.shuffle(&c, &HashPartitioner::new(4));
+        let placement: Vec<usize> = (0..4).map(|i| c.node_of_partition(i)).collect();
+        let (out, _) = kd.process_groups(&c, &placement, |k, vs, out| {
+            let mut sorted = vs.to_vec();
+            sorted.sort_unstable();
+            out.push((k, sorted));
+        });
+        let mut rows = out.collect();
+        rows.sort();
+        assert_eq!(
+            rows,
+            vec![(1, vec![10, 11]), (2, vec![20, 21]), (3, vec![30])]
+        );
+    }
+
+    #[test]
+    fn process_groups_empty_partitions() {
+        let c = Cluster::new(ClusterConfig::with_threads(1, 1));
+        let kd: KeyedDataset<u64, u64> = KeyedDataset::from_partitions(vec![vec![], vec![]]);
+        let (out, _) = kd.process_groups(&c, &[0, 0], |_, _, out: &mut Vec<u64>| {
+            out.push(1);
+        });
+        assert!(out.collect().is_empty());
+    }
+}
+
+#[cfg(test)]
+mod operator_tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use crate::partitioner::HashPartitioner;
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterConfig::with_threads(3, 2))
+    }
+
+    #[test]
+    fn filter_keeps_matching_records() {
+        let c = cluster();
+        let d = Dataset::from_vec((0..100u64).collect(), 5);
+        let (d, _) = d.filter(&c, |x| x % 3 == 0);
+        let mut got = d.collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..100).filter(|x| x % 3 == 0).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn union_concatenates_partitions() {
+        let a = Dataset::from_vec(vec![1u32, 2], 2);
+        let b = Dataset::from_vec(vec![3u32, 4, 5], 3);
+        let u = a.union(b);
+        assert_eq!(u.num_partitions(), 5);
+        let mut all = u.collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn reduce_by_key_sums_per_key() {
+        let c = cluster();
+        let kd = KeyedDataset::from_partitions(vec![
+            vec![(1u64, 10u64), (2, 1), (1, 5)],
+            vec![(2, 2), (3, 7), (1, 1)],
+        ]);
+        let (reduced, shuffle, _) = kd.reduce_by_key(&c, &HashPartitioner::new(4), |a, b| a + b);
+        let mut rows: Vec<(u64, u64)> = reduced.partitions().iter().flatten().copied().collect();
+        rows.sort_unstable();
+        assert_eq!(rows, vec![(1, 16), (2, 3), (3, 7)]);
+        assert_eq!(shuffle.records, 6);
+    }
+
+    #[test]
+    fn reduce_by_key_with_single_occurrences() {
+        let c = cluster();
+        let kd = KeyedDataset::from_partitions(vec![(0..50u64).map(|k| (k, 1u64)).collect()]);
+        let (reduced, _, _) = kd.reduce_by_key(&c, &HashPartitioner::new(8), |a, b| a + b);
+        assert_eq!(reduced.len(), 50);
+        assert!(reduced.partitions().iter().flatten().all(|&(_, v)| v == 1));
+    }
+}

@@ -1,0 +1,198 @@
+use std::collections::HashMap;
+
+/// How grid cells are placed onto join partitions (and hence nodes) — the
+/// choice evaluated in Table 7 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Spark's default: hash the key into one of the partitions.
+    Hash,
+    /// Longest-Processing-Time greedy driven by sampled per-cell cost (§6.2).
+    Lpt,
+    /// SJMR's round-robin tile mapping (related work \[27\]).
+    RoundRobin,
+}
+
+impl Placement {
+    pub fn name(self) -> &'static str {
+        match self {
+            Placement::Hash => "hash",
+            Placement::Lpt => "LPT",
+            Placement::RoundRobin => "round-robin",
+        }
+    }
+}
+
+/// Maps shuffle keys to partitions in `0..num_partitions()`.
+pub trait Partitioner<K>: Sync {
+    fn num_partitions(&self) -> usize;
+    fn partition_of(&self, key: &K) -> usize;
+}
+
+/// Multiplicative hashing of `u64` keys (Fibonacci hashing). Spark's
+/// `HashPartitioner` equivalent for our integer cell ids: deterministic,
+/// cheap, and scrambles consecutive cell indices across partitions.
+#[derive(Debug, Clone)]
+pub struct HashPartitioner {
+    partitions: usize,
+}
+
+impl HashPartitioner {
+    pub fn new(partitions: usize) -> Self {
+        assert!(partitions > 0, "need at least one partition");
+        HashPartitioner { partitions }
+    }
+
+    #[inline]
+    pub fn hash64(key: u64) -> u64 {
+        // Fibonacci multiplier (2^64 / φ) followed by a xor-fold; enough to
+        // decorrelate row-major cell ids from partition counts.
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^ (h >> 32)
+    }
+}
+
+impl Partitioner<u64> for HashPartitioner {
+    #[inline]
+    fn num_partitions(&self) -> usize {
+        self.partitions
+    }
+
+    #[inline]
+    fn partition_of(&self, key: &u64) -> usize {
+        (Self::hash64(*key) % self.partitions as u64) as usize
+    }
+}
+
+/// SJMR-style tile mapping (Zhang et al.): cell/tile ids are assigned to
+/// partitions round-robin (`tile mod P`). Spreads spatially-contiguous hot
+/// regions across partitions deterministically, without needing a sample.
+#[derive(Debug, Clone)]
+pub struct RoundRobinPartitioner {
+    partitions: usize,
+}
+
+impl RoundRobinPartitioner {
+    pub fn new(partitions: usize) -> Self {
+        assert!(partitions > 0, "need at least one partition");
+        RoundRobinPartitioner { partitions }
+    }
+}
+
+impl Partitioner<u64> for RoundRobinPartitioner {
+    #[inline]
+    fn num_partitions(&self) -> usize {
+        self.partitions
+    }
+
+    #[inline]
+    fn partition_of(&self, key: &u64) -> usize {
+        (*key % self.partitions as u64) as usize
+    }
+}
+
+/// Explicit key → partition map (the output of LPT), with hash fallback for
+/// keys that were not present in the sample.
+#[derive(Debug, Clone)]
+pub struct ExplicitPartitioner {
+    map: HashMap<u64, usize>,
+    fallback: HashPartitioner,
+}
+
+impl ExplicitPartitioner {
+    pub fn new(map: HashMap<u64, usize>, partitions: usize) -> Self {
+        assert!(
+            map.values().all(|&p| p < partitions),
+            "assignment out of range"
+        );
+        ExplicitPartitioner {
+            map,
+            fallback: HashPartitioner::new(partitions),
+        }
+    }
+
+    /// Number of keys with an explicit assignment.
+    pub fn assigned_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+impl Partitioner<u64> for ExplicitPartitioner {
+    #[inline]
+    fn num_partitions(&self) -> usize {
+        self.fallback.num_partitions()
+    }
+
+    #[inline]
+    fn partition_of(&self, key: &u64) -> usize {
+        match self.map.get(key) {
+            Some(&p) => p,
+            None => self.fallback.partition_of(key),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_partitioner_in_range_and_deterministic() {
+        let p = HashPartitioner::new(96);
+        for k in 0..10_000u64 {
+            let a = p.partition_of(&k);
+            assert!(a < 96);
+            assert_eq!(a, p.partition_of(&k));
+        }
+    }
+
+    #[test]
+    fn hash_partitioner_spreads_consecutive_keys() {
+        let p = HashPartitioner::new(16);
+        let mut counts = [0usize; 16];
+        for k in 0..1600u64 {
+            counts[p.partition_of(&k)] += 1;
+        }
+        // No partition should be starved or hold more than 3x its share.
+        for c in counts {
+            assert!(c > 0 && c < 300, "skewed hash distribution: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn explicit_partitioner_uses_map_then_fallback() {
+        let mut map = HashMap::new();
+        map.insert(7u64, 3usize);
+        map.insert(8u64, 0usize);
+        let p = ExplicitPartitioner::new(map, 4);
+        assert_eq!(p.partition_of(&7), 3);
+        assert_eq!(p.partition_of(&8), 0);
+        assert_eq!(p.assigned_keys(), 2);
+        let f = p.partition_of(&12345);
+        assert!(f < 4);
+        assert_eq!(f, HashPartitioner::new(4).partition_of(&12345));
+    }
+
+    #[test]
+    #[should_panic(expected = "assignment out of range")]
+    fn explicit_partitioner_validates_range() {
+        let mut map = HashMap::new();
+        map.insert(1u64, 9usize);
+        let _ = ExplicitPartitioner::new(map, 4);
+    }
+
+    #[test]
+    fn placement_names() {
+        assert_eq!(Placement::Hash.name(), "hash");
+        assert_eq!(Placement::Lpt.name(), "LPT");
+        assert_eq!(Placement::RoundRobin.name(), "round-robin");
+    }
+
+    #[test]
+    fn round_robin_is_modulo() {
+        let p = RoundRobinPartitioner::new(5);
+        assert_eq!(p.num_partitions(), 5);
+        for k in 0..100u64 {
+            assert_eq!(p.partition_of(&k), (k % 5) as usize);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+use crate::metrics::ExecStats;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Executes `tasks` on a pool of `threads` OS threads and attributes each
+/// task's measured duration to the simulated node given by `placement`.
+///
+/// This is the engine's only execution primitive. Real parallelism (the
+/// thread count) is decoupled from the *simulated* cluster width (the number
+/// of nodes appearing in `placement`): on a small host the tasks may run on
+/// one or two threads, while the returned [`ExecStats`] still reports the
+/// per-node busy times — and hence the makespan — of the simulated cluster.
+///
+/// Results are returned in task order.
+///
+/// # Panics
+/// Panics if `placement.len() != tasks.len()` or a worker panics.
+pub fn run_tasks<T, R, F>(
+    threads: usize,
+    nodes: usize,
+    tasks: Vec<T>,
+    placement: &[usize],
+    f: F,
+) -> (Vec<R>, ExecStats)
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    assert_eq!(placement.len(), tasks.len(), "one placement entry per task");
+    assert!(nodes > 0, "cluster must have at least one node");
+    debug_assert!(
+        placement.iter().all(|&n| n < nodes),
+        "placement out of range"
+    );
+    let threads = threads.max(1);
+    let wall_start = Instant::now();
+    let n_tasks = tasks.len();
+
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(tasks.into_iter().enumerate().collect());
+    let results: Mutex<Vec<Option<(R, Duration)>>> =
+        Mutex::new((0..n_tasks).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n_tasks.max(1)) {
+            scope.spawn(|| loop {
+                let next = queue.lock().pop_front();
+                let Some((idx, task)) = next else { break };
+                let start = Instant::now();
+                let out = f(idx, task);
+                let elapsed = start.elapsed();
+                results.lock()[idx] = Some((out, elapsed));
+            });
+        }
+    });
+
+    let mut per_node_busy = vec![Duration::ZERO; nodes];
+    let mut out = Vec::with_capacity(n_tasks);
+    for (idx, slot) in results.into_inner().into_iter().enumerate() {
+        let (r, d) = slot.expect("worker must have produced a result");
+        per_node_busy[placement[idx]] += d;
+        out.push(r);
+    }
+    (
+        out,
+        ExecStats {
+            per_node_busy,
+            wall: wall_start.elapsed(),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_preserve_task_order() {
+        let tasks: Vec<u64> = (0..100).collect();
+        let placement: Vec<usize> = (0..100).map(|i| i % 4).collect();
+        let (out, stats) = run_tasks(4, 4, tasks, &placement, |_, t| t * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+        assert_eq!(stats.per_node_busy.len(), 4);
+        assert!(stats.wall > Duration::ZERO);
+    }
+
+    #[test]
+    fn busy_time_attributed_to_placed_node() {
+        // All tasks on node 2 of 3: only node 2 accumulates busy time.
+        let tasks = vec![(); 8];
+        let placement = vec![2usize; 8];
+        let (_, stats) = run_tasks(2, 3, tasks, &placement, |_, ()| {
+            std::thread::sleep(Duration::from_millis(2));
+        });
+        assert_eq!(stats.per_node_busy[0], Duration::ZERO);
+        assert_eq!(stats.per_node_busy[1], Duration::ZERO);
+        assert!(stats.per_node_busy[2] >= Duration::from_millis(16));
+        assert_eq!(stats.makespan(), stats.per_node_busy[2]);
+    }
+
+    #[test]
+    fn empty_task_list() {
+        let (out, stats) = run_tasks(4, 2, Vec::<u8>::new(), &[], |_, t| t);
+        assert!(out.is_empty());
+        assert_eq!(stats.per_node_busy, vec![Duration::ZERO; 2]);
+    }
+
+    #[test]
+    fn single_thread_executes_everything() {
+        let tasks: Vec<usize> = (0..50).collect();
+        let placement = vec![0usize; 50];
+        let (out, _) = run_tasks(1, 1, tasks, &placement, |idx, t| {
+            assert_eq!(idx, t);
+            t + 1
+        });
+        assert_eq!(out.len(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "one placement entry per task")]
+    fn mismatched_placement_panics() {
+        let _ = run_tasks(1, 1, vec![1, 2, 3], &[0], |_, t| t);
+    }
+
+    #[test]
+    #[should_panic]
+    fn task_panic_propagates_to_caller() {
+        // A failing task must fail the job (like a failed Spark stage), not
+        // silently produce partial results.
+        let _ = run_tasks(2, 2, vec![1u32, 2, 3, 4], &[0, 1, 0, 1], |_, t| {
+            assert!(t != 3, "task failure");
+            t
+        });
+    }
+
+    #[test]
+    fn more_threads_than_tasks_is_fine() {
+        let (out, _) = run_tasks(16, 4, vec![1u8, 2], &[0, 3], |_, t| t * 10);
+        assert_eq!(out, vec![10, 20]);
+    }
+}

@@ -1,0 +1,192 @@
+use bytes::{Buf, BufMut};
+
+/// Wire format for records that cross the (simulated) network.
+///
+/// The shuffle meters traffic by [`Wire::encoded_size`]; `encode`/`decode`
+/// define the actual byte layout so tests can verify that the metered size is
+/// the real serialized size (`encoded_size == encode(..).len()`), and so the
+/// engine can optionally materialize shuffles through bytes.
+///
+/// The format is little-endian and self-delimiting per record (fixed-width
+/// scalars, length-prefixed buffers) — the moral equivalent of the flat tuple
+/// encoding Spark's serializer produces for the paper's text records.
+pub trait Wire: Sized {
+    /// Exact number of bytes `encode` will write.
+    fn encoded_size(&self) -> usize;
+    /// Appends the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut impl BufMut);
+    /// Reads one value back; consumes exactly `encoded_size` bytes.
+    fn decode(buf: &mut impl Buf) -> Self;
+}
+
+macro_rules! wire_scalar {
+    ($t:ty, $put:ident, $get:ident) => {
+        impl Wire for $t {
+            #[inline]
+            fn encoded_size(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
+            #[inline]
+            fn encode(&self, buf: &mut impl BufMut) {
+                buf.$put(*self);
+            }
+            #[inline]
+            fn decode(buf: &mut impl Buf) -> Self {
+                buf.$get()
+            }
+        }
+    };
+}
+
+wire_scalar!(u8, put_u8, get_u8);
+wire_scalar!(u16, put_u16_le, get_u16_le);
+wire_scalar!(u32, put_u32_le, get_u32_le);
+wire_scalar!(u64, put_u64_le, get_u64_le);
+wire_scalar!(i32, put_i32_le, get_i32_le);
+wire_scalar!(i64, put_i64_le, get_i64_le);
+wire_scalar!(f32, put_f32_le, get_f32_le);
+wire_scalar!(f64, put_f64_le, get_f64_le);
+
+impl Wire for () {
+    #[inline]
+    fn encoded_size(&self) -> usize {
+        0
+    }
+    #[inline]
+    fn encode(&self, _buf: &mut impl BufMut) {}
+    #[inline]
+    fn decode(_buf: &mut impl Buf) -> Self {}
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    #[inline]
+    fn encoded_size(&self) -> usize {
+        self.0.encoded_size() + self.1.encoded_size()
+    }
+    #[inline]
+    fn encode(&self, buf: &mut impl BufMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    #[inline]
+    fn decode(buf: &mut impl Buf) -> Self {
+        let a = A::decode(buf);
+        let b = B::decode(buf);
+        (a, b)
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    #[inline]
+    fn encoded_size(&self) -> usize {
+        self.0.encoded_size() + self.1.encoded_size() + self.2.encoded_size()
+    }
+    #[inline]
+    fn encode(&self, buf: &mut impl BufMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+    }
+    #[inline]
+    fn decode(buf: &mut impl Buf) -> Self {
+        let a = A::decode(buf);
+        let b = B::decode(buf);
+        let c = C::decode(buf);
+        (a, b, c)
+    }
+}
+
+/// Length-prefixed byte buffer (u32 length + payload).
+impl Wire for Vec<u8> {
+    #[inline]
+    fn encoded_size(&self) -> usize {
+        4 + self.len()
+    }
+    #[inline]
+    fn encode(&self, buf: &mut impl BufMut) {
+        buf.put_u32_le(self.len() as u32);
+        buf.put_slice(self);
+    }
+    #[inline]
+    fn decode(buf: &mut impl Buf) -> Self {
+        let len = buf.get_u32_le() as usize;
+        let mut v = vec![0u8; len];
+        buf.copy_to_slice(&mut v);
+        v
+    }
+}
+
+/// Length-prefixed UTF-8 string.
+impl Wire for String {
+    #[inline]
+    fn encoded_size(&self) -> usize {
+        4 + self.len()
+    }
+    #[inline]
+    fn encode(&self, buf: &mut impl BufMut) {
+        buf.put_u32_le(self.len() as u32);
+        buf.put_slice(self.as_bytes());
+    }
+    #[inline]
+    fn decode(buf: &mut impl Buf) -> Self {
+        let bytes = Vec::<u8>::decode(buf);
+        String::from_utf8(bytes).expect("wire string must be valid UTF-8")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+    use proptest::prelude::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let mut buf = BytesMut::new();
+        v.encode(&mut buf);
+        assert_eq!(
+            buf.len(),
+            v.encoded_size(),
+            "metered size must match encoding"
+        );
+        let mut b = buf.freeze();
+        let back = T::decode(&mut b);
+        assert_eq!(back, v);
+        assert!(!b.has_remaining(), "decode must consume exactly the record");
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        roundtrip(42u8);
+        roundtrip(65_000u16);
+        roundtrip(7u32);
+        roundtrip(u64::MAX);
+        roundtrip(-13i32);
+        roundtrip(i64::MIN);
+        roundtrip(1.5f32);
+        roundtrip(std::f64::consts::PI);
+        roundtrip(());
+    }
+
+    #[test]
+    fn tuples_roundtrip() {
+        roundtrip((7u64, 2.5f64));
+        roundtrip((1u32, (2u64, 3.0f64)));
+        roundtrip((1u8, 2u16, vec![1u8, 2, 3]));
+    }
+
+    #[test]
+    fn buffers_roundtrip() {
+        roundtrip(Vec::<u8>::new());
+        roundtrip(vec![0u8; 1000]);
+        roundtrip(String::from("tiger/area-hydrography"));
+        roundtrip(String::new());
+    }
+
+    proptest! {
+        #[test]
+        fn any_pair_roundtrips(k in any::<u64>(), x in any::<f64>(), payload in prop::collection::vec(any::<u8>(), 0..64)) {
+            roundtrip((k, x));
+            roundtrip((k, payload.clone()));
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Geometry primitives shared by every layer of the adaptive-replication
+//! spatial-join stack.
+//!
+//! The ε-distance join `R ⋈ε S` (Definition 3.1 of the paper) operates on
+//! 2-dimensional points with Euclidean distance. Everything in this crate is
+//! deliberately small and allocation-free: these types sit on the innermost
+//! loops of the join kernels, so they are `Copy`, `#[inline]`-friendly and
+//! compare squared distances to avoid `sqrt` in hot paths.
+
+mod point;
+mod rect;
+mod segment;
+mod shape;
+
+pub use point::Point;
+pub use rect::Rect;
+pub use segment::Segment;
+pub use shape::{Polygon, Polyline, Shape};
+
+/// Strict total order over `f64` values that never panics.
+///
+/// All coordinates flowing through the system are produced by our own
+/// generators or parsers and are finite; NaNs are ordered last so that a
+/// corrupted record cannot abort a multi-minute join job inside a sort.
+#[inline]
+pub fn total_cmp(a: f64, b: f64) -> std::cmp::Ordering {
+    a.total_cmp(&b)
+}
+
+/// Returns `true` when the two points are within distance `eps`
+/// (inclusive, as in Definition 3.1: `d(r, s) <= ε`).
+#[inline]
+pub fn within_eps(a: Point, b: Point, eps: f64) -> bool {
+    a.dist2(b) <= eps * eps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn within_eps_is_inclusive() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!(within_eps(a, b, 5.0));
+        assert!(!within_eps(a, b, 4.999_999));
+    }
+
+    #[test]
+    fn total_cmp_orders_nan_last() {
+        let mut v = [f64::NAN, 1.0, -2.0];
+        v.sort_by(|a, b| total_cmp(*a, *b));
+        assert_eq!(v[0], -2.0);
+        assert_eq!(v[1], 1.0);
+        assert!(v[2].is_nan());
+    }
+}

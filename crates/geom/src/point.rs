@@ -1,0 +1,110 @@
+/// A 2-dimensional point with `f64` coordinates.
+///
+/// Points are the only geometry the ε-distance join of the paper operates on
+/// (extension to polygons/polylines is listed as future work in §8).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// Hot-loop form: callers compare against `ε²` instead of taking a root.
+    #[inline]
+    pub fn dist2(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(self, other: Point) -> f64 {
+        self.dist2(other).sqrt()
+    }
+
+    /// Chebyshev (L∞) distance; used when reasoning about grid squares, e.g.
+    /// membership in the ε×ε merged duplicate-prone square of a corner.
+    #[inline]
+    pub fn linf_dist(self, other: Point) -> f64 {
+        (self.x - other.x).abs().max((self.y - other.y).abs())
+    }
+
+    /// Both coordinates finite (not NaN / ±∞).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dist_matches_pythagoras() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert_eq!(a.dist(b), 5.0);
+        assert_eq!(a.dist2(b), 25.0);
+    }
+
+    #[test]
+    fn linf_is_max_axis_gap() {
+        let a = Point::new(0.0, 0.0);
+        assert_eq!(a.linf_dist(Point::new(3.0, -7.0)), 7.0);
+        assert_eq!(a.linf_dist(Point::new(-9.0, 2.0)), 9.0);
+    }
+
+    #[test]
+    fn finite_detects_nan_and_inf() {
+        assert!(Point::new(1.0, 2.0).is_finite());
+        assert!(!Point::new(f64::NAN, 2.0).is_finite());
+        assert!(!Point::new(1.0, f64::INFINITY).is_finite());
+    }
+
+    proptest! {
+        #[test]
+        fn dist_is_symmetric(ax in -1e3f64..1e3, ay in -1e3f64..1e3,
+                             bx in -1e3f64..1e3, by in -1e3f64..1e3) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            prop_assert_eq!(a.dist2(b), b.dist2(a));
+        }
+
+        #[test]
+        fn triangle_inequality(ax in -1e3f64..1e3, ay in -1e3f64..1e3,
+                               bx in -1e3f64..1e3, by in -1e3f64..1e3,
+                               cx in -1e3f64..1e3, cy in -1e3f64..1e3) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            let c = Point::new(cx, cy);
+            prop_assert!(a.dist(c) <= a.dist(b) + b.dist(c) + 1e-9);
+        }
+
+        #[test]
+        fn linf_bounds_euclidean(ax in -1e3f64..1e3, ay in -1e3f64..1e3,
+                                 bx in -1e3f64..1e3, by in -1e3f64..1e3) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            let linf = a.linf_dist(b);
+            prop_assert!(linf <= a.dist(b) + 1e-12);
+            prop_assert!(a.dist(b) <= linf * 2f64.sqrt() + 1e-9);
+        }
+    }
+}

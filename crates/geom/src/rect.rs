@@ -1,0 +1,259 @@
+use crate::Point;
+
+/// An axis-aligned rectangle `[min_x, max_x] × [min_y, max_y]` (closed).
+///
+/// Used for the data-space MBR, grid cells, quadtree regions and R-tree
+/// bounding boxes. `MINDIST(point, rect)` (the paper's replication predicate,
+/// §3.2) is [`Rect::mindist`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    pub min_x: f64,
+    pub min_y: f64,
+    pub max_x: f64,
+    pub max_y: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle; panics in debug builds if the bounds are inverted.
+    #[inline]
+    pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        debug_assert!(min_x <= max_x && min_y <= max_y, "inverted rect bounds");
+        Rect {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+        }
+    }
+
+    /// The degenerate rectangle covering exactly one point.
+    #[inline]
+    pub fn from_point(p: Point) -> Self {
+        Rect::new(p.x, p.y, p.x, p.y)
+    }
+
+    /// An "empty" rectangle suitable as the identity for [`Rect::union`].
+    #[inline]
+    pub fn empty() -> Self {
+        Rect {
+            min_x: f64::INFINITY,
+            min_y: f64::INFINITY,
+            max_x: f64::NEG_INFINITY,
+            max_y: f64::NEG_INFINITY,
+        }
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min_x > self.max_x || self.min_y > self.max_y
+    }
+
+    #[inline]
+    pub fn width(&self) -> f64 {
+        (self.max_x - self.min_x).max(0.0)
+    }
+
+    #[inline]
+    pub fn height(&self) -> f64 {
+        (self.max_y - self.min_y).max(0.0)
+    }
+
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min_x + self.max_x) * 0.5,
+            (self.min_y + self.max_y) * 0.5,
+        )
+    }
+
+    /// Closed containment test (boundary points are inside).
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min_x && p.x <= self.max_x && p.y >= self.min_y && p.y <= self.max_y
+    }
+
+    /// Half-open containment `[min, max)`, used by grid cells so that a point
+    /// on a shared border belongs to exactly one cell.
+    #[inline]
+    pub fn contains_half_open(&self, p: Point) -> bool {
+        p.x >= self.min_x && p.x < self.max_x && p.y >= self.min_y && p.y < self.max_y
+    }
+
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min_x <= other.max_x
+            && other.min_x <= self.max_x
+            && self.min_y <= other.max_y
+            && other.min_y <= self.max_y
+    }
+
+    /// Smallest rectangle covering both.
+    #[inline]
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min_x: self.min_x.min(other.min_x),
+            min_y: self.min_y.min(other.min_y),
+            max_x: self.max_x.max(other.max_x),
+            max_y: self.max_y.max(other.max_y),
+        }
+    }
+
+    /// Grows the rectangle by `pad` on every side.
+    #[inline]
+    pub fn expand(&self, pad: f64) -> Rect {
+        Rect {
+            min_x: self.min_x - pad,
+            min_y: self.min_y - pad,
+            max_x: self.max_x + pad,
+            max_y: self.max_y + pad,
+        }
+    }
+
+    /// Extends the rectangle to cover `p`.
+    #[inline]
+    pub fn extend(&mut self, p: Point) {
+        self.min_x = self.min_x.min(p.x);
+        self.min_y = self.min_y.min(p.y);
+        self.max_x = self.max_x.max(p.x);
+        self.max_y = self.max_y.max(p.y);
+    }
+
+    /// Squared `MINDIST(p, rect)`: the squared distance from `p` to the
+    /// closest point of the rectangle (0 when `p` is inside).
+    #[inline]
+    pub fn mindist2(&self, p: Point) -> f64 {
+        let dx = if p.x < self.min_x {
+            self.min_x - p.x
+        } else if p.x > self.max_x {
+            p.x - self.max_x
+        } else {
+            0.0
+        };
+        let dy = if p.y < self.min_y {
+            self.min_y - p.y
+        } else if p.y > self.max_y {
+            p.y - self.max_y
+        } else {
+            0.0
+        };
+        dx * dx + dy * dy
+    }
+
+    /// `MINDIST(p, rect)` — the replication predicate of the paper:
+    /// a point `o` is a candidate for replication to cell `c` when
+    /// `MINDIST(o, c) <= ε`.
+    #[inline]
+    pub fn mindist(&self, p: Point) -> f64 {
+        self.mindist2(p).sqrt()
+    }
+
+    /// `true` when the ε-disk around `p` intersects the rectangle, i.e.
+    /// `MINDIST(p, rect) <= eps`.
+    #[inline]
+    pub fn within_eps_of(&self, p: Point, eps: f64) -> bool {
+        self.mindist2(p) <= eps * eps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn unit() -> Rect {
+        Rect::new(0.0, 0.0, 1.0, 1.0)
+    }
+
+    #[test]
+    fn contains_closed_vs_half_open() {
+        let r = unit();
+        assert!(r.contains(Point::new(1.0, 1.0)));
+        assert!(!r.contains_half_open(Point::new(1.0, 0.5)));
+        assert!(r.contains_half_open(Point::new(0.0, 0.0)));
+    }
+
+    #[test]
+    fn mindist_zero_inside() {
+        assert_eq!(unit().mindist(Point::new(0.5, 0.5)), 0.0);
+        assert_eq!(unit().mindist(Point::new(0.0, 1.0)), 0.0);
+    }
+
+    #[test]
+    fn mindist_axis_and_corner() {
+        let r = unit();
+        assert_eq!(r.mindist(Point::new(2.0, 0.5)), 1.0);
+        assert_eq!(r.mindist(Point::new(0.5, -2.0)), 2.0);
+        // Corner case: distance to (1,1) from (4,5) is 5.
+        assert_eq!(r.mindist(Point::new(4.0, 5.0)), 5.0);
+    }
+
+    #[test]
+    fn union_and_empty_identity() {
+        let e = Rect::empty();
+        assert!(e.is_empty());
+        let u = e.union(&unit());
+        assert_eq!(u, unit());
+    }
+
+    #[test]
+    fn expand_grows_every_side() {
+        let r = unit().expand(0.5);
+        assert_eq!(r, Rect::new(-0.5, -0.5, 1.5, 1.5));
+    }
+
+    #[test]
+    fn extend_covers_point() {
+        let mut r = Rect::from_point(Point::new(1.0, 1.0));
+        r.extend(Point::new(-1.0, 3.0));
+        assert_eq!(r, Rect::new(-1.0, 1.0, 1.0, 3.0));
+    }
+
+    #[test]
+    fn intersects_shared_edge() {
+        let a = unit();
+        let b = Rect::new(1.0, 0.0, 2.0, 1.0);
+        assert!(a.intersects(&b));
+        let c = Rect::new(1.000001, 0.0, 2.0, 1.0);
+        assert!(!a.intersects(&c));
+    }
+
+    proptest! {
+        #[test]
+        fn mindist_consistent_with_within_eps(
+            px in -10.0f64..10.0, py in -10.0f64..10.0, eps in 0.0f64..5.0) {
+            let r = unit();
+            let p = Point::new(px, py);
+            prop_assert_eq!(r.within_eps_of(p, eps), r.mindist(p) <= eps);
+        }
+
+        #[test]
+        fn mindist_is_min_over_sampled_rect_points(
+            px in -10.0f64..10.0, py in -10.0f64..10.0) {
+            let r = unit();
+            let p = Point::new(px, py);
+            let md = r.mindist(p);
+            // No sampled point of the rect may be closer than MINDIST.
+            for i in 0..=10 {
+                for j in 0..=10 {
+                    let q = Point::new(i as f64 / 10.0, j as f64 / 10.0);
+                    prop_assert!(p.dist(q) + 1e-12 >= md);
+                }
+            }
+        }
+
+        #[test]
+        fn union_contains_both(ax in -5.0f64..5.0, ay in -5.0f64..5.0,
+                               bx in -5.0f64..5.0, by in -5.0f64..5.0) {
+            let a = Rect::from_point(Point::new(ax, ay));
+            let b = Rect::from_point(Point::new(bx, by));
+            let u = a.union(&b);
+            prop_assert!(u.contains(Point::new(ax, ay)));
+            prop_assert!(u.contains(Point::new(bx, by)));
+        }
+    }
+}

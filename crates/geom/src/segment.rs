@@ -1,0 +1,180 @@
+use crate::{Point, Rect};
+
+/// A line segment between two points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    pub a: Point,
+    pub b: Point,
+}
+
+impl Segment {
+    #[inline]
+    pub fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// Axis-aligned bounding box.
+    pub fn envelope(&self) -> Rect {
+        let mut r = Rect::from_point(self.a);
+        r.extend(self.b);
+        r
+    }
+
+    /// Squared distance from `p` to the closest point of the segment.
+    pub fn dist2_to_point(&self, p: Point) -> f64 {
+        let dx = self.b.x - self.a.x;
+        let dy = self.b.y - self.a.y;
+        let len2 = dx * dx + dy * dy;
+        if len2 == 0.0 {
+            return self.a.dist2(p);
+        }
+        let t = (((p.x - self.a.x) * dx + (p.y - self.a.y) * dy) / len2).clamp(0.0, 1.0);
+        let q = Point::new(self.a.x + t * dx, self.a.y + t * dy);
+        q.dist2(p)
+    }
+
+    /// Orientation of the triple `(a, b, c)`: >0 counter-clockwise,
+    /// <0 clockwise, 0 collinear.
+    fn orient(a: Point, b: Point, c: Point) -> f64 {
+        (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+    }
+
+    /// Whether the two segments intersect (including touching endpoints and
+    /// collinear overlap).
+    pub fn intersects(&self, other: &Segment) -> bool {
+        let d1 = Self::orient(other.a, other.b, self.a);
+        let d2 = Self::orient(other.a, other.b, self.b);
+        let d3 = Self::orient(self.a, self.b, other.a);
+        let d4 = Self::orient(self.a, self.b, other.b);
+        if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+            && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+        {
+            return true;
+        }
+        let on = |p: Point, s: &Segment, d: f64| -> bool {
+            d == 0.0
+                && p.x >= s.a.x.min(s.b.x)
+                && p.x <= s.a.x.max(s.b.x)
+                && p.y >= s.a.y.min(s.b.y)
+                && p.y <= s.a.y.max(s.b.y)
+        };
+        on(self.a, other, d1)
+            || on(self.b, other, d2)
+            || on(other.a, self, d3)
+            || on(other.b, self, d4)
+    }
+
+    /// Squared distance between two segments (0 when they intersect).
+    pub fn dist2_to_segment(&self, other: &Segment) -> f64 {
+        if self.intersects(other) {
+            return 0.0;
+        }
+        self.dist2_to_point(other.a)
+            .min(self.dist2_to_point(other.b))
+            .min(other.dist2_to_point(self.a))
+            .min(other.dist2_to_point(self.b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn point_distance_projection_cases() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        // Projects onto the interior.
+        assert_eq!(s.dist2_to_point(Point::new(5.0, 3.0)), 9.0);
+        // Clamps to the endpoints.
+        assert_eq!(s.dist2_to_point(Point::new(-3.0, 4.0)), 25.0);
+        assert_eq!(s.dist2_to_point(Point::new(13.0, 4.0)), 25.0);
+        // On the segment.
+        assert_eq!(s.dist2_to_point(Point::new(7.0, 0.0)), 0.0);
+    }
+
+    #[test]
+    fn degenerate_segment_is_a_point() {
+        let s = seg(2.0, 2.0, 2.0, 2.0);
+        assert_eq!(s.dist2_to_point(Point::new(5.0, 6.0)), 25.0);
+        assert_eq!(s.dist2_to_segment(&seg(2.0, 2.0, 2.0, 2.0)), 0.0);
+    }
+
+    #[test]
+    fn crossing_segments_intersect() {
+        let a = seg(0.0, 0.0, 10.0, 10.0);
+        let b = seg(0.0, 10.0, 10.0, 0.0);
+        assert!(a.intersects(&b));
+        assert_eq!(a.dist2_to_segment(&b), 0.0);
+    }
+
+    #[test]
+    fn touching_endpoint_counts_as_intersection() {
+        let a = seg(0.0, 0.0, 5.0, 5.0);
+        let b = seg(5.0, 5.0, 9.0, 0.0);
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn collinear_overlap_and_gap() {
+        let a = seg(0.0, 0.0, 5.0, 0.0);
+        let overlap = seg(3.0, 0.0, 8.0, 0.0);
+        assert!(a.intersects(&overlap));
+        let gap = seg(6.0, 0.0, 9.0, 0.0);
+        assert!(!a.intersects(&gap));
+        assert_eq!(a.dist2_to_segment(&gap), 1.0);
+    }
+
+    #[test]
+    fn parallel_segments_distance() {
+        let a = seg(0.0, 0.0, 10.0, 0.0);
+        let b = seg(0.0, 3.0, 10.0, 3.0);
+        assert!(!a.intersects(&b));
+        assert_eq!(a.dist2_to_segment(&b), 9.0);
+    }
+
+    #[test]
+    fn envelope_covers_both_endpoints() {
+        let s = seg(3.0, -1.0, -2.0, 4.0);
+        let e = s.envelope();
+        assert_eq!(e, Rect::new(-2.0, -1.0, 3.0, 4.0));
+    }
+
+    proptest! {
+        /// Segment distance is symmetric and bounded by endpoint distances.
+        #[test]
+        fn seg_distance_symmetric(
+            ax in -10.0f64..10.0, ay in -10.0f64..10.0,
+            bx in -10.0f64..10.0, by in -10.0f64..10.0,
+            cx in -10.0f64..10.0, cy in -10.0f64..10.0,
+            dx in -10.0f64..10.0, dy in -10.0f64..10.0,
+        ) {
+            let s1 = seg(ax, ay, bx, by);
+            let s2 = seg(cx, cy, dx, dy);
+            let d12 = s1.dist2_to_segment(&s2);
+            let d21 = s2.dist2_to_segment(&s1);
+            prop_assert!((d12 - d21).abs() < 1e-9);
+            prop_assert!(d12 <= s1.a.dist2(s2.a) + 1e-9);
+        }
+
+        /// Distance to a sampled point on the segment is never below the
+        /// reported segment distance.
+        #[test]
+        fn point_distance_is_minimum(
+            ax in -10.0f64..10.0, ay in -10.0f64..10.0,
+            bx in -10.0f64..10.0, by in -10.0f64..10.0,
+            px in -10.0f64..10.0, py in -10.0f64..10.0,
+            t in 0.0f64..1.0,
+        ) {
+            let s = seg(ax, ay, bx, by);
+            let p = Point::new(px, py);
+            let d = s.dist2_to_point(p);
+            let on = Point::new(ax + t * (bx - ax), ay + t * (by - ay));
+            prop_assert!(on.dist2(p) + 1e-9 >= d);
+        }
+    }
+}

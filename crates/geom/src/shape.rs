@@ -1,0 +1,398 @@
+use crate::{Point, Rect, Segment};
+
+/// A polyline (open chain of segments), e.g. a river or a road.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polyline {
+    points: Vec<Point>,
+}
+
+impl Polyline {
+    /// # Panics
+    /// Panics if fewer than 2 vertices are given.
+    pub fn new(points: Vec<Point>) -> Self {
+        assert!(points.len() >= 2, "a polyline needs at least 2 vertices");
+        Polyline { points }
+    }
+
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    pub fn segments(&self) -> impl Iterator<Item = Segment> + '_ {
+        self.points.windows(2).map(|w| Segment::new(w[0], w[1]))
+    }
+
+    pub fn envelope(&self) -> Rect {
+        let mut r = Rect::from_point(self.points[0]);
+        for &p in &self.points[1..] {
+            r.extend(p);
+        }
+        r
+    }
+
+    pub fn dist2_to_point(&self, p: Point) -> f64 {
+        self.segments()
+            .map(|s| s.dist2_to_point(p))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    pub fn dist2_to_polyline(&self, other: &Polyline) -> f64 {
+        let mut best = f64::INFINITY;
+        for s1 in self.segments() {
+            for s2 in other.segments() {
+                best = best.min(s1.dist2_to_segment(&s2));
+                if best == 0.0 {
+                    return 0.0;
+                }
+            }
+        }
+        best
+    }
+}
+
+/// A simple polygon given as a ring of vertices in order (the closing edge
+/// from the last vertex back to the first is implicit). Assumed
+/// non-self-intersecting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polygon {
+    ring: Vec<Point>,
+}
+
+impl Polygon {
+    /// # Panics
+    /// Panics if fewer than 3 vertices are given.
+    pub fn new(ring: Vec<Point>) -> Self {
+        assert!(ring.len() >= 3, "a polygon needs at least 3 vertices");
+        Polygon { ring }
+    }
+
+    /// Axis-aligned rectangle as a polygon.
+    pub fn from_rect(r: Rect) -> Self {
+        Polygon::new(vec![
+            Point::new(r.min_x, r.min_y),
+            Point::new(r.max_x, r.min_y),
+            Point::new(r.max_x, r.max_y),
+            Point::new(r.min_x, r.max_y),
+        ])
+    }
+
+    pub fn ring(&self) -> &[Point] {
+        &self.ring
+    }
+
+    pub fn edges(&self) -> impl Iterator<Item = Segment> + '_ {
+        let n = self.ring.len();
+        (0..n).map(move |i| Segment::new(self.ring[i], self.ring[(i + 1) % n]))
+    }
+
+    pub fn envelope(&self) -> Rect {
+        let mut r = Rect::from_point(self.ring[0]);
+        for &p in &self.ring[1..] {
+            r.extend(p);
+        }
+        r
+    }
+
+    /// Even-odd (ray casting) containment test; boundary points count as
+    /// inside for distance purposes (their boundary distance is 0 anyway).
+    pub fn contains(&self, p: Point) -> bool {
+        let n = self.ring.len();
+        let mut inside = false;
+        let mut j = n - 1;
+        for i in 0..n {
+            let (pi, pj) = (self.ring[i], self.ring[j]);
+            if ((pi.y > p.y) != (pj.y > p.y))
+                && (p.x < (pj.x - pi.x) * (p.y - pi.y) / (pj.y - pi.y) + pi.x)
+            {
+                inside = !inside;
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// Squared distance from a point (0 when inside or on the boundary).
+    pub fn dist2_to_point(&self, p: Point) -> f64 {
+        if self.contains(p) {
+            return 0.0;
+        }
+        self.edges()
+            .map(|e| e.dist2_to_point(p))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Squared distance to a polyline (0 when they intersect or the line
+    /// runs inside the polygon).
+    pub fn dist2_to_polyline(&self, line: &Polyline) -> f64 {
+        if line.points().iter().any(|&p| self.contains(p)) {
+            return 0.0;
+        }
+        let mut best = f64::INFINITY;
+        for e in self.edges() {
+            for s in line.segments() {
+                best = best.min(e.dist2_to_segment(&s));
+                if best == 0.0 {
+                    return 0.0;
+                }
+            }
+        }
+        best
+    }
+
+    /// Squared distance to another polygon (0 when they intersect or one
+    /// contains the other).
+    pub fn dist2_to_polygon(&self, other: &Polygon) -> f64 {
+        if self.contains(other.ring[0]) || other.contains(self.ring[0]) {
+            return 0.0;
+        }
+        let mut best = f64::INFINITY;
+        for a in self.edges() {
+            for b in other.edges() {
+                best = best.min(a.dist2_to_segment(&b));
+                if best == 0.0 {
+                    return 0.0;
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Any spatial object the extent join supports — the generalization beyond
+/// points the paper lists as future work (§8).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Shape {
+    Point(Point),
+    Polyline(Polyline),
+    Polygon(Polygon),
+}
+
+impl Shape {
+    pub fn envelope(&self) -> Rect {
+        match self {
+            Shape::Point(p) => Rect::from_point(*p),
+            Shape::Polyline(l) => l.envelope(),
+            Shape::Polygon(g) => g.envelope(),
+        }
+    }
+
+    /// Squared distance between two shapes (0 on intersection/containment).
+    pub fn dist2(&self, other: &Shape) -> f64 {
+        use Shape::*;
+        match (self, other) {
+            (Point(a), Point(b)) => a.dist2(*b),
+            (Point(p), Polyline(l)) | (Polyline(l), Point(p)) => l.dist2_to_point(*p),
+            (Point(p), Polygon(g)) | (Polygon(g), Point(p)) => g.dist2_to_point(*p),
+            (Polyline(a), Polyline(b)) => a.dist2_to_polyline(b),
+            (Polyline(l), Polygon(g)) | (Polygon(g), Polyline(l)) => g.dist2_to_polyline(l),
+            (Polygon(a), Polygon(b)) => a.dist2_to_polygon(b),
+        }
+    }
+
+    /// Whether the shapes are within distance `eps` (inclusive), with an
+    /// envelope pre-filter.
+    pub fn within_eps(&self, other: &Shape, eps: f64) -> bool {
+        let e2 = eps * eps;
+        if self.envelope().expand(eps).intersects(&other.envelope()) {
+            self.dist2(other) <= e2
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square(x: f64, y: f64, side: f64) -> Polygon {
+        Polygon::from_rect(Rect::new(x, y, x + side, y + side))
+    }
+
+    #[test]
+    fn polyline_basics() {
+        let l = Polyline::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+        ]);
+        assert_eq!(l.segments().count(), 2);
+        assert_eq!(l.envelope(), Rect::new(0.0, 0.0, 10.0, 10.0));
+        assert_eq!(l.dist2_to_point(Point::new(5.0, 4.0)), 16.0);
+        // Closest to the vertical arm.
+        assert_eq!(l.dist2_to_point(Point::new(12.0, 5.0)), 4.0);
+    }
+
+    #[test]
+    fn polyline_to_polyline() {
+        let a = Polyline::new(vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)]);
+        let b = Polyline::new(vec![Point::new(0.0, 3.0), Point::new(10.0, 3.0)]);
+        assert_eq!(a.dist2_to_polyline(&b), 9.0);
+        let crossing = Polyline::new(vec![Point::new(5.0, -1.0), Point::new(5.0, 1.0)]);
+        assert_eq!(a.dist2_to_polyline(&crossing), 0.0);
+    }
+
+    #[test]
+    fn polygon_containment() {
+        let g = square(0.0, 0.0, 10.0);
+        assert!(g.contains(Point::new(5.0, 5.0)));
+        assert!(!g.contains(Point::new(15.0, 5.0)));
+        assert!(!g.contains(Point::new(-0.1, 5.0)));
+        assert_eq!(g.dist2_to_point(Point::new(5.0, 5.0)), 0.0);
+        assert_eq!(g.dist2_to_point(Point::new(13.0, 5.0)), 9.0);
+        // Corner distance.
+        assert_eq!(g.dist2_to_point(Point::new(13.0, 14.0)), 25.0);
+    }
+
+    #[test]
+    fn concave_polygon_containment() {
+        // A "C" shape: the notch on the right is outside.
+        let g = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 3.0),
+            Point::new(3.0, 3.0),
+            Point::new(3.0, 7.0),
+            Point::new(10.0, 7.0),
+            Point::new(10.0, 10.0),
+            Point::new(0.0, 10.0),
+        ]);
+        assert!(g.contains(Point::new(1.5, 5.0))); // spine
+        assert!(!g.contains(Point::new(7.0, 5.0))); // notch
+        assert!(g.contains(Point::new(7.0, 1.5))); // lower arm
+        assert!((g.dist2_to_point(Point::new(7.0, 5.0)) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn polygon_to_polygon() {
+        let a = square(0.0, 0.0, 4.0);
+        let b = square(7.0, 0.0, 4.0);
+        assert_eq!(a.dist2_to_polygon(&b), 9.0);
+        let overlapping = square(3.0, 3.0, 4.0);
+        assert_eq!(a.dist2_to_polygon(&overlapping), 0.0);
+        // Containment without edge intersection.
+        let outer = square(-1.0, -1.0, 20.0);
+        assert_eq!(outer.dist2_to_polygon(&a), 0.0);
+        assert_eq!(a.dist2_to_polygon(&outer), 0.0);
+    }
+
+    #[test]
+    fn polygon_to_polyline() {
+        let g = square(0.0, 0.0, 4.0);
+        let near = Polyline::new(vec![Point::new(6.0, 0.0), Point::new(6.0, 4.0)]);
+        assert_eq!(g.dist2_to_polyline(&near), 4.0);
+        let inside = Polyline::new(vec![Point::new(1.0, 1.0), Point::new(2.0, 2.0)]);
+        assert_eq!(g.dist2_to_polyline(&inside), 0.0);
+        let crossing = Polyline::new(vec![Point::new(-1.0, 2.0), Point::new(5.0, 2.0)]);
+        assert_eq!(g.dist2_to_polyline(&crossing), 0.0);
+    }
+
+    #[test]
+    fn shape_dispatch_is_symmetric() {
+        let shapes = vec![
+            Shape::Point(Point::new(1.0, 1.0)),
+            Shape::Polyline(Polyline::new(vec![
+                Point::new(3.0, 0.0),
+                Point::new(3.0, 5.0),
+            ])),
+            Shape::Polygon(square(6.0, 0.0, 2.0)),
+        ];
+        for a in &shapes {
+            for b in &shapes {
+                assert!((a.dist2(b) - b.dist2(a)).abs() < 1e-9);
+            }
+        }
+        // Spot checks: point to vertical line at x=3 is 2 away.
+        assert_eq!(shapes[0].dist2(&shapes[1]), 4.0);
+        // Line x=3 to square starting at x=6 is 3 away.
+        assert_eq!(shapes[1].dist2(&shapes[2]), 9.0);
+    }
+
+    #[test]
+    fn within_eps_uses_envelope_prefilter() {
+        let a = Shape::Point(Point::new(0.0, 0.0));
+        let b = Shape::Point(Point::new(3.0, 4.0));
+        assert!(a.within_eps(&b, 5.0));
+        assert!(!a.within_eps(&b, 4.9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn polyline_rejects_single_point() {
+        let _ = Polyline::new(vec![Point::new(0.0, 0.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn polygon_rejects_degenerate_ring() {
+        let _ = Polygon::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]);
+    }
+}
+
+#[cfg(test)]
+mod sampled_distance_properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Dense parametric samples of a polyline.
+    fn sample_polyline(l: &Polyline, steps: usize) -> Vec<Point> {
+        let mut out = Vec::new();
+        for seg in l.segments() {
+            for i in 0..=steps {
+                let t = i as f64 / steps as f64;
+                out.push(Point::new(
+                    seg.a.x + t * (seg.b.x - seg.a.x),
+                    seg.a.y + t * (seg.b.y - seg.a.y),
+                ));
+            }
+        }
+        out
+    }
+
+    fn arb_polyline() -> impl Strategy<Value = Polyline> {
+        prop::collection::vec((-8.0f64..8.0, -8.0f64..8.0), 2..6)
+            .prop_map(|pts| Polyline::new(pts.into_iter().map(|(x, y)| Point::new(x, y)).collect()))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// No pair of sampled points may be closer than the reported
+        /// polyline-polyline distance, and some sampled pair must come
+        /// within a tolerance of it.
+        #[test]
+        fn polyline_distance_is_tight_lower_bound(a in arb_polyline(), b in arb_polyline()) {
+            let d2 = a.dist2_to_polyline(&b);
+            let sa = sample_polyline(&a, 24);
+            let sb = sample_polyline(&b, 24);
+            let mut best = f64::INFINITY;
+            for &p in &sa {
+                for &q in &sb {
+                    best = best.min(p.dist2(q));
+                }
+            }
+            prop_assert!(best + 1e-9 >= d2, "sampled pair beats reported distance");
+            // Sampling at 1/24 resolution on segments of length <= ~22 means
+            // the best sampled pair is within one step of the true minimum.
+            let step = 22.0 / 24.0;
+            let tol = (d2.sqrt() + 2.0 * step).powi(2);
+            prop_assert!(best <= tol + 1e-9, "reported distance unreachable: {best} vs {d2}");
+        }
+
+        /// Point-polygon distance is zero exactly on containment, and always
+        /// bounded by the distance to any ring vertex.
+        #[test]
+        fn polygon_point_distance_bounds(
+            px in -10.0f64..10.0, py in -10.0f64..10.0,
+            x in -5.0f64..5.0, y in -5.0f64..5.0, w in 0.5f64..4.0, h in 0.5f64..4.0,
+        ) {
+            let g = Polygon::from_rect(Rect::new(x, y, x + w, y + h));
+            let p = Point::new(px, py);
+            let d2 = g.dist2_to_point(p);
+            prop_assert_eq!(d2 == 0.0, g.contains(p) || g.edges().any(|e| e.dist2_to_point(p) == 0.0));
+            for v in g.ring() {
+                prop_assert!(d2 <= v.dist2(p) + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+/// Grid-cell coordinates (column `x`, row `y`), zero-based from the
+/// south-west corner of the data space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellCoord {
+    pub x: u32,
+    pub y: u32,
+}
+
+impl CellCoord {
+    /// The neighboring cell in direction `d`, if it stays within a grid of
+    /// `nx × ny` cells.
+    #[inline]
+    pub fn step(self, d: Dir, nx: u32, ny: u32) -> Option<CellCoord> {
+        let (x, y) = match d {
+            Dir::W => (self.x.checked_sub(1)?, self.y),
+            Dir::E => (self.x + 1, self.y),
+            Dir::S => (self.x, self.y.checked_sub(1)?),
+            Dir::N => (self.x, self.y + 1),
+        };
+        (x < nx && y < ny).then_some(CellCoord { x, y })
+    }
+}
+
+/// Identifier of a quartet of cells: the grid-interior corner (reference
+/// point, §5.1) where the four cells touch. Corner `(x, y)` is the lattice
+/// point between columns `x−1, x` and rows `y−1, y`; valid quartets have
+/// `1 ≤ x ≤ nx−1` and `1 ≤ y ≤ ny−1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QuartetId {
+    pub x: u32,
+    pub y: u32,
+}
+
+/// One of the four axis directions from a cell to a side-adjacent neighbor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    W,
+    E,
+    S,
+    N,
+}
+
+impl Dir {
+    pub const ALL: [Dir; 4] = [Dir::W, Dir::E, Dir::S, Dir::N];
+
+    #[inline]
+    pub fn opposite(self) -> Dir {
+        match self {
+            Dir::W => Dir::E,
+            Dir::E => Dir::W,
+            Dir::S => Dir::N,
+            Dir::N => Dir::S,
+        }
+    }
+
+    #[inline]
+    pub fn is_horizontal(self) -> bool {
+        matches!(self, Dir::W | Dir::E)
+    }
+}
+
+/// Position of a cell within its quartet, encoded so that flipping bit 0
+/// crosses the vertical boundary (east/west) and flipping bit 1 crosses the
+/// horizontal boundary (north/south):
+///
+/// * `quadrant ^ 1` — the horizontal (side) neighbor,
+/// * `quadrant ^ 2` — the vertical (side) neighbor,
+/// * `quadrant ^ 3` — the diagonal cell sharing only the reference point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Quadrant {
+    Sw = 0,
+    Se = 1,
+    Nw = 2,
+    Ne = 3,
+}
+
+impl Quadrant {
+    pub const ALL: [Quadrant; 4] = [Quadrant::Sw, Quadrant::Se, Quadrant::Nw, Quadrant::Ne];
+
+    #[inline]
+    pub fn from_bits(east: bool, north: bool) -> Quadrant {
+        match (east, north) {
+            (false, false) => Quadrant::Sw,
+            (true, false) => Quadrant::Se,
+            (false, true) => Quadrant::Nw,
+            (true, true) => Quadrant::Ne,
+        }
+    }
+
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    #[inline]
+    pub fn from_index(i: usize) -> Quadrant {
+        Quadrant::ALL[i]
+    }
+
+    /// The quadrant across the vertical boundary (same row).
+    #[inline]
+    pub fn horizontal(self) -> Quadrant {
+        Quadrant::from_index(self.index() ^ 1)
+    }
+
+    /// The quadrant across the horizontal boundary (same column).
+    #[inline]
+    pub fn vertical(self) -> Quadrant {
+        Quadrant::from_index(self.index() ^ 2)
+    }
+
+    /// The quadrant sharing only the reference point.
+    #[inline]
+    pub fn diagonal(self) -> Quadrant {
+        Quadrant::from_index(self.index() ^ 3)
+    }
+
+    /// Whether two quadrants are side-adjacent (share a cell border rather
+    /// than only the reference point).
+    #[inline]
+    pub fn side_adjacent(self, other: Quadrant) -> bool {
+        let x = self.index() ^ other.index();
+        x == 1 || x == 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_respects_bounds() {
+        let c = CellCoord { x: 0, y: 0 };
+        assert_eq!(c.step(Dir::W, 4, 4), None);
+        assert_eq!(c.step(Dir::S, 4, 4), None);
+        assert_eq!(c.step(Dir::E, 4, 4), Some(CellCoord { x: 1, y: 0 }));
+        assert_eq!(c.step(Dir::N, 4, 4), Some(CellCoord { x: 0, y: 1 }));
+        let edge = CellCoord { x: 3, y: 3 };
+        assert_eq!(edge.step(Dir::E, 4, 4), None);
+        assert_eq!(edge.step(Dir::N, 4, 4), None);
+    }
+
+    #[test]
+    fn dir_opposites() {
+        for d in Dir::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+            assert_eq!(d.is_horizontal(), d.opposite().is_horizontal());
+        }
+    }
+
+    #[test]
+    fn quadrant_neighbors() {
+        assert_eq!(Quadrant::Sw.horizontal(), Quadrant::Se);
+        assert_eq!(Quadrant::Sw.vertical(), Quadrant::Nw);
+        assert_eq!(Quadrant::Sw.diagonal(), Quadrant::Ne);
+        assert_eq!(Quadrant::Ne.diagonal(), Quadrant::Sw);
+        for q in Quadrant::ALL {
+            // Applying the same move twice returns home.
+            assert_eq!(q.horizontal().horizontal(), q);
+            assert_eq!(q.vertical().vertical(), q);
+            assert_eq!(q.diagonal().diagonal(), q);
+            assert!(q.side_adjacent(q.horizontal()));
+            assert!(q.side_adjacent(q.vertical()));
+            assert!(!q.side_adjacent(q.diagonal()));
+            assert!(!q.side_adjacent(q));
+        }
+    }
+
+    #[test]
+    fn quadrant_bits_roundtrip() {
+        for (east, north) in [(false, false), (true, false), (false, true), (true, true)] {
+            let q = Quadrant::from_bits(east, north);
+            assert_eq!(Quadrant::from_index(q.index()), q);
+        }
+    }
+}

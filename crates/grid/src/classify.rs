@@ -1,0 +1,297 @@
+use crate::{CellCoord, Dir, Grid, QuartetId};
+use asj_geom::Point;
+
+/// The replication-relevant area of a cell that a point falls into
+/// (Figure 9 of the paper), together with the quartets whose *supplementary
+/// areas* (Definition 4.10) may additionally contain the point.
+///
+/// With cell side `l > 2ε` a point is within ε of at most one vertical and at
+/// most one horizontal cell boundary, so exactly three cases arise:
+///
+/// * [`AreaClass::Interior`] — farther than ε from every neighboring cell;
+///   never replicated (Algorithm 2, line 3).
+/// * [`AreaClass::PlainStrip`] — within ε of exactly one side-adjacent
+///   neighbor (Algorithm 2, line 12). The point may also lie in a
+///   supplementary area of up to two quartets: the ones whose reference
+///   points are the endpoints of the shared boundary, when within `2ε`.
+/// * [`AreaClass::CornerSquare`] — inside the ε×ε *merged duplicate-prone
+///   square* at a quartet's reference point (Algorithm 2, line 5; §4.5.3);
+///   may additionally lie in supplementary areas of the two quartets adjacent
+///   along the two boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AreaClass {
+    Interior,
+    PlainStrip {
+        /// Direction from the native cell to the neighbor within ε.
+        dir: Dir,
+        /// The single neighbor with `MINDIST ≤ ε`.
+        neighbor: CellCoord,
+        /// Quartets (boundary endpoints) whose reference point is within 2ε.
+        sup_quartets: [Option<QuartetId>; 2],
+    },
+    CornerSquare {
+        /// The quartet whose merged duplicate-prone area contains the point.
+        quartet: QuartetId,
+        /// The two adjacent quartets (`q'`, `q''` in Algorithm 2) whose
+        /// reference point is within 2ε, if any.
+        sup_quartets: [Option<QuartetId>; 2],
+    },
+}
+
+impl Grid {
+    /// Classifies `p` into a Figure-9 area of its native cell.
+    ///
+    /// Requires [`Grid::supports_agreements`]; in debug builds this is
+    /// asserted.
+    pub fn classify(&self, p: Point) -> AreaClass {
+        self.classify_in_cell(p, self.cell_of(p))
+    }
+
+    /// [`Grid::classify`] with the native cell already computed.
+    pub fn classify_in_cell(&self, p: Point, c: CellCoord) -> AreaClass {
+        debug_assert!(self.supports_agreements());
+        debug_assert!(self.cell_in_bounds(c));
+        let eps = self.eps();
+        let rect = self.cell_rect(c);
+
+        // Distance to each cell boundary, only meaningful when a neighbor
+        // exists on the other side. Clamp for points snapped into the grid
+        // from slightly outside the bbox.
+        let near_w = c.x > 0 && (p.x - rect.min_x) <= eps;
+        let near_e = c.x + 1 < self.nx() && (rect.max_x - p.x) <= eps;
+        let near_s = c.y > 0 && (p.y - rect.min_y) <= eps;
+        let near_n = c.y + 1 < self.ny() && (rect.max_y - p.y) <= eps;
+        debug_assert!(!(near_w && near_e), "cell side must exceed 2*eps");
+        debug_assert!(!(near_s && near_n), "cell side must exceed 2*eps");
+
+        let h = if near_w {
+            Some(Dir::W)
+        } else if near_e {
+            Some(Dir::E)
+        } else {
+            None
+        };
+        let v = if near_s {
+            Some(Dir::S)
+        } else if near_n {
+            Some(Dir::N)
+        } else {
+            None
+        };
+
+        match (h, v) {
+            (None, None) => AreaClass::Interior,
+            (Some(dh), Some(dv)) => {
+                let qx = if dh == Dir::W { c.x } else { c.x + 1 };
+                let qy = if dv == Dir::S { c.y } else { c.y + 1 };
+                let quartet = QuartetId { x: qx, y: qy };
+                debug_assert!(self.quartet_in_bounds(quartet));
+                // Adjacent quartets: other end of the vertical boundary and
+                // other end of the horizontal boundary.
+                let qv = QuartetId {
+                    x: qx,
+                    y: if dv == Dir::S { c.y + 1 } else { c.y },
+                };
+                let qh = QuartetId {
+                    x: if dh == Dir::W { c.x + 1 } else { c.x },
+                    y: qy,
+                };
+                AreaClass::CornerSquare {
+                    quartet,
+                    sup_quartets: [self.sup_candidate(p, qv), self.sup_candidate(p, qh)],
+                }
+            }
+            (Some(dh), None) => {
+                let qx = if dh == Dir::W { c.x } else { c.x + 1 };
+                let lo = QuartetId { x: qx, y: c.y };
+                let hi = QuartetId { x: qx, y: c.y + 1 };
+                AreaClass::PlainStrip {
+                    dir: dh,
+                    neighbor: c
+                        .step(dh, self.nx(), self.ny())
+                        .expect("near flag implies neighbor exists"),
+                    sup_quartets: [self.sup_candidate(p, lo), self.sup_candidate(p, hi)],
+                }
+            }
+            (None, Some(dv)) => {
+                let qy = if dv == Dir::S { c.y } else { c.y + 1 };
+                let lo = QuartetId { x: c.x, y: qy };
+                let hi = QuartetId { x: c.x + 1, y: qy };
+                AreaClass::PlainStrip {
+                    dir: dv,
+                    neighbor: c
+                        .step(dv, self.nx(), self.ny())
+                        .expect("near flag implies neighbor exists"),
+                    sup_quartets: [self.sup_candidate(p, lo), self.sup_candidate(p, hi)],
+                }
+            }
+        }
+    }
+
+    /// `q` as a supplementary-area candidate for `p`: must be a valid quartet
+    /// with reference point within `2ε` of `p` (Definition 4.10).
+    #[inline]
+    fn sup_candidate(&self, p: Point, q: QuartetId) -> Option<QuartetId> {
+        if !self.quartet_in_bounds(q) {
+            return None;
+        }
+        let r = self.corner_point(q);
+        let two_eps = 2.0 * self.eps();
+        (p.dist2(r) <= two_eps * two_eps).then_some(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GridSpec;
+    use asj_geom::Rect;
+    use proptest::prelude::*;
+
+    fn grid() -> Grid {
+        // 4×4 cells of side 2.5, ε = 1.
+        Grid::new(GridSpec::new(Rect::new(0.0, 0.0, 10.0, 10.0), 1.0))
+    }
+
+    #[test]
+    fn interior_point() {
+        assert_eq!(grid().classify(Point::new(3.75, 3.75)), AreaClass::Interior);
+    }
+
+    #[test]
+    fn plain_strip_west() {
+        let g = grid();
+        // Cell (1,1) spans [2.5,5.0]²; x=2.9 is within ε of the west
+        // boundary, y=3.75 is > ε from both horizontal boundaries.
+        match g.classify(Point::new(2.9, 3.75)) {
+            AreaClass::PlainStrip {
+                dir,
+                neighbor,
+                sup_quartets,
+            } => {
+                assert_eq!(dir, Dir::W);
+                assert_eq!(neighbor, CellCoord { x: 0, y: 1 });
+                // Corners (2.5,2.5) and (2.5,5.0) are both ~1.3 away ≤ 2ε.
+                assert_eq!(sup_quartets[0], Some(QuartetId { x: 1, y: 1 }));
+                assert_eq!(sup_quartets[1], Some(QuartetId { x: 1, y: 2 }));
+            }
+            other => panic!("expected plain strip, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plain_strip_far_from_corners() {
+        // Coarse cells (factor 5 ⇒ side 2.5 = 5ε) so that the midpoint of a
+        // boundary is farther than 2ε from both of its corners.
+        let g = Grid::new(GridSpec::with_factor(
+            Rect::new(0.0, 0.0, 10.0, 10.0),
+            0.5,
+            5.0,
+        ));
+        assert_eq!(g.cell_side(), (2.5, 2.5));
+        match g.classify(Point::new(2.6, 3.75)) {
+            AreaClass::PlainStrip {
+                dir, sup_quartets, ..
+            } => {
+                assert_eq!(dir, Dir::W);
+                assert_eq!(sup_quartets, [None, None]);
+            }
+            other => panic!("expected plain strip, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corner_square_identifies_quartet() {
+        let g = grid();
+        // Cell (1,1), near both west (x=2.6) and south (y=2.7) boundaries ⇒
+        // quartet at corner (2.5, 2.5) = QuartetId {1,1}.
+        match g.classify(Point::new(2.6, 2.7)) {
+            AreaClass::CornerSquare {
+                quartet,
+                sup_quartets,
+            } => {
+                assert_eq!(quartet, QuartetId { x: 1, y: 1 });
+                // Adjacent corners are at (2.5,5.0) and (5.0,2.5), both ~2.3
+                // away > 2ε ⇒ no supplementary candidates.
+                assert_eq!(sup_quartets, [None, None]);
+            }
+            other => panic!("expected corner square, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corner_square_with_supplementary_candidates() {
+        // Cells of side 2.2 (just above 2ε): adjacent corners lie within 2ε.
+        let g = Grid::new(GridSpec::new(Rect::new(0.0, 0.0, 8.8, 8.8), 1.0));
+        assert_eq!(g.nx(), 4);
+        // Deep in the ε×ε square of corner (2.2, 2.2): 0.9 from both
+        // boundaries, so the adjacent corners at (2.2, 4.4) and (4.4, 2.2)
+        // are √(0.81 + 1.69) ≈ 1.58 ≤ 2ε away.
+        match g.classify(Point::new(3.1, 3.1)) {
+            AreaClass::CornerSquare {
+                quartet,
+                sup_quartets,
+            } => {
+                assert_eq!(quartet, QuartetId { x: 1, y: 1 });
+                assert_eq!(sup_quartets[0], Some(QuartetId { x: 1, y: 2 }));
+                assert_eq!(sup_quartets[1], Some(QuartetId { x: 2, y: 1 }));
+            }
+            other => panic!("expected corner square, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn grid_border_has_no_replication() {
+        let g = grid();
+        // Near the global west boundary: no neighbor exists there.
+        assert_eq!(g.classify(Point::new(0.1, 3.75)), AreaClass::Interior);
+        // Global corner.
+        assert_eq!(g.classify(Point::new(0.1, 0.1)), AreaClass::Interior);
+    }
+
+    proptest! {
+        /// Classification agrees with the raw MINDIST≤ε neighbor enumeration:
+        /// Interior ⇔ 0 neighbors, PlainStrip ⇔ exactly 1, CornerSquare ⇔ 2–3.
+        #[test]
+        fn classes_match_neighbor_counts(px in 0.0f64..10.0, py in 0.0f64..10.0) {
+            let g = grid();
+            let p = Point::new(px, py);
+            let mut neigh = Vec::new();
+            g.push_cells_within_eps(p, &mut neigh);
+            match g.classify(p) {
+                AreaClass::Interior => prop_assert_eq!(neigh.len(), 0),
+                AreaClass::PlainStrip { neighbor, .. } => {
+                    prop_assert_eq!(neigh.clone(), vec![neighbor]);
+                }
+                AreaClass::CornerSquare { quartet, .. } => {
+                    prop_assert!(neigh.len() == 2 || neigh.len() == 3, "{:?}", neigh);
+                    // All neighbors belong to the quartet.
+                    let cells = g.quartet_cells(quartet);
+                    for n in &neigh {
+                        prop_assert!(cells.contains(n));
+                    }
+                    // 3 neighbors iff the reference point is within ε.
+                    let within = p.dist(g.corner_point(quartet)) <= g.eps();
+                    prop_assert_eq!(neigh.len() == 3, within);
+                }
+            }
+        }
+
+        /// Supplementary candidates always carry a reference point within 2ε
+        /// and are valid quartets.
+        #[test]
+        fn sup_candidates_within_two_eps(px in 0.0f64..10.0, py in 0.0f64..10.0) {
+            let g = grid();
+            let p = Point::new(px, py);
+            let sups = match g.classify(p) {
+                AreaClass::Interior => [None, None],
+                AreaClass::PlainStrip { sup_quartets, .. } => sup_quartets,
+                AreaClass::CornerSquare { sup_quartets, .. } => sup_quartets,
+            };
+            for q in sups.into_iter().flatten() {
+                prop_assert!(g.quartet_in_bounds(q));
+                prop_assert!(p.dist(g.corner_point(q)) <= 2.0 * g.eps() + 1e-12);
+            }
+        }
+    }
+}

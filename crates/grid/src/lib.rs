@@ -1,0 +1,521 @@
+//! Regular-grid space partitioning for ε-distance spatial joins.
+//!
+//! The paper (§4.1) partitions the data space into equi-sized cells whose side
+//! length `l` exceeds `2ε`, which guarantees that a point can be a replication
+//! candidate for **at most three** neighboring cells: the horizontal neighbor,
+//! the vertical neighbor and the diagonal neighbor that all meet at the grid
+//! corner nearest to the point. Those four cells around an interior corner are
+//! a *quartet* and the corner itself is the quartet's *reference point* (§5.1).
+//!
+//! This crate owns:
+//!
+//! * [`GridSpec`] / [`Grid`] — grid construction and cell addressing,
+//! * [`CellCoord`] / [`QuartetId`] / [`Quadrant`] — the coordinate system the
+//!   agreement graph (crate `asj-core`) is built on,
+//! * [`AreaClass`] and [`Grid::classify`] — the Figure-9 decomposition of a
+//!   cell into *no-replication area*, *plain replication strips* and *merged
+//!   duplicate-prone corner squares*, plus the candidate quartets whose
+//!   *supplementary areas* may contain the point,
+//! * [`Grid::push_cells_within_eps`] — the plain `MINDIST ≤ ε` replication
+//!   enumeration used by the PBSM and ε-grid baselines (any cell size).
+
+mod cell;
+mod classify;
+
+pub use cell::{CellCoord, Dir, Quadrant, QuartetId};
+pub use classify::AreaClass;
+
+use asj_geom::{Point, Rect};
+
+/// Parameters from which a [`Grid`] is derived.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridSpec {
+    /// Minimum bounding rectangle of the data space (`m` in Algorithm 5).
+    pub bbox: Rect,
+    /// Distance-join threshold ε.
+    pub eps: f64,
+    /// Resolution factor `k`: cells are at least `k·ε` on each side. The
+    /// paper uses `k = 2` by default and evaluates `k ∈ {2,3,4,5}` in
+    /// Fig. 15. `k = 1` yields the ε-grid baseline resolution (for which the
+    /// agreement machinery is disabled — see [`Grid::supports_agreements`]).
+    pub factor: f64,
+}
+
+impl GridSpec {
+    /// Grid with the paper's default `2ε` resolution.
+    pub fn new(bbox: Rect, eps: f64) -> Self {
+        GridSpec {
+            bbox,
+            eps,
+            factor: 2.0,
+        }
+    }
+
+    /// Grid with cell side at least `factor·ε`.
+    pub fn with_factor(bbox: Rect, eps: f64, factor: f64) -> Self {
+        GridSpec { bbox, eps, factor }
+    }
+}
+
+/// A regular grid of `nx × ny` equi-sized cells over a bounding box.
+///
+/// # Example
+///
+/// ```
+/// use asj_geom::{Point, Rect};
+/// use asj_grid::{AreaClass, Grid, GridSpec};
+///
+/// let grid = Grid::new(GridSpec::new(Rect::new(0.0, 0.0, 10.0, 10.0), 1.0));
+/// assert!(grid.supports_agreements());         // cell side > 2ε
+/// let p = Point::new(2.4, 2.4);                // near an interior corner
+/// match grid.classify(p) {
+///     AreaClass::CornerSquare { quartet, .. } => {
+///         assert!(grid.quartet_in_bounds(quartet));
+///     }
+///     other => panic!("expected a corner square, got {other:?}"),
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Grid {
+    bbox: Rect,
+    eps: f64,
+    nx: u32,
+    ny: u32,
+    lx: f64,
+    ly: f64,
+}
+
+impl Grid {
+    /// Builds the grid for `spec`.
+    ///
+    /// The cell count per axis is the largest `n` with `extent / n ≥ k·ε`;
+    /// when `k ≥ 2` the count is further reduced (if necessary) until the
+    /// side is **strictly** greater than `2ε`, the precondition of the
+    /// agreement framework (§4.2). Degenerate extents yield a single cell on
+    /// that axis.
+    ///
+    /// # Panics
+    /// Panics if `eps <= 0`, `factor < 1`, the bbox is empty, or any bound is
+    /// non-finite.
+    pub fn new(spec: GridSpec) -> Self {
+        assert!(
+            spec.eps > 0.0 && spec.eps.is_finite(),
+            "eps must be positive"
+        );
+        assert!(spec.factor >= 1.0, "resolution factor must be >= 1");
+        assert!(!spec.bbox.is_empty(), "bbox must be non-empty");
+        assert!(
+            spec.bbox.min_x.is_finite()
+                && spec.bbox.min_y.is_finite()
+                && spec.bbox.max_x.is_finite()
+                && spec.bbox.max_y.is_finite(),
+            "bbox must be finite"
+        );
+        let axis = |extent: f64| -> u32 {
+            let min_side = spec.factor * spec.eps;
+            let mut n = (extent / min_side).floor() as u32;
+            n = n.max(1);
+            if spec.factor >= 2.0 {
+                // Strict l > 2ε so that a point is never within ε of two
+                // parallel boundaries of its cell at once.
+                while n > 1 && extent / n as f64 <= 2.0 * spec.eps {
+                    n -= 1;
+                }
+            }
+            n
+        };
+        let nx = axis(spec.bbox.width());
+        let ny = axis(spec.bbox.height());
+        Grid {
+            bbox: spec.bbox,
+            eps: spec.eps,
+            nx,
+            ny,
+            lx: spec.bbox.width() / nx as f64,
+            ly: spec.bbox.height() / ny as f64,
+        }
+    }
+
+    #[inline]
+    pub fn bbox(&self) -> Rect {
+        self.bbox
+    }
+
+    #[inline]
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Number of cells along x.
+    #[inline]
+    pub fn nx(&self) -> u32 {
+        self.nx
+    }
+
+    /// Number of cells along y.
+    #[inline]
+    pub fn ny(&self) -> u32 {
+        self.ny
+    }
+
+    /// Cell side lengths `(lx, ly)`.
+    #[inline]
+    pub fn cell_side(&self) -> (f64, f64) {
+        (self.lx, self.ly)
+    }
+
+    #[inline]
+    pub fn num_cells(&self) -> usize {
+        self.nx as usize * self.ny as usize
+    }
+
+    /// Number of interior corners, i.e. quartets: `(nx−1)·(ny−1)`.
+    #[inline]
+    pub fn num_quartets(&self) -> usize {
+        (self.nx as usize).saturating_sub(1) * (self.ny as usize).saturating_sub(1)
+    }
+
+    /// Whether the agreement framework may run on this grid: every axis with
+    /// more than one cell has side strictly greater than `2ε` (§4.2).
+    #[inline]
+    pub fn supports_agreements(&self) -> bool {
+        (self.nx == 1 || self.lx > 2.0 * self.eps) && (self.ny == 1 || self.ly > 2.0 * self.eps)
+    }
+
+    /// The cell enclosing `p`. Points on shared borders belong to the cell on
+    /// their upper-right (half-open cells); points on the global maximum
+    /// border, or slightly outside the bbox, are clamped into the grid.
+    #[inline]
+    pub fn cell_of(&self, p: Point) -> CellCoord {
+        let fx = (p.x - self.bbox.min_x) / self.lx;
+        let fy = (p.y - self.bbox.min_y) / self.ly;
+        let cx = (fx.floor() as i64).clamp(0, self.nx as i64 - 1) as u32;
+        let cy = (fy.floor() as i64).clamp(0, self.ny as i64 - 1) as u32;
+        CellCoord { x: cx, y: cy }
+    }
+
+    /// The rectangle covered by a cell.
+    #[inline]
+    pub fn cell_rect(&self, c: CellCoord) -> Rect {
+        debug_assert!(self.cell_in_bounds(c));
+        Rect::new(
+            self.bbox.min_x + c.x as f64 * self.lx,
+            self.bbox.min_y + c.y as f64 * self.ly,
+            self.bbox.min_x + (c.x + 1) as f64 * self.lx,
+            self.bbox.min_y + (c.y + 1) as f64 * self.ly,
+        )
+    }
+
+    #[inline]
+    pub fn cell_in_bounds(&self, c: CellCoord) -> bool {
+        c.x < self.nx && c.y < self.ny
+    }
+
+    /// Dense index of a cell in `0..num_cells()` (row-major).
+    #[inline]
+    pub fn cell_index(&self, c: CellCoord) -> usize {
+        debug_assert!(self.cell_in_bounds(c));
+        c.y as usize * self.nx as usize + c.x as usize
+    }
+
+    /// Inverse of [`Grid::cell_index`].
+    #[inline]
+    pub fn cell_at(&self, index: usize) -> CellCoord {
+        debug_assert!(index < self.num_cells());
+        CellCoord {
+            x: (index % self.nx as usize) as u32,
+            y: (index / self.nx as usize) as u32,
+        }
+    }
+
+    /// Whether `q` names an interior corner (a valid quartet).
+    #[inline]
+    pub fn quartet_in_bounds(&self, q: QuartetId) -> bool {
+        q.x >= 1 && q.x < self.nx && q.y >= 1 && q.y < self.ny
+    }
+
+    /// Dense index of a quartet in `0..num_quartets()`.
+    #[inline]
+    pub fn quartet_index(&self, q: QuartetId) -> usize {
+        debug_assert!(self.quartet_in_bounds(q));
+        (q.y as usize - 1) * (self.nx as usize - 1) + (q.x as usize - 1)
+    }
+
+    /// Inverse of [`Grid::quartet_index`].
+    #[inline]
+    pub fn quartet_at(&self, index: usize) -> QuartetId {
+        debug_assert!(index < self.num_quartets());
+        let w = self.nx as usize - 1;
+        QuartetId {
+            x: (index % w) as u32 + 1,
+            y: (index / w) as u32 + 1,
+        }
+    }
+
+    /// The reference point (common touching point) of a quartet.
+    #[inline]
+    pub fn corner_point(&self, q: QuartetId) -> Point {
+        Point::new(
+            self.bbox.min_x + q.x as f64 * self.lx,
+            self.bbox.min_y + q.y as f64 * self.ly,
+        )
+    }
+
+    /// The four cells of a quartet, indexed by [`Quadrant`]
+    /// (`[SW, SE, NW, NE]`).
+    #[inline]
+    pub fn quartet_cells(&self, q: QuartetId) -> [CellCoord; 4] {
+        debug_assert!(self.quartet_in_bounds(q));
+        [
+            CellCoord {
+                x: q.x - 1,
+                y: q.y - 1,
+            },
+            CellCoord { x: q.x, y: q.y - 1 },
+            CellCoord { x: q.x - 1, y: q.y },
+            CellCoord { x: q.x, y: q.y },
+        ]
+    }
+
+    /// The quadrant a cell occupies within a quartet, or `None` if the cell
+    /// is not part of it.
+    #[inline]
+    pub fn quadrant_of(&self, c: CellCoord, q: QuartetId) -> Option<Quadrant> {
+        let east = if c.x + 1 == q.x {
+            false
+        } else if c.x == q.x {
+            true
+        } else {
+            return None;
+        };
+        let north = if c.y + 1 == q.y {
+            false
+        } else if c.y == q.y {
+            true
+        } else {
+            return None;
+        };
+        Some(Quadrant::from_bits(east, north))
+    }
+
+    /// Iterates over all quartets of the grid.
+    pub fn quartets(&self) -> impl Iterator<Item = QuartetId> + '_ {
+        let nx = self.nx;
+        let ny = self.ny;
+        (1..ny).flat_map(move |y| (1..nx).map(move |x| QuartetId { x, y }))
+    }
+
+    /// Appends to `out` every cell whose rectangle intersects `rect`
+    /// (clamped to the grid). Used by the extent join to assign objects with
+    /// spatial extent by their (possibly ε-expanded) envelopes.
+    pub fn push_cells_intersecting(&self, rect: Rect, out: &mut Vec<CellCoord>) {
+        if rect.is_empty() {
+            return;
+        }
+        let lo = self.cell_of(Point::new(rect.min_x, rect.min_y));
+        let hi = self.cell_of(Point::new(rect.max_x, rect.max_y));
+        for cy in lo.y..=hi.y {
+            for cx in lo.x..=hi.x {
+                out.push(CellCoord { x: cx, y: cy });
+            }
+        }
+    }
+
+    /// Appends to `out` every cell other than `p`'s native cell whose
+    /// `MINDIST` to `p` is at most ε — the universal replication rule of PBSM
+    /// (§3.2) and of the ε-grid baseline. Works for any resolution factor.
+    pub fn push_cells_within_eps(&self, p: Point, out: &mut Vec<CellCoord>) {
+        let native = self.cell_of(p);
+        let lo = self.cell_of(Point::new(p.x - self.eps, p.y - self.eps));
+        let hi = self.cell_of(Point::new(p.x + self.eps, p.y + self.eps));
+        let e2 = self.eps * self.eps;
+        for cy in lo.y..=hi.y {
+            for cx in lo.x..=hi.x {
+                let c = CellCoord { x: cx, y: cy };
+                if c == native {
+                    continue;
+                }
+                if self.cell_rect(c).mindist2(p) <= e2 {
+                    out.push(c);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(w: f64, h: f64, eps: f64) -> Grid {
+        Grid::new(GridSpec::new(Rect::new(0.0, 0.0, w, h), eps))
+    }
+
+    #[test]
+    fn cell_side_exceeds_two_eps() {
+        let g = grid(10.0, 10.0, 1.0);
+        assert_eq!(g.nx(), 4); // 10/2.0 = 5 cells would give l = 2ε exactly
+        assert!(g.cell_side().0 > 2.0);
+        assert!(g.supports_agreements());
+    }
+
+    #[test]
+    fn single_cell_for_tiny_extent() {
+        let g = grid(1.0, 1.0, 1.0);
+        assert_eq!((g.nx(), g.ny()), (1, 1));
+        assert_eq!(g.num_quartets(), 0);
+        assert!(g.supports_agreements());
+    }
+
+    #[test]
+    fn eps_grid_resolution() {
+        let g = Grid::new(GridSpec::with_factor(
+            Rect::new(0.0, 0.0, 10.0, 10.0),
+            1.0,
+            1.0,
+        ));
+        assert_eq!(g.nx(), 10);
+        assert!(!g.supports_agreements());
+    }
+
+    #[test]
+    fn cell_of_clamps_boundary_points() {
+        let g = grid(10.0, 10.0, 1.0);
+        assert_eq!(g.cell_of(Point::new(10.0, 10.0)), CellCoord { x: 3, y: 3 });
+        assert_eq!(g.cell_of(Point::new(-0.5, 5.0)).x, 0);
+        assert_eq!(g.cell_of(Point::new(0.0, 0.0)), CellCoord { x: 0, y: 0 });
+    }
+
+    #[test]
+    fn cell_index_roundtrip() {
+        let g = grid(10.0, 7.0, 1.0);
+        for i in 0..g.num_cells() {
+            assert_eq!(g.cell_index(g.cell_at(i)), i);
+        }
+    }
+
+    #[test]
+    fn quartet_index_roundtrip() {
+        let g = grid(13.0, 9.0, 1.0);
+        assert!(g.num_quartets() > 0);
+        for i in 0..g.num_quartets() {
+            let q = g.quartet_at(i);
+            assert!(g.quartet_in_bounds(q));
+            assert_eq!(g.quartet_index(q), i);
+        }
+    }
+
+    #[test]
+    fn quartet_cells_meet_at_corner() {
+        let g = grid(10.0, 10.0, 1.0);
+        let q = QuartetId { x: 2, y: 1 };
+        let corner = g.corner_point(q);
+        for c in g.quartet_cells(q) {
+            assert_eq!(g.cell_rect(c).mindist(corner), 0.0);
+        }
+    }
+
+    #[test]
+    fn quadrant_of_quartet_cells() {
+        let g = grid(10.0, 10.0, 1.0);
+        let q = QuartetId { x: 2, y: 2 };
+        let cells = g.quartet_cells(q);
+        assert_eq!(g.quadrant_of(cells[0], q), Some(Quadrant::Sw));
+        assert_eq!(g.quadrant_of(cells[1], q), Some(Quadrant::Se));
+        assert_eq!(g.quadrant_of(cells[2], q), Some(Quadrant::Nw));
+        assert_eq!(g.quadrant_of(cells[3], q), Some(Quadrant::Ne));
+        assert_eq!(g.quadrant_of(CellCoord { x: 0, y: 0 }, q), None);
+    }
+
+    #[test]
+    fn quartets_iterator_matches_count() {
+        let g = grid(12.0, 8.0, 1.0);
+        assert_eq!(g.quartets().count(), g.num_quartets());
+    }
+
+    #[test]
+    fn cells_within_eps_center_point_is_empty() {
+        let g = grid(10.0, 10.0, 1.0);
+        let mut out = Vec::new();
+        // Center of cell (1,1): side is 2.5 so center is 1.25 > ε from all
+        // boundaries.
+        g.push_cells_within_eps(Point::new(3.75, 3.75), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn cells_within_eps_near_corner_gives_three() {
+        let g = grid(10.0, 10.0, 1.0);
+        let mut out = Vec::new();
+        // Just inside cell (0,0) near the interior corner (2.5, 2.5).
+        g.push_cells_within_eps(Point::new(2.4, 2.4), &mut out);
+        out.sort();
+        assert_eq!(
+            out,
+            vec![
+                CellCoord { x: 0, y: 1 },
+                CellCoord { x: 1, y: 0 },
+                CellCoord { x: 1, y: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn cells_within_eps_eps_grid_many_neighbors() {
+        let g = Grid::new(GridSpec::with_factor(
+            Rect::new(0.0, 0.0, 10.0, 10.0),
+            1.0,
+            1.0,
+        ));
+        let mut out = Vec::new();
+        g.push_cells_within_eps(Point::new(5.5, 5.5), &mut out);
+        // ε-disk of radius 1 centered in a 1×1 cell touches the 8 surrounding
+        // cells' boundaries within distance ε.
+        assert!(out.len() >= 4, "got {out:?}");
+        for c in &out {
+            assert!(g.cell_rect(*c).within_eps_of(Point::new(5.5, 5.5), 1.0));
+        }
+    }
+}
+
+#[cfg(test)]
+mod intersect_tests {
+    use super::*;
+
+    #[test]
+    fn cells_intersecting_covers_rect() {
+        let g = Grid::new(GridSpec::new(Rect::new(0.0, 0.0, 10.0, 10.0), 1.0));
+        let mut out = Vec::new();
+        // Rect spanning cells (0,0)-(1,1).
+        g.push_cells_intersecting(Rect::new(1.0, 1.0, 3.0, 3.0), &mut out);
+        out.sort();
+        assert_eq!(
+            out,
+            vec![
+                CellCoord { x: 0, y: 0 },
+                CellCoord { x: 0, y: 1 },
+                CellCoord { x: 1, y: 0 },
+                CellCoord { x: 1, y: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn cells_intersecting_clamps_outside_rects() {
+        let g = Grid::new(GridSpec::new(Rect::new(0.0, 0.0, 10.0, 10.0), 1.0));
+        let mut out = Vec::new();
+        g.push_cells_intersecting(Rect::new(-5.0, -5.0, -1.0, -1.0), &mut out);
+        assert_eq!(out, vec![CellCoord { x: 0, y: 0 }]);
+        out.clear();
+        g.push_cells_intersecting(Rect::empty(), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_point_rect_is_one_cell() {
+        let g = Grid::new(GridSpec::new(Rect::new(0.0, 0.0, 10.0, 10.0), 1.0));
+        let mut out = Vec::new();
+        g.push_cells_intersecting(Rect::from_point(Point::new(4.0, 4.0)), &mut out);
+        assert_eq!(out, vec![g.cell_of(Point::new(4.0, 4.0))]);
+    }
+}

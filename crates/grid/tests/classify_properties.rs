@@ -1,0 +1,90 @@
+//! Classification invariants on arbitrary grid shapes: rectangular bounding
+//! boxes, non-square cells, coarse resolution factors, degenerate single-row
+//! and single-column grids.
+
+use asj_geom::{Point, Rect};
+use asj_grid::{AreaClass, Grid, GridSpec};
+use proptest::prelude::*;
+
+fn check_point(grid: &Grid, p: Point) -> Result<(), TestCaseError> {
+    let mut neigh = Vec::new();
+    grid.push_cells_within_eps(p, &mut neigh);
+    match grid.classify(p) {
+        AreaClass::Interior => prop_assert_eq!(neigh.len(), 0),
+        AreaClass::PlainStrip { neighbor, .. } => {
+            prop_assert_eq!(neigh.clone(), vec![neighbor]);
+        }
+        AreaClass::CornerSquare { quartet, .. } => {
+            prop_assert!(grid.quartet_in_bounds(quartet));
+            prop_assert!((2..=3).contains(&neigh.len()), "{:?}", neigh);
+            let cells = grid.quartet_cells(quartet);
+            for n in &neigh {
+                prop_assert!(cells.contains(n));
+            }
+            let within = p.dist(grid.corner_point(quartet)) <= grid.eps();
+            prop_assert_eq!(neigh.len() == 3, within);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For any grid supporting agreements, classification must agree with
+    /// raw MINDIST neighbor enumeration everywhere.
+    #[test]
+    fn classification_matches_mindist_on_arbitrary_grids(
+        w in 3.0f64..80.0,
+        h in 3.0f64..80.0,
+        eps in 0.2f64..1.4,
+        factor in 2.0f64..5.0,
+        points in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 200),
+    ) {
+        let grid = Grid::new(GridSpec::with_factor(Rect::new(0.0, 0.0, w, h), eps, factor));
+        prop_assume!(grid.supports_agreements());
+        for (fx, fy) in points {
+            check_point(&grid, Point::new(fx * w, fy * h))?;
+        }
+    }
+
+    /// Thin worlds: one row or one column of cells (no quartets on that
+    /// axis) must classify without panicking and never emit corner squares
+    /// pointing at out-of-bounds quartets.
+    #[test]
+    fn single_row_and_column_grids(
+        long in 10.0f64..60.0,
+        thin in 1.0f64..2.4,
+        eps in 0.3f64..0.9,
+        points in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 120),
+    ) {
+        for (w, h) in [(long, thin), (thin, long)] {
+            let grid = Grid::new(GridSpec::new(Rect::new(0.0, 0.0, w, h), eps));
+            prop_assume!(grid.supports_agreements());
+            for &(fx, fy) in &points {
+                check_point(&grid, Point::new(fx * w, fy * h))?;
+            }
+        }
+    }
+
+    /// Points exactly on cell boundaries (worst case for half-open cell
+    /// membership) still classify consistently.
+    #[test]
+    fn boundary_points_are_consistent(
+        cols in 2u32..8,
+        rows in 2u32..8,
+        eps in 0.2f64..0.45,
+    ) {
+        let w = cols as f64;
+        let h = rows as f64;
+        let grid = Grid::new(GridSpec::new(Rect::new(0.0, 0.0, w, h), eps));
+        prop_assume!(grid.supports_agreements());
+        let (lx, ly) = grid.cell_side();
+        for i in 0..=grid.nx() {
+            for j in 0..=grid.ny() {
+                let p = Point::new((i as f64 * lx).min(w), (j as f64 * ly).min(h));
+                check_point(&grid, p)?;
+            }
+        }
+    }
+}

@@ -1,0 +1,269 @@
+use asj_geom::{Point, Rect};
+
+/// A static, bulk-built k-d tree over points.
+///
+/// Complements the R-tree: preferred for pure point data (no rectangles,
+/// half the memory) and provides exact k-nearest-neighbor queries, which the
+/// distributed kNN join's tests use as a second, independently-implemented
+/// oracle. Built by median splitting, alternating axes.
+///
+/// # Example
+///
+/// ```
+/// use asj_geom::Point;
+/// use asj_index::KdTree;
+///
+/// let tree = KdTree::build(
+///     (0..50).map(|i| (Point::new(i as f64, 0.0), i)).collect(),
+/// );
+/// let nearest = tree.nearest(Point::new(20.3, 0.0), 2);
+/// assert_eq!(*nearest[0].1, 20);
+/// assert_eq!(*nearest[1].1, 21);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KdTree<T> {
+    /// Points and payloads, reordered into in-order tree layout.
+    items: Vec<(Point, T)>,
+    bbox: Rect,
+}
+
+impl<T> KdTree<T> {
+    /// Builds the tree in `O(n log² n)`.
+    pub fn build(mut items: Vec<(Point, T)>) -> Self {
+        let mut bbox = Rect::empty();
+        for (p, _) in &items {
+            bbox.extend(*p);
+        }
+        let len = items.len();
+        if len > 1 {
+            Self::build_rec(&mut items, 0, len, 0);
+        }
+        KdTree { items, bbox }
+    }
+
+    /// Recursively arranges `items[lo..hi]` so the median (by the split
+    /// axis) sits at the midpoint, with smaller values left of it.
+    fn build_rec(items: &mut [(Point, T)], lo: usize, hi: usize, depth: usize) {
+        if hi - lo <= 1 {
+            return;
+        }
+        let mid = (lo + hi) / 2;
+        let x_axis = depth.is_multiple_of(2);
+        items[lo..hi].select_nth_unstable_by(mid - lo, |a, b| {
+            if x_axis {
+                a.0.x.total_cmp(&b.0.x)
+            } else {
+                a.0.y.total_cmp(&b.0.y)
+            }
+        });
+        Self::build_rec(items, lo, mid, depth + 1);
+        Self::build_rec(items, mid + 1, hi, depth + 1);
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Visits every point within distance `eps` of `q`.
+    pub fn query_within<F: FnMut(Point, &T)>(&self, q: Point, eps: f64, mut visit: F) {
+        if self.items.is_empty() {
+            return;
+        }
+        let e2 = eps * eps;
+        self.within_rec(0, self.items.len(), 0, q, e2, &mut visit);
+    }
+
+    fn within_rec<F: FnMut(Point, &T)>(
+        &self,
+        lo: usize,
+        hi: usize,
+        depth: usize,
+        q: Point,
+        e2: f64,
+        visit: &mut F,
+    ) {
+        if lo >= hi {
+            return;
+        }
+        let mid = (lo + hi) / 2;
+        let (p, ref t) = self.items[mid];
+        if p.dist2(q) <= e2 {
+            visit(p, t);
+        }
+        let x_axis = depth.is_multiple_of(2);
+        let delta = if x_axis { q.x - p.x } else { q.y - p.y };
+        let (near, far) = if delta < 0.0 {
+            ((lo, mid), (mid + 1, hi))
+        } else {
+            ((mid + 1, hi), (lo, mid))
+        };
+        self.within_rec(near.0, near.1, depth + 1, q, e2, visit);
+        if delta * delta <= e2 {
+            self.within_rec(far.0, far.1, depth + 1, q, e2, visit);
+        }
+    }
+
+    /// The `k` nearest points to `q` as `(distance², payload)` pairs,
+    /// ascending by distance (ties in arbitrary but deterministic order).
+    pub fn nearest(&self, q: Point, k: usize) -> Vec<(f64, &T)> {
+        if k == 0 || self.items.is_empty() {
+            return Vec::new();
+        }
+        // Max-heap of the best k (by distance²).
+        let mut heap: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
+        self.nearest_rec(0, self.items.len(), 0, q, k, &mut heap);
+        heap.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        heap.into_iter()
+            .map(|(d2, idx)| (d2, &self.items[idx].1))
+            .collect()
+    }
+
+    fn nearest_rec(
+        &self,
+        lo: usize,
+        hi: usize,
+        depth: usize,
+        q: Point,
+        k: usize,
+        heap: &mut Vec<(f64, usize)>,
+    ) {
+        if lo >= hi {
+            return;
+        }
+        let mid = (lo + hi) / 2;
+        let d2 = self.items[mid].0.dist2(q);
+        if heap.len() < k {
+            heap.push((d2, mid));
+            if heap.len() == k {
+                heap.sort_unstable_by(|a, b| b.0.total_cmp(&a.0));
+            }
+        } else if d2 < heap[0].0 {
+            heap[0] = (d2, mid);
+            // Restore "largest first" ordering cheaply (k is small).
+            heap.sort_unstable_by(|a, b| b.0.total_cmp(&a.0));
+        }
+        let x_axis = depth.is_multiple_of(2);
+        let p = self.items[mid].0;
+        let delta = if x_axis { q.x - p.x } else { q.y - p.y };
+        let (near, far) = if delta < 0.0 {
+            ((lo, mid), (mid + 1, hi))
+        } else {
+            ((mid + 1, hi), (lo, mid))
+        };
+        self.nearest_rec(near.0, near.1, depth + 1, q, k, heap);
+        let worst = if heap.len() < k {
+            f64::INFINITY
+        } else {
+            heap[0].0
+        };
+        if delta * delta <= worst {
+            self.nearest_rec(far.0, far.1, depth + 1, q, k, heap);
+        }
+    }
+
+    /// Bounding box of the indexed points.
+    pub fn bbox(&self) -> Rect {
+        self.bbox
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_items(n: usize, seed: u64) -> Vec<(Point, usize)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                (
+                    Point::new(rng.gen_range(0.0..50.0), rng.gen_range(0.0..50.0)),
+                    i,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let t: KdTree<usize> = KdTree::build(Vec::new());
+        assert!(t.is_empty());
+        assert!(t.nearest(Point::new(0.0, 0.0), 3).is_empty());
+        let t = KdTree::build(vec![(Point::new(1.0, 1.0), 9usize)]);
+        assert_eq!(t.len(), 1);
+        let n = t.nearest(Point::new(0.0, 0.0), 3);
+        assert_eq!(n.len(), 1);
+        assert_eq!(*n[0].1, 9);
+    }
+
+    #[test]
+    fn within_matches_linear_scan() {
+        let items = random_items(1500, 5);
+        let t = KdTree::build(items.clone());
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..60 {
+            let q = Point::new(rng.gen_range(0.0..50.0), rng.gen_range(0.0..50.0));
+            let eps = rng.gen_range(0.5..8.0);
+            let mut got: Vec<usize> = Vec::new();
+            t.query_within(q, eps, |_, &i| got.push(i));
+            got.sort_unstable();
+            let mut want: Vec<usize> = items
+                .iter()
+                .filter(|(p, _)| p.dist2(q) <= eps * eps)
+                .map(|&(_, i)| i)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn nearest_matches_linear_scan() {
+        let items = random_items(800, 7);
+        let t = KdTree::build(items.clone());
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..40 {
+            let q = Point::new(rng.gen_range(0.0..50.0), rng.gen_range(0.0..50.0));
+            for k in [1usize, 2, 5, 17] {
+                let got: Vec<f64> = t.nearest(q, k).iter().map(|(d2, _)| *d2).collect();
+                let mut want: Vec<f64> = items.iter().map(|(p, _)| p.dist2(q)).collect();
+                want.sort_unstable_by(f64::total_cmp);
+                want.truncate(k);
+                assert_eq!(got.len(), want.len());
+                for (g, w) in got.iter().zip(&want) {
+                    assert!((g - w).abs() < 1e-9, "k={k}: {got:?} vs {want:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k_larger_than_n_returns_all() {
+        let items = random_items(5, 9);
+        let t = KdTree::build(items);
+        assert_eq!(t.nearest(Point::new(25.0, 25.0), 50).len(), 5);
+    }
+
+    #[test]
+    fn duplicate_points_all_retrievable() {
+        let items: Vec<(Point, usize)> = (0..10).map(|i| (Point::new(3.0, 3.0), i)).collect();
+        let t = KdTree::build(items);
+        let mut got = Vec::new();
+        t.query_within(Point::new(3.0, 3.0), 0.1, |_, &i| got.push(i));
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        assert_eq!(t.nearest(Point::new(3.0, 3.0), 4).len(), 4);
+    }
+
+    #[test]
+    fn bbox_covers_points() {
+        let t = KdTree::build(random_items(100, 11));
+        let b = t.bbox();
+        assert!(b.width() > 0.0 && b.height() > 0.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! Spatial-index substrates used by the join baselines.
+//!
+//! The paper's evaluation compares against Apache Sedona, whose distance join
+//! runs in three phases: **quadtree space partitioning** (built from a sample
+//! of the replicated side), **per-partition R-tree indexing** of the larger
+//! side, and index-probed join computation. This crate provides those two
+//! structures plus the partition-local join kernels shared by all algorithms:
+//!
+//! * [`RTree`] — STR (sort-tile-recursive) bulk-loaded R-tree with
+//!   rectangle and ε-disk queries.
+//! * [`QuadTreePartitioner`] — sample-driven recursive space partitioner
+//!   with point→leaf and ε-disk→leaves lookups.
+//! * [`KdTree`] — median-split k-d tree over points with ε-range and exact
+//!   kNN queries (the independent oracle for the distributed kNN join).
+//! * [`kernels`] — the per-cell ε-distance kernels: the paper's hash-join
+//!   semantics (nested loop over a cell's candidates with distance
+//!   refinement) and a plane-sweep alternative used for ablations.
+
+mod kdtree;
+pub mod kernels;
+mod quadtree;
+mod rtree;
+
+pub use kdtree::KdTree;
+pub use quadtree::QuadTreePartitioner;
+pub use rtree::RTree;

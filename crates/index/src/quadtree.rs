@@ -1,0 +1,241 @@
+use asj_geom::{Point, Rect};
+
+/// A sample-driven quadtree space partitioner, as used by Apache Sedona's
+/// `QUADTREE` grid type.
+///
+/// The tree is built over a sample of one input: a region splits into four
+/// quadrants while it holds more than `capacity` sample points and the
+/// maximum depth is not reached. The **leaves** become the join partitions.
+/// Points are then routed with [`QuadTreePartitioner::leaf_of`] (unique
+/// assignment) or [`QuadTreePartitioner::leaves_within`] (all leaves whose
+/// region intersects an ε-disk — the replicated side of the distance join).
+#[derive(Debug, Clone)]
+pub struct QuadTreePartitioner {
+    nodes: Vec<QNode>,
+    /// Node ids of the leaves, in partition-id order.
+    leaves: Vec<usize>,
+    bbox: Rect,
+}
+
+#[derive(Debug, Clone)]
+struct QNode {
+    rect: Rect,
+    /// `None` for leaves; child ids in [SW, SE, NW, NE] order otherwise.
+    children: Option<[usize; 4]>,
+    /// Partition id when this node is a leaf.
+    leaf_id: usize,
+}
+
+impl QuadTreePartitioner {
+    /// Builds the partitioner from `sample` points.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`, `bbox` is empty, or `max_depth == 0`.
+    pub fn build(bbox: Rect, sample: &[Point], capacity: usize, max_depth: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        assert!(max_depth > 0, "max_depth must be positive");
+        assert!(!bbox.is_empty(), "bbox must be non-empty");
+        let mut nodes = vec![QNode {
+            rect: bbox,
+            children: None,
+            leaf_id: usize::MAX,
+        }];
+        let mut stack: Vec<(usize, Vec<Point>, usize)> = vec![(0, sample.to_vec(), 1)];
+        while let Some((id, pts, depth)) = stack.pop() {
+            if pts.len() <= capacity || depth >= max_depth {
+                continue; // stays a leaf
+            }
+            let r = nodes[id].rect;
+            let c = r.center();
+            let quads = [
+                Rect::new(r.min_x, r.min_y, c.x, c.y),
+                Rect::new(c.x, r.min_y, r.max_x, c.y),
+                Rect::new(r.min_x, c.y, c.x, r.max_y),
+                Rect::new(c.x, c.y, r.max_x, r.max_y),
+            ];
+            let mut buckets: [Vec<Point>; 4] = Default::default();
+            for p in pts {
+                let east = p.x >= c.x;
+                let north = p.y >= c.y;
+                buckets[usize::from(east) + 2 * usize::from(north)].push(p);
+            }
+            let mut children = [0usize; 4];
+            for i in 0..4 {
+                nodes.push(QNode {
+                    rect: quads[i],
+                    children: None,
+                    leaf_id: usize::MAX,
+                });
+                children[i] = nodes.len() - 1;
+            }
+            nodes[id].children = Some(children);
+            for (i, bucket) in buckets.into_iter().enumerate() {
+                stack.push((children[i], bucket, depth + 1));
+            }
+        }
+        // Number the leaves.
+        let mut leaves = Vec::new();
+        for (id, node) in nodes.iter_mut().enumerate() {
+            if node.children.is_none() {
+                node.leaf_id = leaves.len();
+                leaves.push(id);
+            }
+        }
+        QuadTreePartitioner {
+            nodes,
+            leaves,
+            bbox,
+        }
+    }
+
+    /// Number of leaf partitions.
+    pub fn num_leaves(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Region of a leaf partition.
+    pub fn leaf_rect(&self, leaf: usize) -> Rect {
+        self.nodes[self.leaves[leaf]].rect
+    }
+
+    /// The unique leaf containing `p` (points outside the bounding box are
+    /// clamped onto it, so every point routes somewhere).
+    pub fn leaf_of(&self, p: Point) -> usize {
+        let p = Point::new(
+            p.x.clamp(self.bbox.min_x, self.bbox.max_x),
+            p.y.clamp(self.bbox.min_y, self.bbox.max_y),
+        );
+        let mut id = 0usize;
+        while let Some(children) = self.nodes[id].children {
+            let c = self.nodes[id].rect.center();
+            let east = p.x >= c.x;
+            let north = p.y >= c.y;
+            id = children[usize::from(east) + 2 * usize::from(north)];
+        }
+        self.nodes[id].leaf_id
+    }
+
+    /// Appends every leaf whose region is within distance `eps` of `p`
+    /// (i.e. intersects the ε-disk) to `out` — the multi-assignment used for
+    /// the replicated side.
+    pub fn leaves_within(&self, p: Point, eps: f64, out: &mut Vec<usize>) {
+        let e2 = eps * eps;
+        let mut stack = vec![0usize];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id];
+            if node.rect.mindist2(p) > e2 {
+                continue;
+            }
+            match node.children {
+                Some(children) => stack.extend(children),
+                None => out.push(node.leaf_id),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn bbox() -> Rect {
+        Rect::new(0.0, 0.0, 100.0, 100.0)
+    }
+
+    fn clustered_sample(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                if i % 3 == 0 {
+                    Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0))
+                } else {
+                    // Dense cluster near (20, 30).
+                    Point::new(
+                        20.0 + rng.gen_range(-5.0..5.0),
+                        30.0 + rng.gen_range(-5.0..5.0),
+                    )
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn small_sample_single_leaf() {
+        let qt = QuadTreePartitioner::build(bbox(), &[Point::new(1.0, 1.0)], 10, 8);
+        assert_eq!(qt.num_leaves(), 1);
+        assert_eq!(qt.leaf_of(Point::new(99.0, 99.0)), 0);
+    }
+
+    #[test]
+    fn splits_follow_density() {
+        let sample = clustered_sample(3000, 17);
+        let qt = QuadTreePartitioner::build(bbox(), &sample, 100, 10);
+        assert!(qt.num_leaves() > 4);
+        // The dense cluster region must be partitioned finer than the sparse
+        // far corner.
+        let dense = qt.leaf_rect(qt.leaf_of(Point::new(20.0, 30.0)));
+        let sparse = qt.leaf_rect(qt.leaf_of(Point::new(90.0, 90.0)));
+        assert!(dense.area() < sparse.area());
+    }
+
+    #[test]
+    fn leaf_of_is_unique_and_consistent() {
+        let sample = clustered_sample(2000, 3);
+        let qt = QuadTreePartitioner::build(bbox(), &sample, 50, 10);
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..500 {
+            let p = Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0));
+            let leaf = qt.leaf_of(p);
+            assert!(leaf < qt.num_leaves());
+            assert!(qt.leaf_rect(leaf).contains(p));
+        }
+    }
+
+    #[test]
+    fn leaves_within_superset_of_leaf_of() {
+        let sample = clustered_sample(2000, 29);
+        let qt = QuadTreePartitioner::build(bbox(), &sample, 50, 10);
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut out = Vec::new();
+        for _ in 0..300 {
+            let p = Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0));
+            out.clear();
+            qt.leaves_within(p, 2.0, &mut out);
+            assert!(out.contains(&qt.leaf_of(p)));
+            // Every reported leaf is genuinely within eps; none reported twice.
+            let mut sorted = out.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), out.len());
+            for &l in &out {
+                assert!(qt.leaf_rect(l).within_eps_of(p, 2.0));
+            }
+        }
+    }
+
+    #[test]
+    fn leaves_tile_the_bbox() {
+        let sample = clustered_sample(1000, 41);
+        let qt = QuadTreePartitioner::build(bbox(), &sample, 30, 6);
+        let total: f64 = (0..qt.num_leaves()).map(|l| qt.leaf_rect(l).area()).sum();
+        assert!((total - bbox().area()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn outside_points_are_clamped() {
+        let qt = QuadTreePartitioner::build(bbox(), &clustered_sample(500, 5), 30, 6);
+        let leaf = qt.leaf_of(Point::new(-10.0, 200.0));
+        assert!(leaf < qt.num_leaves());
+    }
+
+    #[test]
+    fn max_depth_bounds_leaf_count() {
+        // All sample points identical: without a depth bound this would
+        // recurse forever.
+        let sample = vec![Point::new(50.0, 50.0); 1000];
+        let qt = QuadTreePartitioner::build(bbox(), &sample, 10, 5);
+        assert!(qt.num_leaves() <= 4usize.pow(4) + 3 * 4);
+    }
+}

@@ -1,0 +1,316 @@
+use asj_geom::{Point, Rect};
+
+/// An immutable R-tree bulk-loaded with the Sort-Tile-Recursive (STR)
+/// algorithm.
+///
+/// The Sedona-like baseline builds one per partition over the larger input
+/// and probes it with ε-expanded query boxes. Entries are `(Rect, T)`; for
+/// point data the rectangle is degenerate.
+///
+/// # Example
+///
+/// ```
+/// use asj_geom::{Point, Rect};
+/// use asj_index::RTree;
+///
+/// let items: Vec<(Rect, u32)> = (0..100)
+///     .map(|i| (Rect::from_point(Point::new(i as f64, 0.0)), i))
+///     .collect();
+/// let tree = RTree::bulk_load(items, 16);
+/// let mut hits = Vec::new();
+/// tree.query_within(Point::new(10.2, 0.0), 1.0, |_, &i| hits.push(i));
+/// hits.sort_unstable();
+/// assert_eq!(hits, vec![10, 11]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RTree<T> {
+    /// Leaf entries, reordered by the STR tiling.
+    entries: Vec<(Rect, T)>,
+    /// Tree nodes; the last one is the root (if any).
+    nodes: Vec<Node>,
+    root: Option<usize>,
+    max_entries: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    rect: Rect,
+    kind: NodeKind,
+}
+
+#[derive(Debug, Clone)]
+enum NodeKind {
+    /// Range into `entries`.
+    Leaf(std::ops::Range<usize>),
+    /// Child node indices.
+    Inner(Vec<usize>),
+}
+
+impl<T> RTree<T> {
+    /// Bulk-loads the tree. `max_entries` is the node fan-out (≥ 2); 16 is a
+    /// reasonable default for point data.
+    pub fn bulk_load(mut items: Vec<(Rect, T)>, max_entries: usize) -> Self {
+        assert!(max_entries >= 2, "fan-out must be at least 2");
+        if items.is_empty() {
+            return RTree {
+                entries: Vec::new(),
+                nodes: Vec::new(),
+                root: None,
+                max_entries,
+            };
+        }
+        let n = items.len();
+        let m = max_entries;
+        // STR leaf tiling: sort by center-x, cut into vertical slabs of
+        // ~sqrt(n/m) leaves each, sort each slab by center-y, cut into leaves.
+        let leaf_count = n.div_ceil(m);
+        let slabs = (leaf_count as f64).sqrt().ceil() as usize;
+        let per_slab = n.div_ceil(slabs);
+        items.sort_by(|a, b| a.0.center().x.total_cmp(&b.0.center().x));
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut leaf_ids: Vec<usize> = Vec::new();
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + per_slab).min(n);
+            items[start..end].sort_by(|a, b| a.0.center().y.total_cmp(&b.0.center().y));
+            let mut ls = start;
+            while ls < end {
+                let le = (ls + m).min(end);
+                let mut rect = Rect::empty();
+                for (r, _) in &items[ls..le] {
+                    rect = rect.union(r);
+                }
+                nodes.push(Node {
+                    rect,
+                    kind: NodeKind::Leaf(ls..le),
+                });
+                leaf_ids.push(nodes.len() - 1);
+                ls = le;
+            }
+            start = end;
+        }
+        // Build upper levels by re-tiling node MBRs until one root remains.
+        let mut level = leaf_ids;
+        while level.len() > 1 {
+            let count = level.len();
+            let groups = count.div_ceil(m);
+            let slabs = (groups as f64).sqrt().ceil() as usize;
+            let per_slab = count.div_ceil(slabs);
+            level.sort_by(|&a, &b| {
+                nodes[a]
+                    .rect
+                    .center()
+                    .x
+                    .total_cmp(&nodes[b].rect.center().x)
+            });
+            let mut next: Vec<usize> = Vec::new();
+            let mut start = 0usize;
+            while start < count {
+                let end = (start + per_slab).min(count);
+                level[start..end].sort_by(|&a, &b| {
+                    nodes[a]
+                        .rect
+                        .center()
+                        .y
+                        .total_cmp(&nodes[b].rect.center().y)
+                });
+                let mut gs = start;
+                while gs < end {
+                    let ge = (gs + m).min(end);
+                    let children: Vec<usize> = level[gs..ge].to_vec();
+                    let mut rect = Rect::empty();
+                    for &c in &children {
+                        rect = rect.union(&nodes[c].rect);
+                    }
+                    nodes.push(Node {
+                        rect,
+                        kind: NodeKind::Inner(children),
+                    });
+                    next.push(nodes.len() - 1);
+                    gs = ge;
+                }
+                start = end;
+            }
+            level = next;
+        }
+        let root = level.first().copied();
+        RTree {
+            entries: items,
+            nodes,
+            root,
+            max_entries,
+        }
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Node fan-out used at load time.
+    pub fn fan_out(&self) -> usize {
+        self.max_entries
+    }
+
+    /// Height of the tree (0 for an empty tree, 1 for a single leaf).
+    pub fn height(&self) -> usize {
+        fn depth(nodes: &[Node], id: usize) -> usize {
+            match &nodes[id].kind {
+                NodeKind::Leaf(_) => 1,
+                NodeKind::Inner(children) => 1 + depth(nodes, children[0]),
+            }
+        }
+        self.root.map_or(0, |r| depth(&self.nodes, r))
+    }
+
+    /// Visits every entry whose rectangle intersects `query`.
+    pub fn query<F: FnMut(&Rect, &T)>(&self, query: &Rect, mut visit: F) {
+        let Some(root) = self.root else { return };
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id];
+            if !node.rect.intersects(query) {
+                continue;
+            }
+            match &node.kind {
+                NodeKind::Leaf(range) => {
+                    for (rect, item) in &self.entries[range.clone()] {
+                        if rect.intersects(query) {
+                            visit(rect, item);
+                        }
+                    }
+                }
+                NodeKind::Inner(children) => stack.extend(children.iter().copied()),
+            }
+        }
+    }
+
+    /// Visits every entry whose rectangle is within distance `eps` of `p`
+    /// (MINDIST pruning) — the probe shape of an ε-distance join.
+    pub fn query_within<F: FnMut(&Rect, &T)>(&self, p: Point, eps: f64, mut visit: F) {
+        let Some(root) = self.root else { return };
+        let e2 = eps * eps;
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id];
+            if node.rect.mindist2(p) > e2 {
+                continue;
+            }
+            match &node.kind {
+                NodeKind::Leaf(range) => {
+                    for (rect, item) in &self.entries[range.clone()] {
+                        if rect.mindist2(p) <= e2 {
+                            visit(rect, item);
+                        }
+                    }
+                }
+                NodeKind::Inner(children) => stack.extend(children.iter().copied()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<(Rect, usize)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let p = Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0));
+                (Rect::from_point(p), i)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t: RTree<usize> = RTree::bulk_load(Vec::new(), 8);
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 0);
+        let mut hits = 0;
+        t.query(&Rect::new(0.0, 0.0, 1.0, 1.0), |_, _| hits += 1);
+        assert_eq!(hits, 0);
+    }
+
+    #[test]
+    fn single_entry() {
+        let t = RTree::bulk_load(vec![(Rect::from_point(Point::new(5.0, 5.0)), 7usize)], 4);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.height(), 1);
+        let mut hit = None;
+        t.query(&Rect::new(4.0, 4.0, 6.0, 6.0), |_, &i| hit = Some(i));
+        assert_eq!(hit, Some(7));
+    }
+
+    #[test]
+    fn rect_query_matches_linear_scan() {
+        let items = random_points(2000, 11);
+        let t = RTree::bulk_load(items.clone(), 16);
+        assert!(t.height() >= 2);
+        for qi in 0..50 {
+            let q = Rect::new(
+                (qi * 2) as f64 % 90.0,
+                (qi * 3) as f64 % 90.0,
+                (qi * 2) as f64 % 90.0 + 8.0,
+                (qi * 3) as f64 % 90.0 + 8.0,
+            );
+            let mut got: Vec<usize> = Vec::new();
+            t.query(&q, |_, &i| got.push(i));
+            got.sort_unstable();
+            let mut want: Vec<usize> = items
+                .iter()
+                .filter(|(r, _)| r.intersects(&q))
+                .map(|&(_, i)| i)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn within_query_matches_linear_scan() {
+        let items = random_points(1500, 23);
+        let t = RTree::bulk_load(items.clone(), 10);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let p = Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0));
+            let eps = rng.gen_range(0.5..10.0);
+            let mut got: Vec<usize> = Vec::new();
+            t.query_within(p, eps, |_, &i| got.push(i));
+            got.sort_unstable();
+            let mut want: Vec<usize> = items
+                .iter()
+                .filter(|(r, _)| r.within_eps_of(p, eps))
+                .map(|&(_, i)| i)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn height_grows_logarithmically() {
+        let t = RTree::bulk_load(random_points(4096, 3), 16);
+        // 4096 entries at fan-out 16: 256 leaves, 16 inner, 1 root = height 3.
+        assert!(t.height() <= 4, "height {}", t.height());
+        assert_eq!(t.fan_out(), 16);
+    }
+
+    #[test]
+    fn duplicate_positions_are_all_found() {
+        let p = Point::new(1.0, 1.0);
+        let items: Vec<(Rect, usize)> = (0..20).map(|i| (Rect::from_point(p), i)).collect();
+        let t = RTree::bulk_load(items, 4);
+        let mut hits = 0;
+        t.query_within(p, 0.1, |_, _| hits += 1);
+        assert_eq!(hits, 20);
+    }
+}

@@ -1,0 +1,209 @@
+use crate::pipeline::{join_stage, map_stage};
+use crate::{JoinOutput, JoinSpec, Record};
+use asj_core::{cell_costs, AgreementGraph, AgreementPolicy, GridSample, SetLabel};
+use asj_engine::{
+    Cluster, Dataset, ExplicitPartitioner, HashPartitioner, JobMetrics, Partitioner, Placement,
+};
+use asj_grid::{Grid, GridSpec};
+use std::time::Instant;
+
+/// The paper's Algorithm 5: parallel ε-distance join with **adaptive
+/// replication** (LPiB or DIFF instantiation of the graph of agreements).
+///
+/// Stages, with their metric attribution:
+///
+/// 1. **Grid determination** and input partitioning (driver, cheap).
+/// 2. **Sampling** of both inputs (parallel; part of construction) and
+///    **agreement-based grid construction** on the driver: the sampled
+///    statistics instantiate the graph of agreements and Algorithm 1 makes
+///    it duplicate-free (driver time).
+/// 3. **Spatial mapping**: the broadcast graph assigns every record to cell
+///    keys via Algorithms 2–4 (parallel; construction).
+/// 4. **Shuffle** with hash or LPT cell placement (metered; construction).
+/// 5. **Partition-local join** with immediate distance refinement (parallel;
+///    join phase).
+pub fn adaptive_join(
+    cluster: &Cluster,
+    spec: &JoinSpec,
+    policy: AgreementPolicy,
+    r: Vec<Record>,
+    s: Vec<Record>,
+) -> JoinOutput {
+    let grid = Grid::new(GridSpec::with_factor(spec.bbox, spec.eps, spec.grid_factor));
+    assert!(
+        grid.supports_agreements(),
+        "adaptive replication requires cell side > 2*eps (grid_factor >= 2)"
+    );
+    let rdd_r = Dataset::from_vec(r, spec.input_partitions);
+    let rdd_s = Dataset::from_vec(s, spec.input_partitions);
+
+    // --- Sampling (parallel) + graph construction (driver). ---
+    let mut construction = asj_engine::ExecStats::default();
+    let (sample_r, ex) = rdd_r.sample(cluster, spec.sample_fraction, spec.seed);
+    construction.accumulate(&ex);
+    let (sample_s, ex) = rdd_s.sample(cluster, spec.sample_fraction, spec.seed ^ 0x5151);
+    construction.accumulate(&ex);
+
+    let driver_start = Instant::now();
+    let sample = GridSample::from_points(
+        &grid,
+        sample_r.iter().map(|rec| rec.point),
+        sample_s.iter().map(|rec| rec.point),
+    );
+    let graph = AgreementGraph::build(&grid, &sample, policy);
+    let broadcast_bytes = graph.broadcast_bytes();
+
+    // Cell placement: Spark-default hash, or LPT over sampled cell costs.
+    let partitioner: Box<dyn Partitioner<u64> + Sync> = match spec.placement {
+        Placement::Hash => Box::new(HashPartitioner::new(spec.num_partitions)),
+        Placement::RoundRobin => {
+            Box::new(asj_engine::RoundRobinPartitioner::new(spec.num_partitions))
+        }
+        Placement::Lpt => {
+            let costs = cell_costs(
+                &graph,
+                sample_r.iter().map(|rec| &rec.point),
+                sample_s.iter().map(|rec| &rec.point),
+            );
+            let weighted: Vec<(u64, u64)> = costs
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.cost() > 0)
+                .map(|(i, c)| (i as u64, c.cost()))
+                .collect();
+            let map = asj_engine::lpt_assign(&weighted, spec.num_partitions);
+            Box::new(ExplicitPartitioner::new(map, spec.num_partitions))
+        }
+    };
+    let driver = driver_start.elapsed();
+
+    // --- Spatial mapping (Algorithms 2-4) on the broadcast graph. ---
+    let graph_b = cluster.broadcast(graph);
+    let assign = |label: SetLabel| {
+        let graph_b = graph_b.clone();
+        move |p: asj_geom::Point, cells: &mut Vec<u64>, scratch: &mut Vec<asj_grid::CellCoord>| {
+            graph_b.assign(p, label, scratch);
+            cells.extend(scratch.iter().map(|&c| graph_b.grid().cell_index(c) as u64));
+        }
+    };
+    let (keyed_r, rep_r, ex) = map_stage(cluster, rdd_r, assign(SetLabel::R));
+    construction.accumulate(&ex);
+    let (keyed_s, rep_s, ex) = map_stage(cluster, rdd_s, assign(SetLabel::S));
+    construction.accumulate(&ex);
+
+    // --- Shuffle + local join with refinement. ---
+    let out = join_stage(cluster, spec, keyed_r, keyed_s, &*partitioner);
+    construction.accumulate(&out.shuffle_exec);
+
+    JoinOutput {
+        algorithm: policy.name().to_string(),
+        pairs: out.pairs,
+        result_count: out.result_count,
+        candidates: out.candidates,
+        replicated: [rep_r, rep_s],
+        metrics: JobMetrics {
+            shuffle: out.shuffle,
+            construction,
+            join: out.join_exec,
+            driver,
+            broadcast_bytes,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::to_records;
+    use asj_engine::ClusterConfig;
+    use asj_geom::{Point, Rect};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterConfig::with_threads(4, 2))
+    }
+
+    fn random_records(n: usize, seed: u64, extent: f64) -> Vec<Record> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts: Vec<Point> = (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)))
+            .collect();
+        to_records(&pts, 0)
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_data() {
+        let c = cluster();
+        let spec = JoinSpec::new(Rect::new(0.0, 0.0, 20.0, 20.0), 1.0)
+            .with_partitions(8)
+            .with_sample_fraction(0.3);
+        let r = random_records(400, 1, 20.0);
+        let s = random_records(400, 2, 20.0);
+        let expected = crate::oracle::brute_force_pairs(&r, &s, spec.eps);
+        for policy in [AgreementPolicy::Lpib, AgreementPolicy::Diff] {
+            let out = adaptive_join(&c, &spec, policy, r.clone(), s.clone());
+            let mut got = out.pairs.clone();
+            got.sort_unstable();
+            assert_eq!(got, expected, "{}", policy.name());
+            assert_eq!(out.result_count as usize, expected.len());
+            assert!(out.candidates >= out.result_count);
+        }
+    }
+
+    #[test]
+    fn lpt_placement_keeps_results_identical() {
+        let c = cluster();
+        let base = JoinSpec::new(Rect::new(0.0, 0.0, 20.0, 20.0), 1.0)
+            .with_partitions(8)
+            .with_sample_fraction(0.5);
+        let r = random_records(300, 3, 20.0);
+        let s = random_records(300, 4, 20.0);
+        let hash = adaptive_join(&c, &base, AgreementPolicy::Lpib, r.clone(), s.clone());
+        let lpt = adaptive_join(
+            &c,
+            &base.clone().with_placement(Placement::Lpt),
+            AgreementPolicy::Lpib,
+            r,
+            s,
+        );
+        let mut a = hash.pairs.clone();
+        let mut b = lpt.pairs.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert_eq!(hash.replicated, lpt.replicated);
+    }
+
+    #[test]
+    fn counting_mode_skips_materialization() {
+        let c = cluster();
+        let spec = JoinSpec::new(Rect::new(0.0, 0.0, 20.0, 20.0), 1.0)
+            .with_partitions(4)
+            .counting_only();
+        let r = random_records(200, 5, 20.0);
+        let s = random_records(200, 6, 20.0);
+        let expected = crate::oracle::brute_force_pairs(&r, &s, spec.eps);
+        let out = adaptive_join(&c, &spec, AgreementPolicy::Lpib, r, s);
+        assert!(out.pairs.is_empty());
+        assert_eq!(out.result_count as usize, expected.len());
+    }
+
+    #[test]
+    fn metrics_are_populated() {
+        let c = cluster();
+        let spec = JoinSpec::new(Rect::new(0.0, 0.0, 20.0, 20.0), 1.0).with_partitions(4);
+        let r = random_records(500, 7, 20.0);
+        let s = random_records(500, 8, 20.0);
+        let out = adaptive_join(&c, &spec, AgreementPolicy::Diff, r, s);
+        assert!(out.metrics.shuffle.records >= 1000, "all records shuffle");
+        assert!(out.metrics.shuffle.total_bytes() > 0);
+        assert!(out.metrics.simulated_time() > std::time::Duration::ZERO);
+        assert!(out.metrics.wall_time() >= out.metrics.driver);
+        assert!(
+            out.metrics.broadcast_bytes > 0,
+            "grid broadcast must be metered"
+        );
+        assert_eq!(out.algorithm, "DIFF");
+    }
+}

@@ -1,0 +1,379 @@
+use crate::{JoinSpec, Record};
+use asj_engine::{Cluster, Dataset, ExecStats, HashPartitioner, KeyedDataset, ShuffleStats};
+use asj_geom::Point;
+use asj_grid::{CellCoord, Grid, GridSpec};
+use std::collections::HashMap;
+
+/// Zipped per-partition (queries, data) inputs of one search round.
+type RoundTasks = Vec<(Vec<(u64, Record)>, Vec<(u64, Record)>)>;
+
+/// Result of a [`knn_join`].
+#[derive(Debug, Clone)]
+pub struct KnnOutput {
+    /// For every query id: its `k` nearest neighbor ids with distances,
+    /// ascending (fewer than `k` only when `|S| < k`).
+    pub neighbors: Vec<(u64, Vec<(u64, f64)>)>,
+    /// Search rounds executed (radius doubles per round).
+    pub rounds: usize,
+    pub shuffle: ShuffleStats,
+    pub exec: ExecStats,
+}
+
+/// Distributed **k-nearest-neighbor join**: for every point of `r`, its `k`
+/// nearest points of `s` — the companion operation of the distance join in
+/// the Spark-based spatial engines the paper compares against (Simba,
+/// LocationSpark; studied for Sedona in \[9\]).
+///
+/// Expanding-ring implementation on the same grid substrate: `s` is shuffled
+/// once by native cell; queries probe the cells within a search radius that
+/// starts at one cell size and doubles each round, until the k-th neighbor
+/// distance is within the searched radius (then no unseen point can improve
+/// the answer). Per cell only the k best candidates of a query travel back,
+/// so result traffic stays `O(|R|·k)` per round.
+///
+/// The grid resolution comes from `spec` (`grid_factor · eps` cells); `k`
+/// must be positive. Ties are broken by neighbor id, making the result
+/// deterministic.
+pub fn knn_join(
+    cluster: &Cluster,
+    spec: &JoinSpec,
+    k: usize,
+    r: Vec<Record>,
+    s: Vec<Record>,
+) -> KnnOutput {
+    assert!(k > 0, "k must be positive");
+    let grid = Grid::new(GridSpec::with_factor(spec.bbox, spec.eps, spec.grid_factor));
+    let s_total = s.len();
+    let partitioner = HashPartitioner::new(spec.num_partitions);
+    let placement: Vec<usize> = (0..spec.num_partitions)
+        .map(|p| cluster.node_of_partition(p))
+        .collect();
+    let mut exec = ExecStats::default();
+    let mut shuffle = ShuffleStats::default();
+
+    // Shuffle S once by its native cell.
+    let grid_b = cluster.broadcast(grid);
+    let rdd_s = Dataset::from_vec(s, spec.input_partitions);
+    let (s_parts, ex) = cluster.run_partitioned(rdd_s.into_partitions(), |_, part| {
+        part.into_iter()
+            .map(|rec| (grid_b.cell_index(grid_b.cell_of(rec.point)) as u64, rec))
+            .collect::<Vec<_>>()
+    });
+    exec.accumulate(&ex);
+    let (s_cells, sh, ex) = KeyedDataset::from_partitions(s_parts).shuffle(cluster, &partitioner);
+    shuffle.merge(&sh);
+    exec.accumulate(&ex);
+    // S stays resident; rounds re-join against it.
+    let s_parts: Vec<Vec<(u64, Record)>> = s_cells.into_partitions();
+
+    // Per-query best-so-far lists, merged on the driver between rounds.
+    let mut best: HashMap<u64, Vec<(f64, u64)>> = HashMap::new();
+    let mut pending: Vec<Record> = r;
+    for q in &pending {
+        best.insert(q.id, Vec::new());
+    }
+    let (lx, ly) = grid_b.cell_side();
+    let mut radius = lx.max(ly);
+    let world = (grid_b.bbox().width().powi(2) + grid_b.bbox().height().powi(2)).sqrt();
+    let mut rounds = 0usize;
+
+    while !pending.is_empty() {
+        rounds += 1;
+        // Route every pending query to all cells within the current radius.
+        let rad = radius;
+        let grid_q = grid_b.clone();
+        let rdd_q = Dataset::from_vec(pending.clone(), spec.input_partitions);
+        let (q_parts, ex) = cluster.run_partitioned(rdd_q.into_partitions(), |_, part| {
+            let mut out = Vec::new();
+            let mut cells: Vec<CellCoord> = Vec::new();
+            for rec in part {
+                cells.clear();
+                cells.push(grid_q.cell_of(rec.point));
+                let save_eps = rad;
+                // All cells with MINDIST <= radius.
+                let lo = grid_q.cell_of(Point::new(rec.point.x - save_eps, rec.point.y - save_eps));
+                let hi = grid_q.cell_of(Point::new(rec.point.x + save_eps, rec.point.y + save_eps));
+                for cy in lo.y..=hi.y {
+                    for cx in lo.x..=hi.x {
+                        let c = CellCoord { x: cx, y: cy };
+                        if c != cells[0]
+                            && grid_q.cell_rect(c).mindist2(rec.point) <= save_eps * save_eps
+                        {
+                            cells.push(c);
+                        }
+                    }
+                }
+                for &c in &cells {
+                    out.push((grid_q.cell_index(c) as u64, rec.clone()));
+                }
+            }
+            out
+        });
+        exec.accumulate(&ex);
+        let (q_cells, sh, ex) =
+            KeyedDataset::from_partitions(q_parts).shuffle(cluster, &partitioner);
+        shuffle.merge(&sh);
+        exec.accumulate(&ex);
+
+        // Per partition: for each query in a cell, its k best candidates
+        // among the cell's S points.
+        let tasks: RoundTasks = q_cells
+            .into_partitions()
+            .into_iter()
+            .zip(s_parts.iter().cloned())
+            .collect();
+        let (cand_parts, ex) = cluster.run_placed(tasks, &placement, |_, (mut qs, mut ss)| {
+            qs.sort_unstable_by_key(|x| x.0);
+            ss.sort_unstable_by_key(|x| x.0);
+            let mut out: Vec<(u64, Vec<(f64, u64)>)> = Vec::new();
+            let mut si = 0usize;
+            let mut qi = 0usize;
+            while qi < qs.len() {
+                let cell = qs[qi].0;
+                while si < ss.len() && ss[si].0 < cell {
+                    si += 1;
+                }
+                let s_start = si;
+                let mut s_end = si;
+                while s_end < ss.len() && ss[s_end].0 == cell {
+                    s_end += 1;
+                }
+                while qi < qs.len() && qs[qi].0 == cell {
+                    let q = &qs[qi].1;
+                    if s_end > s_start {
+                        let mut cands: Vec<(f64, u64)> = ss[s_start..s_end]
+                            .iter()
+                            .map(|(_, srec)| (q.point.dist2(srec.point), srec.id))
+                            .collect();
+                        cands.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                        cands.truncate(k);
+                        out.push((q.id, cands));
+                    }
+                    qi += 1;
+                }
+            }
+            out
+        });
+        exec.accumulate(&ex);
+
+        // Driver: merge candidates and decide which queries are resolved.
+        for part in cand_parts {
+            for (qid, cands) in part {
+                let entry = best.get_mut(&qid).expect("query must exist");
+                entry.extend(cands);
+                entry.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                entry.dedup_by_key(|e| e.1);
+                entry.truncate(k);
+            }
+        }
+        let r2 = radius * radius;
+        pending.retain(|q| {
+            let found = &best[&q.id];
+            let complete = found.len() >= k.min(s_total);
+            let safe = found
+                .len()
+                .checked_sub(1)
+                .map(|last| found[last].0 <= r2)
+                .unwrap_or(false);
+            !(complete && (safe || radius >= world))
+        });
+        if radius >= world {
+            break;
+        }
+        radius = (radius * 2.0).min(world);
+    }
+
+    let mut neighbors: Vec<(u64, Vec<(u64, f64)>)> = best
+        .into_iter()
+        .map(|(qid, list)| {
+            (
+                qid,
+                list.into_iter().map(|(d2, sid)| (sid, d2.sqrt())).collect(),
+            )
+        })
+        .collect();
+    neighbors.sort_unstable_by_key(|x| x.0);
+    KnnOutput {
+        neighbors,
+        rounds,
+        shuffle,
+        exec,
+    }
+}
+
+/// Brute-force kNN oracle (ids of the k nearest, ties by id).
+pub fn brute_force_knn(r: &[Record], s: &[Record], k: usize) -> Vec<(u64, Vec<u64>)> {
+    let mut out: Vec<(u64, Vec<u64>)> = r
+        .iter()
+        .map(|q| {
+            let mut d: Vec<(f64, u64)> = s.iter().map(|p| (q.point.dist2(p.point), p.id)).collect();
+            d.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            d.truncate(k);
+            (q.id, d.into_iter().map(|(_, id)| id).collect())
+        })
+        .collect();
+    out.sort_unstable_by_key(|x| x.0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::to_records;
+    use asj_engine::ClusterConfig;
+    use asj_geom::Rect;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterConfig::with_threads(3, 2))
+    }
+
+    fn records(n: usize, seed: u64, extent: f64) -> Vec<Record> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts: Vec<Point> = (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)))
+            .collect();
+        to_records(&pts, 0)
+    }
+
+    #[test]
+    fn matches_brute_force_uniform() {
+        let c = cluster();
+        let spec = JoinSpec::new(Rect::new(0.0, 0.0, 20.0, 20.0), 1.0).with_partitions(8);
+        let r = records(120, 91, 20.0);
+        let s = records(300, 92, 20.0);
+        for k in [1usize, 3, 10] {
+            let expected = brute_force_knn(&r, &s, k);
+            let out = knn_join(&c, &spec, k, r.clone(), s.clone());
+            let got: Vec<(u64, Vec<u64>)> = out
+                .neighbors
+                .iter()
+                .map(|(q, ns)| (*q, ns.iter().map(|(id, _)| *id).collect()))
+                .collect();
+            assert_eq!(got, expected, "k={k}");
+        }
+    }
+
+    #[test]
+    fn sparse_queries_need_multiple_rounds() {
+        let c = cluster();
+        let spec = JoinSpec::new(Rect::new(0.0, 0.0, 40.0, 40.0), 1.0).with_partitions(8);
+        // One query in an empty corner, S clustered far away.
+        let r = to_records(&[Point::new(1.0, 1.0)], 0);
+        let mut rng = StdRng::seed_from_u64(93);
+        let s_pts: Vec<Point> = (0..50)
+            .map(|_| {
+                Point::new(
+                    35.0 + rng.gen_range(0.0..4.0),
+                    35.0 + rng.gen_range(0.0..4.0),
+                )
+            })
+            .collect();
+        let s = to_records(&s_pts, 0);
+        let expected = brute_force_knn(&r, &s, 5);
+        let out = knn_join(&c, &spec, 5, r, s);
+        assert!(out.rounds > 1, "far neighbors require ring expansion");
+        let got: Vec<(u64, Vec<u64>)> = out
+            .neighbors
+            .iter()
+            .map(|(q, ns)| (*q, ns.iter().map(|(id, _)| *id).collect()))
+            .collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn k_larger_than_s_returns_everything() {
+        let c = cluster();
+        let spec = JoinSpec::new(Rect::new(0.0, 0.0, 10.0, 10.0), 1.0).with_partitions(4);
+        let r = records(5, 94, 10.0);
+        let s = records(3, 95, 10.0);
+        let out = knn_join(&c, &spec, 10, r, s);
+        for (_, ns) in &out.neighbors {
+            assert_eq!(ns.len(), 3);
+        }
+    }
+
+    #[test]
+    fn distances_are_ascending() {
+        let c = cluster();
+        let spec = JoinSpec::new(Rect::new(0.0, 0.0, 20.0, 20.0), 1.0).with_partitions(8);
+        let r = records(50, 96, 20.0);
+        let s = records(200, 97, 20.0);
+        let out = knn_join(&c, &spec, 4, r, s);
+        assert_eq!(out.neighbors.len(), 50);
+        for (_, ns) in &out.neighbors {
+            assert!(ns.windows(2).all(|w| w[0].1 <= w[1].1));
+        }
+    }
+
+    #[test]
+    fn clustered_data_matches_brute_force() {
+        let c = cluster();
+        let spec = JoinSpec::new(Rect::new(0.0, 0.0, 30.0, 30.0), 1.0).with_partitions(12);
+        let mut rng = StdRng::seed_from_u64(98);
+        let mut pts = Vec::new();
+        for _ in 0..6 {
+            let cx: f64 = rng.gen_range(2.0..28.0);
+            let cy: f64 = rng.gen_range(2.0..28.0);
+            for _ in 0..40 {
+                pts.push(Point::new(
+                    (cx + rng.gen_range(-1.0..1.0)).clamp(0.0, 30.0),
+                    (cy + rng.gen_range(-1.0..1.0)).clamp(0.0, 30.0),
+                ));
+            }
+        }
+        let s = to_records(&pts, 0);
+        let r = records(60, 99, 30.0);
+        let expected = brute_force_knn(&r, &s, 7);
+        let out = knn_join(&c, &spec, 7, r, s);
+        let got: Vec<(u64, Vec<u64>)> = out
+            .neighbors
+            .iter()
+            .map(|(q, ns)| (*q, ns.iter().map(|(id, _)| *id).collect()))
+            .collect();
+        assert_eq!(got, expected);
+    }
+}
+
+#[cfg(test)]
+mod kdtree_oracle_tests {
+    use super::*;
+    use crate::to_records;
+    use asj_engine::ClusterConfig;
+    use asj_geom::Rect;
+    use asj_index::KdTree;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Independent cross-check: the distributed kNN join against the k-d
+    /// tree's exact kNN (a different algorithm from the brute-force oracle).
+    #[test]
+    fn knn_join_matches_kdtree() {
+        let c = Cluster::new(ClusterConfig::with_threads(3, 2));
+        let spec = JoinSpec::new(Rect::new(0.0, 0.0, 25.0, 25.0), 1.0).with_partitions(8);
+        let mut rng = StdRng::seed_from_u64(123);
+        let pts = |rng: &mut StdRng, n: usize| -> Vec<Point> {
+            (0..n)
+                .map(|_| Point::new(rng.gen_range(0.0..25.0), rng.gen_range(0.0..25.0)))
+                .collect()
+        };
+        let r = to_records(&pts(&mut rng, 80), 0);
+        let s = to_records(&pts(&mut rng, 400), 0);
+        let tree = KdTree::build(s.iter().map(|rec| (rec.point, rec.id)).collect());
+        let k = 5;
+        let out = knn_join(&c, &spec, k, r.clone(), s);
+        for (qid, ns) in &out.neighbors {
+            let q = &r[*qid as usize];
+            let expect = tree.nearest(q.point, k);
+            assert_eq!(ns.len(), expect.len());
+            for ((_, got_d), (want_d2, _)) in ns.iter().zip(&expect) {
+                assert!(
+                    (got_d * got_d - want_d2).abs() < 1e-9,
+                    "query {qid}: {got_d} vs {}",
+                    want_d2.sqrt()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Reference implementations used to validate the distributed algorithms.
+
+use crate::Record;
+use asj_geom::Rect;
+use asj_index::RTree;
+
+/// All result pairs by exhaustive comparison, sorted — `O(|R|·|S|)`, for
+/// tests only.
+pub fn brute_force_pairs(r: &[Record], s: &[Record], eps: f64) -> Vec<(u64, u64)> {
+    let e2 = eps * eps;
+    let mut out = Vec::new();
+    for a in r {
+        for b in s {
+            if a.point.dist2(b.point) <= e2 {
+                out.push((a.id, b.id));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Result count only.
+pub fn brute_force_count(r: &[Record], s: &[Record], eps: f64) -> u64 {
+    let e2 = eps * eps;
+    let mut n = 0u64;
+    for a in r {
+        for b in s {
+            if a.point.dist2(b.point) <= e2 {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Centralized R-tree join: index S, probe with R. Faster than brute force
+/// for medium-sized validation runs; still single-threaded and exact.
+pub fn rtree_pairs(r: &[Record], s: &[Record], eps: f64) -> Vec<(u64, u64)> {
+    let tree = RTree::bulk_load(
+        s.iter()
+            .map(|rec| (Rect::from_point(rec.point), rec.id))
+            .collect(),
+        16,
+    );
+    let e2 = eps * eps;
+    let mut out = Vec::new();
+    for a in r {
+        tree.query_within(a.point, eps, |rect, &sid| {
+            // Point entries: MINDIST to a degenerate rect is the distance.
+            debug_assert!(rect.mindist2(a.point) <= e2);
+            out.push((a.id, sid));
+        });
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::to_records;
+    use asj_geom::Point;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn oracles_agree() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let pts = |n: usize, rng: &mut StdRng| -> Vec<Point> {
+            (0..n)
+                .map(|_| Point::new(rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)))
+                .collect()
+        };
+        let r = to_records(&pts(300, &mut rng), 0);
+        let s = to_records(&pts(300, &mut rng), 0);
+        let bf = brute_force_pairs(&r, &s, 0.5);
+        let rt = rtree_pairs(&r, &s, 0.5);
+        assert_eq!(bf, rt);
+        assert_eq!(bf.len() as u64, brute_force_count(&r, &s, 0.5));
+        assert!(!bf.is_empty());
+    }
+}

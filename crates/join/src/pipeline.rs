@@ -1,0 +1,285 @@
+use crate::{JoinOutput, JoinSpec, LocalKernel, Record};
+use asj_core::AgreementPolicy;
+use asj_engine::{Cluster, Dataset, ExecStats, KeyedDataset, Partitioner, ShuffleStats};
+use asj_geom::Point;
+use asj_index::kernels;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Every join algorithm of the paper's evaluation, dispatchable by name —
+/// the benchmark harness iterates over these to produce each figure's
+/// series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Adaptive replication, LPiB instantiation.
+    Lpib,
+    /// Adaptive replication, DIFF instantiation.
+    Diff,
+    /// PBSM universally replicating R.
+    UniR,
+    /// PBSM universally replicating S.
+    UniS,
+    /// ε×ε grid replicating the smaller input.
+    EpsGrid,
+    /// QuadTree partitioning + per-partition R-tree (Sedona-like).
+    Sedona,
+}
+
+impl Algorithm {
+    /// The six algorithms in the order the paper's figures list them.
+    pub const ALL: [Algorithm; 6] = [
+        Algorithm::Lpib,
+        Algorithm::Diff,
+        Algorithm::UniR,
+        Algorithm::UniS,
+        Algorithm::EpsGrid,
+        Algorithm::Sedona,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Lpib => "LPiB",
+            Algorithm::Diff => "DIFF",
+            Algorithm::UniR => "UNI(R)",
+            Algorithm::UniS => "UNI(S)",
+            Algorithm::EpsGrid => "eps-grid",
+            Algorithm::Sedona => "Sedona",
+        }
+    }
+
+    /// Runs this algorithm on the given inputs.
+    pub fn run(
+        self,
+        cluster: &Cluster,
+        spec: &JoinSpec,
+        r: Vec<Record>,
+        s: Vec<Record>,
+    ) -> JoinOutput {
+        match self {
+            Algorithm::Lpib => crate::adaptive_join(cluster, spec, AgreementPolicy::Lpib, r, s),
+            Algorithm::Diff => crate::adaptive_join(cluster, spec, AgreementPolicy::Diff, r, s),
+            Algorithm::UniR => crate::pbsm_join(cluster, spec, crate::ReplicateSide::R, r, s),
+            Algorithm::UniS => crate::pbsm_join(cluster, spec, crate::ReplicateSide::S, r, s),
+            Algorithm::EpsGrid => crate::eps_grid_join(cluster, spec, r, s),
+            Algorithm::Sedona => crate::sedona_like_join(cluster, spec, r, s),
+        }
+    }
+}
+
+/// Spatial-mapping stage: routes every record to the cell keys chosen by
+/// `assign` (Spark's `flatMapToPair`). Returns the keyed dataset, the number
+/// of replicas (pairs emitted beyond one per record) and the stage's
+/// execution stats.
+pub(crate) fn map_stage<F>(
+    cluster: &Cluster,
+    input: Dataset<Record>,
+    assign: F,
+) -> (KeyedDataset<u64, Record>, u64, ExecStats)
+where
+    F: Fn(Point, &mut Vec<u64>, &mut Vec<asj_grid::CellCoord>) + Sync,
+{
+    let records_in: u64 = input.len() as u64;
+    let (parts, stats) =
+        cluster.run_partitioned(input.into_partitions(), |_, part: Vec<Record>| {
+            let mut out: Vec<(u64, Record)> = Vec::with_capacity(part.len() + part.len() / 8);
+            let mut cells: Vec<u64> = Vec::with_capacity(4);
+            let mut scratch: Vec<asj_grid::CellCoord> = Vec::with_capacity(4);
+            for rec in part {
+                cells.clear();
+                assign(rec.point, &mut cells, &mut scratch);
+                debug_assert!(!cells.is_empty(), "every record must map to >= 1 cell");
+                // Clone for the replicas, move the original into the last.
+                for &c in &cells[1..] {
+                    out.push((c, rec.clone()));
+                }
+                out.push((cells[0], rec));
+            }
+            out
+        });
+    let keyed = KeyedDataset::from_partitions(parts);
+    let replicas = keyed.len() as u64 - records_in;
+    (keyed, replicas, stats)
+}
+
+/// Shuffle + partition-local join with immediate refinement (Algorithm 5,
+/// line 9). Returns pairs (if collected), result/candidate counts, combined
+/// shuffle stats, and the exec stats of the shuffle and join stages.
+pub(crate) fn join_stage<P>(
+    cluster: &Cluster,
+    spec: &JoinSpec,
+    keyed_r: KeyedDataset<u64, Record>,
+    keyed_s: KeyedDataset<u64, Record>,
+    partitioner: &P,
+) -> JoinStageOutput
+where
+    P: Partitioner<u64> + ?Sized,
+{
+    let (keyed_r, sh_r, ex_r) = keyed_r.shuffle(cluster, partitioner);
+    let (keyed_s, sh_s, ex_s) = keyed_s.shuffle(cluster, partitioner);
+    let mut shuffle = sh_r;
+    shuffle.merge(&sh_s);
+    let mut shuffle_exec = ex_r;
+    shuffle_exec.accumulate(&ex_s);
+
+    let placement: Vec<usize> = (0..partitioner.num_partitions())
+        .map(|p| cluster.node_of_partition(p))
+        .collect();
+    let eps = spec.eps;
+    let collect = spec.collect_pairs;
+    let kernel = spec.kernel;
+    let candidates = AtomicU64::new(0);
+    let results = AtomicU64::new(0);
+    let (joined, join_exec) = keyed_r.cogroup_join(
+        cluster,
+        keyed_s,
+        &placement,
+        |_cell, rs: &[Record], ss: &[Record], out: &mut Vec<(u64, u64)>| {
+            let emit = |i: usize, j: usize, out: &mut Vec<(u64, u64)>| {
+                if collect {
+                    out.push((rs[i].id, ss[j].id));
+                }
+            };
+            let stats = match kernel {
+                LocalKernel::NestedLoop => kernels::nested_loop(
+                    rs,
+                    ss,
+                    eps,
+                    |r| r.point,
+                    |s| s.point,
+                    |i, j| emit(i, j, out),
+                ),
+                LocalKernel::PlaneSweep => kernels::plane_sweep(
+                    rs,
+                    ss,
+                    eps,
+                    |r| r.point,
+                    |s| s.point,
+                    |i, j| emit(i, j, out),
+                ),
+            };
+            candidates.fetch_add(stats.candidates, Ordering::Relaxed);
+            results.fetch_add(stats.results, Ordering::Relaxed);
+        },
+    );
+    JoinStageOutput {
+        pairs: joined.collect(),
+        result_count: results.into_inner(),
+        candidates: candidates.into_inner(),
+        shuffle,
+        shuffle_exec,
+        join_exec,
+    }
+}
+
+pub(crate) struct JoinStageOutput {
+    pub pairs: Vec<(u64, u64)>,
+    pub result_count: u64,
+    pub candidates: u64,
+    pub shuffle: ShuffleStats,
+    pub shuffle_exec: ExecStats,
+    pub join_exec: ExecStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asj_engine::{ClusterConfig, HashPartitioner};
+    use asj_geom::Rect;
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterConfig::with_threads(2, 2))
+    }
+
+    #[test]
+    fn map_stage_counts_replicas() {
+        let c = cluster();
+        let recs = crate::to_records(
+            &[
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 1.0),
+                Point::new(2.0, 2.0),
+            ],
+            0,
+        );
+        // Every record goes to its id cell, even ids get one replica.
+        let ds = Dataset::from_vec(recs, 2);
+        let (keyed, replicas, _) = map_stage(&c, ds, |p, cells, _| {
+            cells.push(p.x as u64);
+            if (p.x as u64).is_multiple_of(2) {
+                cells.push(100 + p.x as u64);
+            }
+        });
+        assert_eq!(replicas, 2);
+        assert_eq!(keyed.len(), 5);
+    }
+
+    #[test]
+    fn join_stage_finds_pairs_in_shared_cells() {
+        let c = cluster();
+        let spec = JoinSpec::new(Rect::new(0.0, 0.0, 10.0, 10.0), 1.0);
+        let r = crate::to_records(&[Point::new(1.0, 1.0), Point::new(8.0, 8.0)], 0);
+        let s = crate::to_records(&[Point::new(1.5, 1.0), Point::new(4.0, 4.0)], 0);
+        // Everything keyed to one cell: the kernel sees all candidates.
+        let (kr, _, _) = map_stage(&c, Dataset::from_vec(r, 1), |_, cells, _| cells.push(0));
+        let (ks, _, _) = map_stage(&c, Dataset::from_vec(s, 1), |_, cells, _| cells.push(0));
+        let out = join_stage(&c, &spec, kr, ks, &HashPartitioner::new(4));
+        assert_eq!(out.result_count, 1); // only (1,1)-(1.5,1) within eps
+        assert_eq!(out.candidates, 4);
+        assert_eq!(out.pairs, vec![(0, 0)]);
+        assert_eq!(out.shuffle.records, 4);
+    }
+
+    #[test]
+    fn algorithm_names_match_paper() {
+        let names: Vec<&str> = Algorithm::ALL.iter().map(|a| a.name()).collect();
+        assert_eq!(
+            names,
+            vec!["LPiB", "DIFF", "UNI(R)", "UNI(S)", "eps-grid", "Sedona"]
+        );
+    }
+}
+
+#[cfg(test)]
+mod kernel_choice_tests {
+    use super::*;
+    use crate::{to_records, LocalKernel};
+    use asj_core::AgreementPolicy;
+    use asj_engine::ClusterConfig;
+    use asj_geom::{Point, Rect};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Both local kernels produce identical result sets; the sweep evaluates
+    /// fewer candidates.
+    #[test]
+    fn plane_sweep_kernel_matches_nested_loop() {
+        let c = Cluster::new(ClusterConfig::with_threads(3, 2));
+        let mut rng = StdRng::seed_from_u64(55);
+        let pts = |rng: &mut StdRng, n: usize| -> Vec<Point> {
+            (0..n)
+                .map(|_| Point::new(rng.gen_range(0.0..15.0), rng.gen_range(0.0..15.0)))
+                .collect()
+        };
+        let r = to_records(&pts(&mut rng, 400), 0);
+        let s = to_records(&pts(&mut rng, 400), 0);
+        let base = JoinSpec::new(Rect::new(0.0, 0.0, 15.0, 15.0), 0.8).with_partitions(8);
+        let nl = crate::adaptive_join(&c, &base, AgreementPolicy::Lpib, r.clone(), s.clone());
+        let ps = crate::adaptive_join(
+            &c,
+            &base.with_kernel(LocalKernel::PlaneSweep),
+            AgreementPolicy::Lpib,
+            r,
+            s,
+        );
+        let mut a = nl.pairs.clone();
+        let mut b = ps.pairs.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert!(
+            ps.candidates < nl.candidates,
+            "sweep must prune: {} vs {}",
+            ps.candidates,
+            nl.candidates
+        );
+    }
+}

@@ -1,0 +1,168 @@
+use crate::{JoinSpec, Record};
+use asj_engine::{Cluster, Dataset, ExecStats, HashPartitioner, KeyedDataset, ShuffleStats};
+use asj_geom::{Point, Rect};
+use asj_grid::{Grid, GridSpec};
+
+/// A grid-partitioned dataset ready to serve range queries: the distributed
+/// analog of a spatial table registered with a partitioner (every engine of
+/// the paper's related work exposes this alongside joins).
+#[derive(Debug)]
+pub struct PartitionedPoints {
+    grid: Grid,
+    parts: Vec<Vec<(u64, Record)>>,
+    pub build_shuffle: ShuffleStats,
+    pub build_exec: ExecStats,
+}
+
+impl PartitionedPoints {
+    /// Shuffles `data` by native grid cell (unique assignment — range
+    /// queries need no replication).
+    pub fn build(cluster: &Cluster, spec: &JoinSpec, data: Vec<Record>) -> Self {
+        let grid = Grid::new(GridSpec::with_factor(spec.bbox, spec.eps, spec.grid_factor));
+        let grid_b = cluster.broadcast(grid.clone());
+        let rdd = Dataset::from_vec(data, spec.input_partitions);
+        let (parts, mut exec) = cluster.run_partitioned(rdd.into_partitions(), |_, part| {
+            part.into_iter()
+                .map(|rec| (grid_b.cell_index(grid_b.cell_of(rec.point)) as u64, rec))
+                .collect::<Vec<_>>()
+        });
+        let partitioner = HashPartitioner::new(spec.num_partitions);
+        let (keyed, shuffle, ex) =
+            KeyedDataset::from_partitions(parts).shuffle(cluster, &partitioner);
+        exec.accumulate(&ex);
+        PartitionedPoints {
+            grid,
+            parts: keyed.into_partitions(),
+            build_shuffle: shuffle,
+            build_exec: exec,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.parts.iter().map(Vec::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.parts.iter().all(Vec::is_empty)
+    }
+
+    /// All record ids inside `region` (closed bounds), with per-cell pruning:
+    /// partitions only scan records of cells intersecting the region.
+    pub fn range_query(&self, cluster: &Cluster, region: Rect) -> (Vec<u64>, ExecStats) {
+        if region.is_empty() {
+            return (Vec::new(), ExecStats::default());
+        }
+        let grid = &self.grid;
+        let refs: Vec<&Vec<(u64, Record)>> = self.parts.iter().collect();
+        let (found, exec) = cluster.run_partitioned(refs, |_, part| {
+            part.iter()
+                .filter(|(cell, _)| {
+                    grid.cell_rect(grid.cell_at(*cell as usize))
+                        .intersects(&region)
+                })
+                .filter(|(_, rec)| region.contains(rec.point))
+                .map(|(_, rec)| rec.id)
+                .collect::<Vec<u64>>()
+        });
+        let mut out: Vec<u64> = found.into_iter().flatten().collect();
+        out.sort_unstable();
+        (out, exec)
+    }
+
+    /// All record ids within distance `radius` of `center`.
+    pub fn circle_query(
+        &self,
+        cluster: &Cluster,
+        center: Point,
+        radius: f64,
+    ) -> (Vec<u64>, ExecStats) {
+        assert!(radius >= 0.0, "radius must be non-negative");
+        let grid = &self.grid;
+        let r2 = radius * radius;
+        let refs: Vec<&Vec<(u64, Record)>> = self.parts.iter().collect();
+        let (found, exec) = cluster.run_partitioned(refs, |_, part| {
+            part.iter()
+                .filter(|(cell, _)| {
+                    grid.cell_rect(grid.cell_at(*cell as usize))
+                        .mindist2(center)
+                        <= r2
+                })
+                .filter(|(_, rec)| rec.point.dist2(center) <= r2)
+                .map(|(_, rec)| rec.id)
+                .collect::<Vec<u64>>()
+        });
+        let mut out: Vec<u64> = found.into_iter().flatten().collect();
+        out.sort_unstable();
+        (out, exec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::to_records;
+    use asj_engine::ClusterConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn setup() -> (Cluster, PartitionedPoints, Vec<Record>) {
+        let cluster = Cluster::new(ClusterConfig::with_threads(3, 2));
+        let spec = JoinSpec::new(Rect::new(0.0, 0.0, 20.0, 20.0), 1.0).with_partitions(12);
+        let mut rng = StdRng::seed_from_u64(314);
+        let pts: Vec<Point> = (0..800)
+            .map(|_| Point::new(rng.gen_range(0.0..20.0), rng.gen_range(0.0..20.0)))
+            .collect();
+        let records = to_records(&pts, 0);
+        let table = PartitionedPoints::build(&cluster, &spec, records.clone());
+        (cluster, table, records)
+    }
+
+    #[test]
+    fn range_query_matches_linear_scan() {
+        let (cluster, table, records) = setup();
+        assert_eq!(table.len(), 800);
+        for region in [
+            Rect::new(2.0, 3.0, 7.5, 9.0),
+            Rect::new(0.0, 0.0, 20.0, 20.0),
+            Rect::new(19.0, 19.0, 25.0, 25.0),
+            Rect::new(-5.0, -5.0, -1.0, -1.0),
+        ] {
+            let (got, _) = table.range_query(&cluster, region);
+            let mut want: Vec<u64> = records
+                .iter()
+                .filter(|r| region.contains(r.point))
+                .map(|r| r.id)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "{region:?}");
+        }
+    }
+
+    #[test]
+    fn circle_query_matches_linear_scan() {
+        let (cluster, table, records) = setup();
+        for (center, radius) in [
+            (Point::new(10.0, 10.0), 3.0),
+            (Point::new(0.0, 0.0), 5.0),
+            (Point::new(10.0, 10.0), 0.0),
+            (Point::new(10.0, 10.0), 100.0),
+        ] {
+            let (got, _) = table.circle_query(&cluster, center, radius);
+            let mut want: Vec<u64> = records
+                .iter()
+                .filter(|r| r.point.dist2(center) <= radius * radius)
+                .map(|r| r.id)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "center {center:?} radius {radius}");
+        }
+    }
+
+    #[test]
+    fn empty_region_is_empty() {
+        let (cluster, table, _) = setup();
+        let (got, _) = table.range_query(&cluster, Rect::empty());
+        assert!(got.is_empty());
+        assert!(!table.is_empty());
+    }
+}

@@ -1,0 +1,131 @@
+use asj_engine::Wire;
+use asj_geom::Point;
+use bytes::{Buf, BufMut};
+
+/// One spatial tuple: identifier, coordinates and the non-spatial attributes
+/// that travel with it (the *tuple size factor* payload of Figs. 16–18).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    pub id: u64,
+    pub point: Point,
+    pub payload: Vec<u8>,
+}
+
+impl Record {
+    pub fn new(id: u64, point: Point) -> Self {
+        Record {
+            id,
+            point,
+            payload: Vec::new(),
+        }
+    }
+
+    pub fn with_payload(id: u64, point: Point, payload: Vec<u8>) -> Self {
+        Record { id, point, payload }
+    }
+
+    /// A copy of this record without its non-spatial attributes — what the
+    /// post-processing variant of Table 5 ships through the spatial join.
+    pub fn stripped(&self) -> Record {
+        Record {
+            id: self.id,
+            point: self.point,
+            payload: Vec::new(),
+        }
+    }
+}
+
+impl Wire for Record {
+    #[inline]
+    fn encoded_size(&self) -> usize {
+        8 + 8 + 8 + 4 + self.payload.len()
+    }
+
+    #[inline]
+    fn encode(&self, buf: &mut impl BufMut) {
+        buf.put_u64_le(self.id);
+        buf.put_f64_le(self.point.x);
+        buf.put_f64_le(self.point.y);
+        buf.put_u32_le(self.payload.len() as u32);
+        buf.put_slice(&self.payload);
+    }
+
+    #[inline]
+    fn decode(buf: &mut impl Buf) -> Self {
+        let id = buf.get_u64_le();
+        let x = buf.get_f64_le();
+        let y = buf.get_f64_le();
+        let len = buf.get_u32_le() as usize;
+        let mut payload = vec![0u8; len];
+        buf.copy_to_slice(&mut payload);
+        Record {
+            id,
+            point: Point::new(x, y),
+            payload,
+        }
+    }
+}
+
+/// Wraps raw points into [`Record`]s with sequential ids and a fixed-size
+/// deterministic payload (`payload_bytes` per tuple; 0 for bare points).
+pub fn to_records(points: &[Point], payload_bytes: usize) -> Vec<Record> {
+    points
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            let mut payload = Vec::with_capacity(payload_bytes);
+            let mut state = (i as u64).wrapping_mul(0x5851_F42D_4C95_7F2D) ^ 0xA5A5;
+            while payload.len() < payload_bytes {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                payload.push(b'a' + ((state >> 60) % 26) as u8);
+            }
+            Record::with_payload(i as u64, p, payload)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    #[test]
+    fn wire_roundtrip() {
+        let r = Record::with_payload(7, Point::new(1.5, -2.5), vec![1, 2, 3]);
+        let mut buf = BytesMut::new();
+        r.encode(&mut buf);
+        assert_eq!(buf.len(), r.encoded_size());
+        let back = Record::decode(&mut buf.freeze());
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn encoded_size_grows_with_payload() {
+        let bare = Record::new(1, Point::new(0.0, 0.0));
+        let fat = Record::with_payload(1, Point::new(0.0, 0.0), vec![0; 256]);
+        assert_eq!(bare.encoded_size(), 28);
+        assert_eq!(fat.encoded_size(), 28 + 256);
+    }
+
+    #[test]
+    fn to_records_assigns_sequential_ids_and_payload() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)];
+        let recs = to_records(&pts, 16);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].id, 0);
+        assert_eq!(recs[1].id, 1);
+        assert_eq!(recs[0].payload.len(), 16);
+        assert_ne!(recs[0].payload, recs[1].payload);
+        // Deterministic.
+        assert_eq!(to_records(&pts, 16), recs);
+    }
+
+    #[test]
+    fn stripped_drops_payload_only() {
+        let r = Record::with_payload(9, Point::new(2.0, 3.0), vec![1; 64]);
+        let s = r.stripped();
+        assert_eq!(s.id, 9);
+        assert_eq!(s.point, r.point);
+        assert!(s.payload.is_empty());
+    }
+}

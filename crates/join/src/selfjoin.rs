@@ -1,0 +1,177 @@
+use crate::pipeline::map_stage;
+use crate::{JoinOutput, JoinSpec, Record};
+use asj_engine::{Cluster, Dataset, ExecStats, HashPartitioner, JobMetrics, Partitioner};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use asj_grid::{Grid, GridSpec};
+
+/// Distributed ε-distance **self-join**: all unordered pairs `{a, b}`,
+/// `a.id < b.id`, of one dataset within distance ε — the MR-DSJ setting of
+/// the paper's related work (Seidl et al.), implemented in the MASJ style
+/// with reference-point duplicate avoidance.
+///
+/// Every point is shuffled once, keyed by *all* cells within ε of it; each
+/// cell joins its points against themselves and a pair is reported only by
+/// the cell containing the pair's midpoint (which both endpoints are always
+/// replicated into, since `d/2 ≤ ε/2 < ε`).
+pub fn self_join(cluster: &Cluster, spec: &JoinSpec, input: Vec<Record>) -> JoinOutput {
+    let grid = Grid::new(GridSpec::with_factor(spec.bbox, spec.eps, spec.grid_factor));
+    let rdd = Dataset::from_vec(input, spec.input_partitions);
+    let mut construction = ExecStats::default();
+
+    let grid_b = cluster.broadcast(grid);
+    let assign = {
+        let grid_b = grid_b.clone();
+        move |p: asj_geom::Point, cells: &mut Vec<u64>, scratch: &mut Vec<asj_grid::CellCoord>| {
+            scratch.clear();
+            scratch.push(grid_b.cell_of(p));
+            grid_b.push_cells_within_eps(p, scratch);
+            cells.extend(scratch.iter().map(|&c| grid_b.cell_index(c) as u64));
+        }
+    };
+    let (keyed, replicas, ex) = map_stage(cluster, rdd, &assign);
+    construction.accumulate(&ex);
+
+    let partitioner = HashPartitioner::new(spec.num_partitions);
+    let (keyed, shuffle, ex) = keyed.shuffle(cluster, &partitioner);
+    construction.accumulate(&ex);
+
+    let placement: Vec<usize> = (0..partitioner.num_partitions())
+        .map(|p| cluster.node_of_partition(p))
+        .collect();
+    let eps = spec.eps;
+    let e2 = eps * eps;
+    let collect = spec.collect_pairs;
+    let candidates = AtomicU64::new(0);
+    let results = AtomicU64::new(0);
+    let (joined, join_exec) = keyed.process_groups(cluster, &placement, |cell, pts, out| {
+        let mut local_candidates = 0u64;
+        let mut local_results = 0u64;
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                local_candidates += 1;
+                let (a, b) = (&pts[i], &pts[j]);
+                if a.id == b.id || a.point.dist2(b.point) > e2 {
+                    continue;
+                }
+                let mid = asj_geom::Point::new(
+                    (a.point.x + b.point.x) * 0.5,
+                    (a.point.y + b.point.y) * 0.5,
+                );
+                if grid_b.cell_index(grid_b.cell_of(mid)) as u64 == cell {
+                    local_results += 1;
+                    if collect {
+                        let (lo, hi) = if a.id < b.id {
+                            (a.id, b.id)
+                        } else {
+                            (b.id, a.id)
+                        };
+                        out.push((lo, hi));
+                    }
+                }
+            }
+        }
+        candidates.fetch_add(local_candidates, Ordering::Relaxed);
+        results.fetch_add(local_results, Ordering::Relaxed);
+    });
+
+    JoinOutput {
+        algorithm: "self-join".to_string(),
+        pairs: joined.collect(),
+        result_count: results.into_inner(),
+        candidates: candidates.into_inner(),
+        replicated: [replicas, 0],
+        metrics: JobMetrics {
+            shuffle,
+            construction,
+            join: join_exec,
+            driver: std::time::Duration::ZERO,
+            broadcast_bytes: 0,
+        },
+    }
+}
+
+/// Brute-force self-join oracle: unordered pairs `(a.id < b.id)` within ε.
+pub fn brute_force_self_pairs(pts: &[Record], eps: f64) -> Vec<(u64, u64)> {
+    let e2 = eps * eps;
+    let mut out = Vec::new();
+    for (i, a) in pts.iter().enumerate() {
+        for b in &pts[i + 1..] {
+            if a.point.dist2(b.point) <= e2 {
+                let (lo, hi) = if a.id < b.id {
+                    (a.id, b.id)
+                } else {
+                    (b.id, a.id)
+                };
+                out.push((lo, hi));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::to_records;
+    use asj_engine::ClusterConfig;
+    use asj_geom::{Point, Rect};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterConfig::with_threads(3, 2))
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let c = cluster();
+        let spec = JoinSpec::new(Rect::new(0.0, 0.0, 16.0, 16.0), 0.9).with_partitions(8);
+        let mut rng = StdRng::seed_from_u64(71);
+        let pts: Vec<Point> = (0..500)
+            .map(|_| Point::new(rng.gen_range(0.0..16.0), rng.gen_range(0.0..16.0)))
+            .collect();
+        let recs = to_records(&pts, 0);
+        let expected = brute_force_self_pairs(&recs, spec.eps);
+        assert!(!expected.is_empty());
+        let out = self_join(&c, &spec, recs);
+        let mut got = out.pairs.clone();
+        got.sort_unstable();
+        assert_eq!(got, expected);
+        assert!(out.candidates >= out.result_count);
+    }
+
+    #[test]
+    fn no_self_pairs_and_no_ordered_duplicates() {
+        let c = cluster();
+        let spec = JoinSpec::new(Rect::new(0.0, 0.0, 10.0, 10.0), 1.0).with_partitions(4);
+        // Duplicate coordinates: ids differ, so they pair once.
+        let recs = to_records(&[Point::new(1.0, 1.0), Point::new(1.0, 1.0)], 0);
+        let out = self_join(&c, &spec, recs);
+        assert_eq!(out.pairs, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn dense_corner_cluster_still_exact() {
+        // Points packed around an interior grid corner: maximum replication
+        // overlap, worst case for the reference-point dedup.
+        let c = cluster();
+        let spec = JoinSpec::new(Rect::new(0.0, 0.0, 10.0, 10.0), 1.0).with_partitions(8);
+        let mut rng = StdRng::seed_from_u64(73);
+        let pts: Vec<Point> = (0..200)
+            .map(|_| {
+                Point::new(
+                    2.5 + rng.gen_range(-1.2..1.2),
+                    2.5 + rng.gen_range(-1.2..1.2),
+                )
+            })
+            .collect();
+        let recs = to_records(&pts, 0);
+        let expected = brute_force_self_pairs(&recs, spec.eps);
+        let out = self_join(&c, &spec, recs);
+        let mut got = out.pairs.clone();
+        got.sort_unstable();
+        assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,173 @@
+use asj_engine::{JobMetrics, Placement};
+use asj_geom::Rect;
+
+/// Partition-local join kernel (ablation A1 in DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LocalKernel {
+    /// All `r·s` candidates of a cell with immediate refinement — the
+    /// paper's hash-join-then-filter execution (Algorithm 5, line 9).
+    #[default]
+    NestedLoop,
+    /// Forward plane sweep along x (the kernel of the original PBSM and of
+    /// the tuned in-memory variants of Tsitsigkos et al.).
+    PlaneSweep,
+}
+
+/// Parameters of one distributed ε-distance join run, mirroring Table 3 of
+/// the paper (defaults in **bold** there are defaults here).
+#[derive(Debug, Clone)]
+pub struct JoinSpec {
+    /// Minimum bounding rectangle of the data space (`m` in Algorithm 5).
+    pub bbox: Rect,
+    /// Distance threshold ε.
+    pub eps: f64,
+    /// Grid resolution factor (cell side ≥ `grid_factor · ε`); the paper
+    /// uses 2 and sweeps 2–5 in Fig. 15.
+    pub grid_factor: f64,
+    /// Number of shuffle partitions for the join (the paper's Spark default
+    /// is 96).
+    pub num_partitions: usize,
+    /// Number of input partitions the raw datasets are split into.
+    pub input_partitions: usize,
+    /// Sampling fraction φ (the paper found 3 % best).
+    pub sample_fraction: f64,
+    /// Cell → partition placement: Spark-default hash or LPT (§6.2).
+    pub placement: Placement,
+    /// Seed for sampling and any randomized choices; runs are reproducible.
+    pub seed: u64,
+    /// Materialize result pairs (`(r.id, s.id)`) in the output. Disable for
+    /// large runs where only counts and metrics matter.
+    pub collect_pairs: bool,
+    /// Partition-local join kernel.
+    pub kernel: LocalKernel,
+}
+
+impl JoinSpec {
+    pub fn new(bbox: Rect, eps: f64) -> Self {
+        JoinSpec {
+            bbox,
+            eps,
+            grid_factor: 2.0,
+            num_partitions: 96,
+            input_partitions: 16,
+            sample_fraction: 0.03,
+            placement: Placement::Hash,
+            seed: 0xA5A5_5EED,
+            collect_pairs: true,
+            kernel: LocalKernel::NestedLoop,
+        }
+    }
+
+    pub fn with_kernel(mut self, kernel: LocalKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    pub fn with_grid_factor(mut self, factor: f64) -> Self {
+        self.grid_factor = factor;
+        self
+    }
+
+    pub fn with_partitions(mut self, partitions: usize) -> Self {
+        self.num_partitions = partitions;
+        self
+    }
+
+    pub fn with_sample_fraction(mut self, fraction: f64) -> Self {
+        self.sample_fraction = fraction;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn counting_only(mut self) -> Self {
+        self.collect_pairs = false;
+        self
+    }
+}
+
+/// Everything one join run produced — results plus the paper's metrics.
+#[derive(Debug, Clone)]
+pub struct JoinOutput {
+    /// Algorithm display name (matches the paper's figure legends).
+    pub algorithm: String,
+    /// Materialized `(r.id, s.id)` pairs (empty when `collect_pairs` is off).
+    pub pairs: Vec<(u64, u64)>,
+    /// Number of result pairs (always populated).
+    pub result_count: u64,
+    /// Candidate pairs whose exact distance was evaluated.
+    pub candidates: u64,
+    /// Replicated objects `[R, S]`: copies beyond the native assignment —
+    /// metric (b) of §7.1.
+    pub replicated: [u64; 2],
+    /// Shuffle volume, phase timings and simulated cluster time.
+    pub metrics: JobMetrics,
+}
+
+impl JoinOutput {
+    /// Total replicated objects across both inputs.
+    pub fn replicated_total(&self) -> u64 {
+        self.replicated[0] + self.replicated[1]
+    }
+
+    /// Join selectivity in percent: `result / (|R|·|S|) · 100` (Table 4).
+    pub fn selectivity_pct(&self, r_len: usize, s_len: usize) -> f64 {
+        if r_len == 0 || s_len == 0 {
+            return 0.0;
+        }
+        self.result_count as f64 / (r_len as f64 * s_len as f64) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_methods_apply() {
+        let bbox = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let s = JoinSpec::new(bbox, 0.5)
+            .with_placement(Placement::Lpt)
+            .with_grid_factor(3.0)
+            .with_partitions(48)
+            .with_sample_fraction(0.1)
+            .with_seed(7)
+            .counting_only();
+        assert_eq!(s.placement, Placement::Lpt);
+        assert_eq!(s.grid_factor, 3.0);
+        assert_eq!(s.num_partitions, 48);
+        assert_eq!(s.sample_fraction, 0.1);
+        assert_eq!(s.seed, 7);
+        assert!(!s.collect_pairs);
+        // Paper defaults.
+        let d = JoinSpec::new(bbox, 0.5);
+        assert_eq!(d.num_partitions, 96);
+        assert_eq!(d.sample_fraction, 0.03);
+        assert_eq!(d.grid_factor, 2.0);
+        assert_eq!(d.placement, Placement::Hash);
+    }
+
+    #[test]
+    fn selectivity_matches_table4_definition() {
+        let out = JoinOutput {
+            algorithm: "x".into(),
+            pairs: Vec::new(),
+            result_count: 50,
+            candidates: 100,
+            replicated: [3, 4],
+            metrics: JobMetrics::default(),
+        };
+        assert_eq!(out.replicated_total(), 7);
+        // 50 / (100 * 100) * 100 = 0.5 %
+        assert!((out.selectivity_pct(100, 100) - 0.5).abs() < 1e-12);
+        assert_eq!(out.selectivity_pct(0, 100), 0.0);
+    }
+}

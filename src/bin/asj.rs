@@ -1,0 +1,500 @@
+//! `asj` — command-line front end for the adaptive-replication spatial join.
+//!
+//! ```text
+//! asj generate --kind gaussian --n 100000 --seed 7 --out points.csv
+//! asj join      --r r.csv --s s.csv --eps 0.25 [--algo lpib] [--nodes 12]
+//!               [--partitions 96] [--out pairs.csv]
+//! asj self-join --input points.csv --eps 0.25
+//! ```
+//!
+//! Input/output files use the paper's raw text format: `id,x,y` per line.
+
+use adaptive_spatial_join::data::{
+    read_points_csv, write_points_csv, DatasetSpec, GenKind, PAPER_BBOX,
+};
+use adaptive_spatial_join::geom::{Point, Rect};
+use adaptive_spatial_join::join::{
+    knn_join, self_join, Algorithm, JoinOutput, JoinSpec, PartitionedPoints, Record,
+};
+use adaptive_spatial_join::prelude::*;
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  asj generate  --kind gaussian|hydrography|parks|uniform --n N --out FILE
+                [--seed S]
+  asj join      --r FILE --s FILE --eps E [--algo ALGO] [--nodes N]
+                [--partitions P] [--grid-factor F] [--out FILE]
+  asj self-join --input FILE --eps E [--nodes N] [--partitions P]
+  asj knn       --r FILE --s FILE --k K --eps E [--nodes N] [--partitions P]
+  asj range     --input FILE --rect x0,y0,x1,y1 --eps E [--nodes N]
+  asj heatmap   --input FILE [--width W] [--height H]
+
+ALGO: lpib (default) | diff | uni-r | uni-s | eps-grid | sedona";
+
+/// Parsed `--flag value` options after the subcommand.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got '{}'", args[i]))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("missing value for --{key}"))?;
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn required<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    flags
+        .get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required --{key}"))
+}
+
+fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("invalid {what}: '{s}'"))
+}
+
+fn algorithm_by_name(name: &str) -> Result<Algorithm, String> {
+    Ok(match name {
+        "lpib" => Algorithm::Lpib,
+        "diff" => Algorithm::Diff,
+        "uni-r" => Algorithm::UniR,
+        "uni-s" => Algorithm::UniS,
+        "eps-grid" => Algorithm::EpsGrid,
+        "sedona" => Algorithm::Sedona,
+        other => return Err(format!("unknown algorithm '{other}'")),
+    })
+}
+
+fn gen_kind_by_name(name: &str) -> Result<GenKind, String> {
+    Ok(match name {
+        "gaussian" => GenKind::GaussianClusters,
+        "hydrography" => GenKind::Hydrography,
+        "parks" => GenKind::Parks,
+        "uniform" => GenKind::Uniform,
+        other => return Err(format!("unknown generator kind '{other}'")),
+    })
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("no subcommand".into());
+    };
+    let flags = parse_flags(&args[1..])?;
+    match cmd.as_str() {
+        "generate" => cmd_generate(&flags),
+        "join" => cmd_join(&flags),
+        "self-join" => cmd_self_join(&flags),
+        "knn" => cmd_knn(&flags),
+        "range" => cmd_range(&flags),
+        "heatmap" => cmd_heatmap(&flags),
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let kind = gen_kind_by_name(required(flags, "kind")?)?;
+    let n: usize = parse(required(flags, "n")?, "--n")?;
+    let out = PathBuf::from(required(flags, "out")?);
+    let seed: u64 = flags.get("seed").map_or(Ok(7), |s| parse(s, "--seed"))?;
+    let spec = DatasetSpec {
+        name: "cli",
+        kind,
+        cardinality: n,
+        seed,
+        bbox: PAPER_BBOX,
+        sigma_scale: 1.0,
+    };
+    let points = spec.points();
+    write_points_csv(&out, &points).map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!("wrote {} points to {}", points.len(), out.display());
+    Ok(())
+}
+
+fn load_records(path: &str) -> Result<Vec<Record>, String> {
+    let rows =
+        read_points_csv(std::path::Path::new(path)).map_err(|e| format!("reading {path}: {e}"))?;
+    Ok(rows.into_iter().map(|(id, p)| Record::new(id, p)).collect())
+}
+
+fn bbox_of(points: impl Iterator<Item = Point>) -> Rect {
+    let mut bbox = Rect::empty();
+    for p in points {
+        bbox.extend(p);
+    }
+    bbox
+}
+
+fn build_spec(flags: &HashMap<String, String>, bbox: Rect) -> Result<(Cluster, JoinSpec), String> {
+    let eps: f64 = parse(required(flags, "eps")?, "--eps")?;
+    if eps <= 0.0 {
+        return Err("--eps must be positive".into());
+    }
+    let nodes: usize = flags.get("nodes").map_or(Ok(12), |s| parse(s, "--nodes"))?;
+    let partitions: usize = flags
+        .get("partitions")
+        .map_or(Ok(96), |s| parse(s, "--partitions"))?;
+    let factor: f64 = flags
+        .get("grid-factor")
+        .map_or(Ok(2.0), |s| parse(s, "--grid-factor"))?;
+    let cluster = Cluster::new(ClusterConfig::new(nodes));
+    // Pad the observed bbox so border points still get full neighborhoods.
+    let spec = JoinSpec::new(bbox.expand(eps), eps)
+        .with_partitions(partitions)
+        .with_grid_factor(factor);
+    Ok((cluster, spec))
+}
+
+fn report(out: &JoinOutput) {
+    println!("algorithm            : {}", out.algorithm);
+    println!("result pairs         : {}", out.result_count);
+    println!("candidates evaluated : {}", out.candidates);
+    println!(
+        "replicated objects   : {} (R: {}, S: {})",
+        out.replicated_total(),
+        out.replicated[0],
+        out.replicated[1]
+    );
+    println!(
+        "shuffle remote reads : {} KiB",
+        out.metrics.shuffle.remote_bytes / 1024
+    );
+    println!(
+        "shuffle total        : {} KiB",
+        out.metrics.shuffle.total_bytes() / 1024
+    );
+    println!(
+        "peak partition       : {} KiB",
+        out.metrics.shuffle.peak_partition_bytes() / 1024
+    );
+    println!(
+        "simulated time       : {:.3} s",
+        out.metrics.simulated_time().as_secs_f64()
+    );
+    println!(
+        "wall time            : {:.3} s",
+        out.metrics.wall_time().as_secs_f64()
+    );
+}
+
+fn write_pairs(path: &str, pairs: &[(u64, u64)]) -> Result<(), String> {
+    let file = std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+    let mut w = std::io::BufWriter::new(file);
+    for (a, b) in pairs {
+        writeln!(w, "{a},{b}").map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    w.flush().map_err(|e| format!("writing {path}: {e}"))?;
+    println!("wrote {} pairs to {path}", pairs.len());
+    Ok(())
+}
+
+fn cmd_join(flags: &HashMap<String, String>) -> Result<(), String> {
+    let r = load_records(required(flags, "r")?)?;
+    let s = load_records(required(flags, "s")?)?;
+    let algo = algorithm_by_name(flags.get("algo").map_or("lpib", String::as_str))?;
+    let bbox = bbox_of(r.iter().chain(&s).map(|rec| rec.point));
+    if bbox.is_empty() {
+        return Err("inputs contain no points".into());
+    }
+    let (cluster, mut spec) = build_spec(flags, bbox)?;
+    if flags.get("out").is_none() {
+        spec = spec.counting_only();
+    }
+    let out = algo.run(&cluster, &spec, r, s);
+    report(&out);
+    if let Some(path) = flags.get("out") {
+        write_pairs(path, &out.pairs)?;
+    }
+    Ok(())
+}
+
+fn cmd_self_join(flags: &HashMap<String, String>) -> Result<(), String> {
+    let input = load_records(required(flags, "input")?)?;
+    let bbox = bbox_of(input.iter().map(|rec| rec.point));
+    if bbox.is_empty() {
+        return Err("input contains no points".into());
+    }
+    let (cluster, mut spec) = build_spec(flags, bbox)?;
+    if flags.get("out").is_none() {
+        spec = spec.counting_only();
+    }
+    let out = self_join(&cluster, &spec, input);
+    report(&out);
+    if let Some(path) = flags.get("out") {
+        write_pairs(path, &out.pairs)?;
+    }
+    Ok(())
+}
+
+fn cmd_knn(flags: &HashMap<String, String>) -> Result<(), String> {
+    let r = load_records(required(flags, "r")?)?;
+    let s = load_records(required(flags, "s")?)?;
+    let k: usize = parse(required(flags, "k")?, "--k")?;
+    let bbox = bbox_of(r.iter().chain(&s).map(|rec| rec.point));
+    if bbox.is_empty() {
+        return Err("inputs contain no points".into());
+    }
+    let (cluster, spec) = build_spec(flags, bbox)?;
+    let out = knn_join(&cluster, &spec, k, r, s);
+    println!("queries answered     : {}", out.neighbors.len());
+    println!("expanding rounds     : {}", out.rounds);
+    println!(
+        "shuffle total        : {} KiB",
+        out.shuffle.total_bytes() / 1024
+    );
+    let mean_nn: f64 = out
+        .neighbors
+        .iter()
+        .filter_map(|(_, ns)| ns.first().map(|(_, d)| *d))
+        .sum::<f64>()
+        / out.neighbors.len().max(1) as f64;
+    println!("mean nearest distance: {mean_nn:.4}");
+    Ok(())
+}
+
+fn cmd_range(flags: &HashMap<String, String>) -> Result<(), String> {
+    let input = load_records(required(flags, "input")?)?;
+    let rect_spec = required(flags, "rect")?;
+    let nums: Vec<f64> = rect_spec
+        .split(',')
+        .map(|v| parse(v.trim(), "--rect coordinate"))
+        .collect::<Result<_, _>>()?;
+    if nums.len() != 4 {
+        return Err("--rect needs exactly x0,y0,x1,y1".into());
+    }
+    let region = Rect::new(
+        nums[0].min(nums[2]),
+        nums[1].min(nums[3]),
+        nums[0].max(nums[2]),
+        nums[1].max(nums[3]),
+    );
+    let bbox = bbox_of(input.iter().map(|rec| rec.point));
+    if bbox.is_empty() {
+        return Err("input contains no points".into());
+    }
+    let (cluster, spec) = build_spec(flags, bbox)?;
+    let table = PartitionedPoints::build(&cluster, &spec, input);
+    let (ids, _) = table.range_query(&cluster, region);
+    println!("points in region     : {}", ids.len());
+    for id in ids.iter().take(10) {
+        println!("  #{id}");
+    }
+    if ids.len() > 10 {
+        println!("  ... and {} more", ids.len() - 10);
+    }
+    Ok(())
+}
+
+/// ASCII density map of a dataset — a quick look at the skew the adaptive
+/// algorithms exploit.
+fn cmd_heatmap(flags: &HashMap<String, String>) -> Result<(), String> {
+    let input = load_records(required(flags, "input")?)?;
+    if input.is_empty() {
+        return Err("input contains no points".into());
+    }
+    let width: usize = flags.get("width").map_or(Ok(64), |s| parse(s, "--width"))?;
+    let height: usize = flags
+        .get("height")
+        .map_or(Ok(24), |s| parse(s, "--height"))?;
+    if width == 0 || height == 0 {
+        return Err("--width/--height must be positive".into());
+    }
+    let bbox = bbox_of(input.iter().map(|rec| rec.point));
+    let mut counts = vec![0u64; width * height];
+    for rec in &input {
+        let cx = (((rec.point.x - bbox.min_x) / bbox.width().max(1e-12) * width as f64) as usize)
+            .min(width - 1);
+        let cy = (((rec.point.y - bbox.min_y) / bbox.height().max(1e-12) * height as f64) as usize)
+            .min(height - 1);
+        counts[cy * width + cx] += 1;
+    }
+    let max = *counts.iter().max().unwrap() as f64;
+    const SHADES: &[u8] = b" .:-=+*#%@";
+    println!(
+        "{} points, bbox [{:.2}, {:.2}] x [{:.2}, {:.2}], peak bucket {max}",
+        input.len(),
+        bbox.min_x,
+        bbox.max_x,
+        bbox.min_y,
+        bbox.max_y
+    );
+    for row in (0..height).rev() {
+        let line: String = (0..width)
+            .map(|col| {
+                let c = counts[row * width + col] as f64;
+                let idx = ((c / max).sqrt() * (SHADES.len() - 1) as f64).round() as usize;
+                SHADES[idx.min(SHADES.len() - 1)] as char
+            })
+            .collect();
+        println!("{line}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_parse_pairs() {
+        let args: Vec<String> = ["--eps", "0.5", "--algo", "diff"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let f = parse_flags(&args).unwrap();
+        assert_eq!(f["eps"], "0.5");
+        assert_eq!(f["algo"], "diff");
+    }
+
+    #[test]
+    fn flags_reject_missing_value_and_bad_prefix() {
+        assert!(parse_flags(&["--eps".to_string()]).is_err());
+        assert!(parse_flags(&["eps".to_string(), "1".to_string()]).is_err());
+    }
+
+    #[test]
+    fn algorithm_names_resolve() {
+        for (name, algo) in [
+            ("lpib", Algorithm::Lpib),
+            ("diff", Algorithm::Diff),
+            ("uni-r", Algorithm::UniR),
+            ("uni-s", Algorithm::UniS),
+            ("eps-grid", Algorithm::EpsGrid),
+            ("sedona", Algorithm::Sedona),
+        ] {
+            assert_eq!(algorithm_by_name(name).unwrap(), algo);
+        }
+        assert!(algorithm_by_name("nope").is_err());
+    }
+
+    #[test]
+    fn generator_names_resolve() {
+        assert_eq!(
+            gen_kind_by_name("gaussian").unwrap(),
+            GenKind::GaussianClusters
+        );
+        assert_eq!(gen_kind_by_name("uniform").unwrap(), GenKind::Uniform);
+        assert!(gen_kind_by_name("what").is_err());
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        assert!(run(&["frobnicate".to_string()]).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn end_to_end_generate_and_join() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let r_path = dir.join(format!("asj-cli-r-{pid}.csv"));
+        let s_path = dir.join(format!("asj-cli-s-{pid}.csv"));
+        let out_path = dir.join(format!("asj-cli-out-{pid}.csv"));
+        let arg = |s: &str| s.to_string();
+        run(&[
+            arg("generate"),
+            arg("--kind"),
+            arg("uniform"),
+            arg("--n"),
+            arg("500"),
+            arg("--out"),
+            arg(r_path.to_str().unwrap()),
+        ])
+        .unwrap();
+        run(&[
+            arg("generate"),
+            arg("--kind"),
+            arg("gaussian"),
+            arg("--n"),
+            arg("500"),
+            arg("--seed"),
+            arg("9"),
+            arg("--out"),
+            arg(s_path.to_str().unwrap()),
+        ])
+        .unwrap();
+        run(&[
+            arg("join"),
+            arg("--r"),
+            arg(r_path.to_str().unwrap()),
+            arg("--s"),
+            arg(s_path.to_str().unwrap()),
+            arg("--eps"),
+            arg("1.5"),
+            arg("--nodes"),
+            arg("4"),
+            arg("--partitions"),
+            arg("8"),
+            arg("--out"),
+            arg(out_path.to_str().unwrap()),
+        ])
+        .unwrap();
+        let pairs = std::fs::read_to_string(&out_path).unwrap();
+        assert!(pairs.lines().all(|l| l.split(',').count() == 2));
+        run(&[
+            arg("knn"),
+            arg("--r"),
+            arg(r_path.to_str().unwrap()),
+            arg("--s"),
+            arg(s_path.to_str().unwrap()),
+            arg("--k"),
+            arg("3"),
+            arg("--eps"),
+            arg("1.0"),
+        ])
+        .unwrap();
+        run(&[
+            arg("range"),
+            arg("--input"),
+            arg(r_path.to_str().unwrap()),
+            arg("--rect"),
+            arg("-100,30,-90,40"),
+            arg("--eps"),
+            arg("1.0"),
+        ])
+        .unwrap();
+        run(&[
+            arg("heatmap"),
+            arg("--input"),
+            arg(s_path.to_str().unwrap()),
+            arg("--width"),
+            arg("40"),
+            arg("--height"),
+            arg("12"),
+        ])
+        .unwrap();
+        run(&[
+            arg("self-join"),
+            arg("--input"),
+            arg(s_path.to_str().unwrap()),
+            arg("--eps"),
+            arg("0.8"),
+        ])
+        .unwrap();
+        for p in [r_path, s_path, out_path] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Property-based end-to-end tests: random worlds, random points, every
+//! algorithm must equal the brute-force oracle.
+
+use adaptive_spatial_join::core::AgreementPolicy;
+use adaptive_spatial_join::geom::{Point, Rect};
+use adaptive_spatial_join::join::{adaptive_join_dedup, oracle, to_records, Algorithm, JoinSpec};
+use adaptive_spatial_join::prelude::*;
+use proptest::prelude::*;
+
+fn points_in(w: f64, h: f64, n: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(
+        (0.0..w, 0.0..h).prop_map(|(x, y)| Point::new(x, y)),
+        n..n + 1,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random world geometry (bbox, ε) and random clouds: every algorithm
+    /// matches brute force exactly.
+    #[test]
+    fn every_algorithm_matches_brute_force(
+        w in 6.0f64..30.0,
+        h in 6.0f64..30.0,
+        eps in 0.3f64..1.5,
+        seed in 0u64..10_000,
+        r_pts in points_in(30.0, 30.0, 120),
+        s_pts in points_in(30.0, 30.0, 120),
+    ) {
+        // Clamp the clouds into the sampled bbox.
+        let clamp = |pts: &[Point]| -> Vec<Point> {
+            pts.iter()
+                .map(|p| Point::new(p.x.min(w - 1e-9), p.y.min(h - 1e-9)))
+                .collect()
+        };
+        let r = to_records(&clamp(&r_pts), 0);
+        let s = to_records(&clamp(&s_pts), 0);
+        let expected = oracle::brute_force_pairs(&r, &s, eps);
+        let cluster = Cluster::new(ClusterConfig::new(1 + (seed % 6) as usize));
+        let spec = JoinSpec::new(Rect::new(0.0, 0.0, w, h), eps)
+            .with_partitions(1 + (seed % 31) as usize)
+            .with_sample_fraction(0.3)
+            .with_seed(seed);
+        for algo in Algorithm::ALL {
+            let out = algo.run(&cluster, &spec, r.clone(), s.clone());
+            let mut got = out.pairs.clone();
+            got.sort_unstable();
+            prop_assert_eq!(&got, &expected, "{} seed={}", algo.name(), seed);
+        }
+        // The dedup variant too.
+        let out = adaptive_join_dedup(&cluster, &spec, AgreementPolicy::Lpib, r, s);
+        let mut got = out.pairs.clone();
+        got.sort_unstable();
+        prop_assert_eq!(&got, &expected, "dedup seed={}", seed);
+    }
+
+    /// Degenerate shapes: extremely thin worlds exercise single-row /
+    /// single-column grids where quartets are scarce or absent.
+    #[test]
+    fn thin_worlds_are_still_correct(
+        h in 2.1f64..4.0,
+        eps in 0.4f64..0.9,
+        r_pts in points_in(40.0, 4.0, 80),
+        s_pts in points_in(40.0, 4.0, 80),
+    ) {
+        let clamp = |pts: &[Point]| -> Vec<Point> {
+            pts.iter().map(|p| Point::new(p.x, p.y.min(h - 1e-9))).collect()
+        };
+        let r = to_records(&clamp(&r_pts), 0);
+        let s = to_records(&clamp(&s_pts), 0);
+        let expected = oracle::brute_force_pairs(&r, &s, eps);
+        let cluster = Cluster::new(ClusterConfig::new(3));
+        let spec = JoinSpec::new(Rect::new(0.0, 0.0, 40.0, h), eps)
+            .with_partitions(8)
+            .with_sample_fraction(0.5);
+        for algo in [Algorithm::Lpib, Algorithm::Diff, Algorithm::UniR, Algorithm::EpsGrid] {
+            let out = algo.run(&cluster, &spec, r.clone(), s.clone());
+            let mut got = out.pairs.clone();
+            got.sort_unstable();
+            prop_assert_eq!(&got, &expected, "{}", algo.name());
+        }
+    }
+
+    /// Identical inputs (self-join shape): every point pairs with itself and
+    /// duplicates must still not appear.
+    #[test]
+    fn self_join_shape(pts in points_in(20.0, 20.0, 100), eps in 0.3f64..1.0) {
+        let r = to_records(&pts, 0);
+        let s = to_records(&pts, 0);
+        let expected = oracle::brute_force_pairs(&r, &s, eps);
+        let cluster = Cluster::new(ClusterConfig::new(4));
+        let spec = JoinSpec::new(Rect::new(0.0, 0.0, 20.0, 20.0), eps)
+            .with_partitions(16)
+            .with_sample_fraction(0.4);
+        for algo in [Algorithm::Lpib, Algorithm::Diff] {
+            let out = algo.run(&cluster, &spec, r.clone(), s.clone());
+            prop_assert_eq!(out.result_count as usize, expected.len());
+            // Every point matches itself at distance 0.
+            prop_assert!(out.result_count >= r.len() as u64);
+        }
+    }
+}
+
+mod extent_properties {
+    use adaptive_spatial_join::geom::{Point, Polygon, Polyline, Rect, Shape};
+    use adaptive_spatial_join::join::{
+        brute_force_extent_pairs, extent_join, ExtentRecord, JoinSpec,
+    };
+    use adaptive_spatial_join::prelude::*;
+    use proptest::prelude::*;
+
+    fn arb_shape(extent: f64) -> impl Strategy<Value = Shape> {
+        let point = (0.0..extent, 0.0..extent).prop_map(|(x, y)| Shape::Point(Point::new(x, y)));
+        let line = (
+            0.0..extent,
+            0.0..extent,
+            -2.0f64..2.0,
+            -2.0f64..2.0,
+            -2.0f64..2.0,
+            -2.0f64..2.0,
+        )
+            .prop_map(move |(x, y, dx1, dy1, dx2, dy2)| {
+                let clamp = |v: f64| v.clamp(0.0, extent);
+                Shape::Polyline(Polyline::new(vec![
+                    Point::new(x, y),
+                    Point::new(clamp(x + dx1), clamp(y + dy1)),
+                    Point::new(clamp(x + dx1 + dx2), clamp(y + dy1 + dy2)),
+                ]))
+            });
+        let poly = (
+            0.0..extent - 2.0,
+            0.0..extent - 2.0,
+            0.1f64..2.0,
+            0.1f64..2.0,
+        )
+            .prop_map(|(x, y, w, h)| {
+                Shape::Polygon(Polygon::from_rect(Rect::new(x, y, x + w, y + h)))
+            });
+        prop_oneof![point, line, poly]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The distributed extent join equals brute force on random mixed
+        /// shapes, for random ε and cluster widths.
+        #[test]
+        fn extent_join_matches_brute_force(
+            shapes_a in prop::collection::vec(arb_shape(25.0), 40),
+            shapes_b in prop::collection::vec(arb_shape(25.0), 40),
+            eps in 0.2f64..1.2,
+            nodes in 1usize..6,
+        ) {
+            let a: Vec<ExtentRecord> = shapes_a
+                .into_iter()
+                .enumerate()
+                .map(|(i, s)| ExtentRecord::new(i as u64, s))
+                .collect();
+            let b: Vec<ExtentRecord> = shapes_b
+                .into_iter()
+                .enumerate()
+                .map(|(i, s)| ExtentRecord::new(i as u64, s))
+                .collect();
+            let expected = brute_force_extent_pairs(&a, &b, eps);
+            let cluster = Cluster::new(ClusterConfig::new(nodes));
+            let spec =
+                JoinSpec::new(Rect::new(0.0, 0.0, 25.0, 25.0), eps).with_partitions(12);
+            let out = extent_join(&cluster, &spec, a, b);
+            let mut got = out.pairs.clone();
+            got.sort_unstable();
+            prop_assert_eq!(got, expected);
+        }
+    }
+}
+
+mod knn_properties {
+    use adaptive_spatial_join::geom::{Point, Rect};
+    use adaptive_spatial_join::join::{brute_force_knn, knn_join, to_records, JoinSpec};
+    use adaptive_spatial_join::prelude::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        /// The distributed kNN join equals brute force for random clouds,
+        /// k values and cluster widths.
+        #[test]
+        fn knn_join_matches_brute_force(
+            r_pts in prop::collection::vec((0.0f64..22.0, 0.0f64..22.0), 30),
+            s_pts in prop::collection::vec((0.0f64..22.0, 0.0f64..22.0), 1..80),
+            k in 1usize..8,
+            nodes in 1usize..5,
+        ) {
+            let r = to_records(
+                &r_pts.iter().map(|&(x, y)| Point::new(x, y)).collect::<Vec<_>>(), 0);
+            let s = to_records(
+                &s_pts.iter().map(|&(x, y)| Point::new(x, y)).collect::<Vec<_>>(), 0);
+            let expected = brute_force_knn(&r, &s, k);
+            let cluster = Cluster::new(ClusterConfig::new(nodes));
+            let spec = JoinSpec::new(Rect::new(0.0, 0.0, 22.0, 22.0), 1.0).with_partitions(8);
+            let out = knn_join(&cluster, &spec, k, r, s);
+            let got: Vec<(u64, Vec<u64>)> = out
+                .neighbors
+                .iter()
+                .map(|(q, ns)| (*q, ns.iter().map(|(id, _)| *id).collect()))
+                .collect();
+            prop_assert_eq!(got, expected);
+        }
+    }
+}
