@@ -12,7 +12,7 @@ pub mod experiments;
 mod runner;
 mod table;
 
-pub use runner::{run_avg, run_once, Combo, NetModel, RunResult};
+pub use runner::{run_avg, run_once, run_traced, Combo, NetModel, RunResult};
 pub use table::Table;
 
 use asj_engine::{Cluster, ClusterConfig};

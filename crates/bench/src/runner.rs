@@ -147,6 +147,23 @@ pub fn run_once(
     RunResult::from_output(&out, &NetModel::gigabit(cluster.nodes()))
 }
 
+/// Runs one algorithm once with a fresh [`Recorder`](asj_engine::Recorder)
+/// attached — one per experiment, so traces of different runs never mix —
+/// and returns the captured [`Trace`](asj_engine::Trace) with the result.
+pub fn run_traced(
+    cluster: &Cluster,
+    spec: &JoinSpec,
+    algo: Algorithm,
+    r: &[Record],
+    s: &[Record],
+) -> (RunResult, asj_engine::Trace) {
+    let recorder = asj_engine::Recorder::for_nodes(cluster.nodes());
+    let traced = cluster.clone().with_recorder(recorder.clone());
+    let out = algo.run(&traced, spec, r.to_vec(), s.to_vec());
+    let result = RunResult::from_output(&out, &NetModel::gigabit(cluster.nodes()));
+    (result, recorder.snapshot())
+}
+
 /// Runs one algorithm `reps` times and averages the time metrics (counts are
 /// deterministic and asserted identical across repetitions).
 pub fn run_avg(

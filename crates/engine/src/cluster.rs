@@ -1,5 +1,6 @@
 use crate::metrics::ExecStats;
-use crate::pool::run_tasks;
+use crate::pool::run_tasks_traced;
+use asj_obs::Recorder;
 use std::ops::Deref;
 use std::sync::Arc;
 
@@ -33,12 +34,30 @@ impl ClusterConfig {
 #[derive(Debug, Clone)]
 pub struct Cluster {
     config: ClusterConfig,
+    recorder: Recorder,
 }
 
 impl Cluster {
     pub fn new(config: ClusterConfig) -> Self {
         assert!(config.nodes > 0, "cluster needs at least one node");
-        Cluster { config }
+        Cluster {
+            config,
+            recorder: Recorder::noop(),
+        }
+    }
+
+    /// Attaches a [`Recorder`]: every stage the cluster runs emits task spans
+    /// and the shuffle/phase instrumentation built on top of it becomes
+    /// active. The default is the no-op recorder, which costs one pointer
+    /// compare per stage.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    #[inline]
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     #[inline]
@@ -66,10 +85,34 @@ impl Cluster {
         R: Send,
         F: Fn(usize, T) -> R + Sync,
     {
+        self.run_partitioned_stage("task", tasks, f)
+    }
+
+    /// [`Cluster::run_partitioned`] with a stage name for the recorded task
+    /// spans.
+    pub fn run_partitioned_stage<T, R, F>(
+        &self,
+        stage: &str,
+        tasks: Vec<T>,
+        f: F,
+    ) -> (Vec<R>, ExecStats)
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
         let placement: Vec<usize> = (0..tasks.len())
             .map(|i| self.node_of_partition(i))
             .collect();
-        run_tasks(self.config.threads, self.config.nodes, tasks, &placement, f)
+        run_tasks_traced(
+            self.config.threads,
+            self.config.nodes,
+            tasks,
+            &placement,
+            &self.recorder,
+            stage,
+            f,
+        )
     }
 
     /// Runs tasks with an explicit node placement.
@@ -84,7 +127,31 @@ impl Cluster {
         R: Send,
         F: Fn(usize, T) -> R + Sync,
     {
-        run_tasks(self.config.threads, self.config.nodes, tasks, placement, f)
+        self.run_placed_stage("task", tasks, placement, f)
+    }
+
+    /// [`Cluster::run_placed`] with a stage name for the recorded task spans.
+    pub fn run_placed_stage<T, R, F>(
+        &self,
+        stage: &str,
+        tasks: Vec<T>,
+        placement: &[usize],
+        f: F,
+    ) -> (Vec<R>, ExecStats)
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        run_tasks_traced(
+            self.config.threads,
+            self.config.nodes,
+            tasks,
+            placement,
+            &self.recorder,
+            stage,
+            f,
+        )
     }
 
     /// Makes a value available to every task, like Spark's broadcast
@@ -153,5 +220,19 @@ mod tests {
         let cfg = ClusterConfig::new(12);
         assert_eq!(cfg.nodes, 12);
         assert!(cfg.threads >= 1);
+    }
+
+    #[test]
+    fn recorder_attaches_and_records_stage_spans() {
+        let r = Recorder::for_nodes(2);
+        let c = Cluster::new(ClusterConfig::with_threads(2, 2)).with_recorder(r.clone());
+        assert!(c.recorder().is_enabled());
+        let (out, stats) = c.run_partitioned_stage("double", vec![1u64, 2, 3, 4], |_, t| t * 2);
+        assert_eq!(out, vec![2, 4, 6, 8]);
+        let trace = r.snapshot();
+        assert_eq!(trace.spans.len(), 4);
+        assert!(trace.spans.iter().all(|s| s.stage == "double"));
+        let sim: std::time::Duration = (0..2).map(|n| r.node_sim_total(n)).sum();
+        assert_eq!(sim, stats.total_busy());
     }
 }

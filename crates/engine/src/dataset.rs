@@ -2,6 +2,7 @@ use crate::cluster::Cluster;
 use crate::metrics::{ExecStats, ShuffleStats};
 use crate::partitioner::Partitioner;
 use crate::wire::Wire;
+use asj_obs::{Attrs, Lane};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -59,8 +60,11 @@ impl<T: Send> Dataset<T> {
     where
         F: Fn(usize) -> Vec<T> + Sync,
     {
-        let (parts, stats) =
-            cluster.run_partitioned((0..partitions).collect::<Vec<_>>(), |_, i| f(i));
+        let (parts, stats) = cluster.run_partitioned_stage(
+            "generate",
+            (0..partitions).collect::<Vec<_>>(),
+            |_, i| f(i),
+        );
         (Dataset { parts }, stats)
     }
 
@@ -107,8 +111,9 @@ impl<T: Send> Dataset<T> {
         U: Send,
         F: Fn(T) -> U + Sync,
     {
-        let (parts, stats) =
-            cluster.run_partitioned(self.parts, |_, part| part.into_iter().map(&f).collect());
+        let (parts, stats) = cluster.run_partitioned_stage("map", self.parts, |_, part| {
+            part.into_iter().map(&f).collect()
+        });
         (Dataset { parts }, stats)
     }
 
@@ -117,9 +122,10 @@ impl<T: Send> Dataset<T> {
     where
         F: Fn(&T) -> bool + Sync,
     {
-        let (parts, stats) = cluster.run_partitioned(self.parts, |_, part: Vec<T>| {
-            part.into_iter().filter(|t| pred(t)).collect::<Vec<T>>()
-        });
+        let (parts, stats) =
+            cluster.run_partitioned_stage("filter", self.parts, |_, part: Vec<T>| {
+                part.into_iter().filter(|t| pred(t)).collect::<Vec<T>>()
+            });
         (Dataset { parts }, stats)
     }
 
@@ -139,7 +145,7 @@ impl<T: Send> Dataset<T> {
     {
         assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
         let refs: Vec<&Vec<T>> = self.parts.iter().collect();
-        let (sampled, stats) = cluster.run_partitioned(refs, |idx, part| {
+        let (sampled, stats) = cluster.run_partitioned_stage("sample", refs, |idx, part| {
             let mut rng = SmallRng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(0xA24B_AED4));
             part.iter()
                 .filter(|_| rng.gen_bool(fraction))
@@ -162,13 +168,14 @@ impl<T: Send> Dataset<T> {
         V: Send,
         F: Fn(T, &mut Vec<(K, V)>) + Sync,
     {
-        let (parts, stats) = cluster.run_partitioned(self.parts, |_, part| {
-            let mut out = Vec::with_capacity(part.len());
-            for rec in part {
-                f(rec, &mut out);
-            }
-            out
-        });
+        let (parts, stats) =
+            cluster.run_partitioned_stage("flat_map_to_pairs", self.parts, |_, part| {
+                let mut out = Vec::with_capacity(part.len());
+                for rec in part {
+                    f(rec, &mut out);
+                }
+                out
+            });
         (KeyedDataset { parts }, stats)
     }
 }
@@ -226,27 +233,43 @@ where
     where
         P: Partitioner<K> + ?Sized,
     {
+        self.shuffle_stage(cluster, partitioner, "shuffle")
+    }
+
+    /// [`KeyedDataset::shuffle`] with a stage name: task spans, the
+    /// per-partition byte events and the mirrored `remote_bytes` /
+    /// `local_bytes` / `records` counters are all recorded under `stage`.
+    pub fn shuffle_stage<P>(
+        self,
+        cluster: &Cluster,
+        partitioner: &P,
+        stage: &str,
+    ) -> (KeyedDataset<K, V>, ShuffleStats, ExecStats)
+    where
+        P: Partitioner<K> + ?Sized,
+    {
         let targets = partitioner.num_partitions();
         // Map side: bucket each source partition by target partition and
         // meter bytes by destination node.
-        let (bucketed, stats) = cluster.run_partitioned(self.parts, |src_idx, part| {
-            let src_node = cluster.node_of_partition(src_idx);
-            let mut buckets: Vec<Vec<(K, V)>> = (0..targets).map(|_| Vec::new()).collect();
-            let mut shuffle = ShuffleStats::default();
-            for (k, v) in part {
-                let t = partitioner.partition_of(&k);
-                debug_assert!(t < targets);
-                let bytes = k.encoded_size() as u64 + v.encoded_size() as u64;
-                if cluster.node_of_partition(t) == src_node {
-                    shuffle.local_bytes += bytes;
-                } else {
-                    shuffle.remote_bytes += bytes;
+        let (bucketed, stats) =
+            cluster.run_partitioned_stage(stage, self.parts, |src_idx, part| {
+                let src_node = cluster.node_of_partition(src_idx);
+                let mut buckets: Vec<Vec<(K, V)>> = (0..targets).map(|_| Vec::new()).collect();
+                let mut shuffle = ShuffleStats::default();
+                for (k, v) in part {
+                    let t = partitioner.partition_of(&k);
+                    debug_assert!(t < targets);
+                    let bytes = k.encoded_size() as u64 + v.encoded_size() as u64;
+                    if cluster.node_of_partition(t) == src_node {
+                        shuffle.local_bytes += bytes;
+                    } else {
+                        shuffle.remote_bytes += bytes;
+                    }
+                    shuffle.records += 1;
+                    buckets[t].push((k, v));
                 }
-                shuffle.records += 1;
-                buckets[t].push((k, v));
-            }
-            (buckets, shuffle)
-        });
+                (buckets, shuffle)
+            });
         // Reduce side: concatenate the buckets of each target partition and
         // account the per-partition memory footprint.
         let mut shuffle = ShuffleStats::default();
@@ -262,6 +285,23 @@ where
             }
         }
         shuffle.partition_bytes = partition_bytes;
+        let recorder = cluster.recorder();
+        if recorder.is_enabled() {
+            // Mirror the ShuffleStats fields into the metrics registry and
+            // attribute every target partition's bytes to its node's lane.
+            recorder.counter_add(stage, "remote_bytes", shuffle.remote_bytes);
+            recorder.counter_add(stage, "local_bytes", shuffle.local_bytes);
+            recorder.counter_add(stage, "records", shuffle.records);
+            for (t, &bytes) in shuffle.partition_bytes.iter().enumerate() {
+                recorder.histogram_record(stage, "partition_bytes", bytes as f64);
+                recorder.event(
+                    "shuffle.partition",
+                    Lane::Node(cluster.node_of_partition(t)),
+                    Some(t as u64),
+                    Attrs::new().bytes(bytes).records(parts[t].len() as u64),
+                );
+            }
+        }
         (KeyedDataset { parts }, shuffle, stats)
     }
 
@@ -280,20 +320,21 @@ where
         R: Send,
         F: Fn(K, &[V], &mut Vec<R>) + Sync,
     {
-        let (parts, stats) = cluster.run_placed(self.parts, placement, |_, mut part| {
-            part.sort_unstable_by_key(|x| x.0);
-            let mut out = Vec::new();
-            let mut values: Vec<V> = Vec::new();
-            let mut it = part.into_iter().peekable();
-            while let Some(k) = it.peek().map(|x| x.0) {
-                values.clear();
-                while it.peek().is_some_and(|x| x.0 == k) {
-                    values.push(it.next().expect("peeked").1);
+        let (parts, stats) =
+            cluster.run_placed_stage("process_groups", self.parts, placement, |_, mut part| {
+                part.sort_unstable_by_key(|x| x.0);
+                let mut out = Vec::new();
+                let mut values: Vec<V> = Vec::new();
+                let mut it = part.into_iter().peekable();
+                while let Some(k) = it.peek().map(|x| x.0) {
+                    values.clear();
+                    while it.peek().is_some_and(|x| x.0 == k) {
+                        values.push(it.next().expect("peeked").1);
+                    }
+                    kernel(k, &values, &mut out);
                 }
-                kernel(k, &values, &mut out);
-            }
-            out
-        });
+                out
+            });
         (Dataset { parts }, stats)
     }
 
@@ -311,25 +352,30 @@ where
         P: Partitioner<K> + ?Sized,
         F: Fn(V, V) -> V + Sync,
     {
-        let (shuffled, shuffle, mut exec) = self.shuffle(cluster, partitioner);
-        let (parts, ex) = cluster.run_partitioned(shuffled.parts, |_, mut part| {
-            part.sort_unstable_by_key(|x| x.0);
-            let mut out: Vec<(K, V)> = Vec::new();
-            let mut it = part.into_iter();
-            if let Some((mut ck, mut cv)) = it.next() {
-                for (k, v) in it {
-                    if k == ck {
-                        cv = combine(cv, v);
-                    } else {
-                        out.push((ck, cv));
-                        ck = k;
-                        cv = v;
+        let (shuffled, shuffle, mut exec) =
+            self.shuffle_stage(cluster, partitioner, "reduce_by_key");
+        let (parts, ex) = cluster.run_partitioned_stage(
+            "reduce_by_key.combine",
+            shuffled.parts,
+            |_, mut part| {
+                part.sort_unstable_by_key(|x| x.0);
+                let mut out: Vec<(K, V)> = Vec::new();
+                let mut it = part.into_iter();
+                if let Some((mut ck, mut cv)) = it.next() {
+                    for (k, v) in it {
+                        if k == ck {
+                            cv = combine(cv, v);
+                        } else {
+                            out.push((ck, cv));
+                            ck = k;
+                            cv = v;
+                        }
                     }
+                    out.push((ck, cv));
                 }
-                out.push((ck, cv));
-            }
-            out
-        });
+                out
+            },
+        );
         exec.accumulate(&ex);
         (KeyedDataset { parts }, shuffle, exec)
     }
@@ -364,37 +410,38 @@ where
             "joined datasets must share the partitioner"
         );
         let tasks: CogroupTasks<K, V, V2> = self.parts.into_iter().zip(other.parts).collect();
-        let (parts, stats) = cluster.run_placed(tasks, placement, |_, (mut a, mut b)| {
-            a.sort_unstable_by_key(|x| x.0);
-            b.sort_unstable_by_key(|x| x.0);
-            let mut out = Vec::new();
-            let mut ia = a.into_iter().peekable();
-            let mut ib = b.into_iter().peekable();
-            let mut va: Vec<V> = Vec::new();
-            let mut vb: Vec<V2> = Vec::new();
-            while let (Some(ka), Some(kb)) = (ia.peek().map(|x| x.0), ib.peek().map(|x| x.0)) {
-                match ka.cmp(&kb) {
-                    std::cmp::Ordering::Less => {
-                        ia.next();
-                    }
-                    std::cmp::Ordering::Greater => {
-                        ib.next();
-                    }
-                    std::cmp::Ordering::Equal => {
-                        va.clear();
-                        vb.clear();
-                        while ia.peek().is_some_and(|x| x.0 == ka) {
-                            va.push(ia.next().expect("peeked").1);
+        let (parts, stats) =
+            cluster.run_placed_stage("cogroup_join", tasks, placement, |_, (mut a, mut b)| {
+                a.sort_unstable_by_key(|x| x.0);
+                b.sort_unstable_by_key(|x| x.0);
+                let mut out = Vec::new();
+                let mut ia = a.into_iter().peekable();
+                let mut ib = b.into_iter().peekable();
+                let mut va: Vec<V> = Vec::new();
+                let mut vb: Vec<V2> = Vec::new();
+                while let (Some(ka), Some(kb)) = (ia.peek().map(|x| x.0), ib.peek().map(|x| x.0)) {
+                    match ka.cmp(&kb) {
+                        std::cmp::Ordering::Less => {
+                            ia.next();
                         }
-                        while ib.peek().is_some_and(|x| x.0 == ka) {
-                            vb.push(ib.next().expect("peeked").1);
+                        std::cmp::Ordering::Greater => {
+                            ib.next();
                         }
-                        kernel(ka, &va, &vb, &mut out);
+                        std::cmp::Ordering::Equal => {
+                            va.clear();
+                            vb.clear();
+                            while ia.peek().is_some_and(|x| x.0 == ka) {
+                                va.push(ia.next().expect("peeked").1);
+                            }
+                            while ib.peek().is_some_and(|x| x.0 == ka) {
+                                vb.push(ib.next().expect("peeked").1);
+                            }
+                            kernel(ka, &va, &vb, &mut out);
+                        }
                     }
                 }
-            }
-            out
-        });
+                out
+            });
         (Dataset { parts }, stats)
     }
 }

@@ -41,5 +41,10 @@ pub use metrics::{ExecStats, JobMetrics, ShuffleStats};
 pub use partitioner::{
     ExplicitPartitioner, HashPartitioner, Partitioner, Placement, RoundRobinPartitioner,
 };
-pub use pool::run_tasks;
+pub use pool::{run_tasks, run_tasks_traced};
 pub use wire::Wire;
+
+// Re-exported so engine users can construct recorders and read traces
+// without naming the obs crate separately.
+pub use asj_obs as obs;
+pub use asj_obs::{Attrs, Lane, Recorder, Trace, TraceFormat};

@@ -1,6 +1,7 @@
 use crate::metrics::ExecStats;
-use parking_lot::Mutex;
-use std::collections::VecDeque;
+use asj_obs::{Attrs, Recorder};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Executes `tasks` on a pool of `threads` OS threads and attributes each
@@ -28,6 +29,75 @@ where
     R: Send,
     F: Fn(usize, T) -> R + Sync,
 {
+    run_tasks_traced(
+        threads,
+        nodes,
+        tasks,
+        placement,
+        &Recorder::noop(),
+        "task",
+        f,
+    )
+}
+
+/// A slot vector written concurrently, one writer per index.
+///
+/// # Safety
+/// Callers must guarantee that at most one thread accesses any given index
+/// (here: each index is claimed exactly once via `fetch_add` on a shared
+/// counter), and that reads of the final values happen only after all writer
+/// threads have been joined (the `thread::scope` exit provides the necessary
+/// happens-before edge).
+struct Slots<V>(Vec<UnsafeCell<Option<V>>>);
+
+unsafe impl<V: Send> Sync for Slots<V> {}
+
+impl<V> Slots<V> {
+    fn filled(values: impl Iterator<Item = V>, hint: usize) -> Self {
+        let mut v = Vec::with_capacity(hint);
+        v.extend(values.map(|x| UnsafeCell::new(Some(x))));
+        Slots(v)
+    }
+
+    fn empty(n: usize) -> Self {
+        Slots((0..n).map(|_| UnsafeCell::new(None)).collect())
+    }
+
+    /// Takes the value at `idx`.
+    ///
+    /// # Safety
+    /// `idx` must be exclusively owned by the calling thread (see type docs).
+    unsafe fn take(&self, idx: usize) -> Option<V> {
+        (*self.0[idx].get()).take()
+    }
+
+    /// Stores a value at `idx`.
+    ///
+    /// # Safety
+    /// `idx` must be exclusively owned by the calling thread (see type docs).
+    unsafe fn put(&self, idx: usize, v: V) {
+        *self.0[idx].get() = Some(v);
+    }
+}
+
+/// [`run_tasks`] with a [`Recorder`]: every task additionally emits a span
+/// named `stage` on its simulated node's lane, whose simulated duration is
+/// the same measurement that feeds [`ExecStats`] — so per node, the trace's
+/// span durations sum to exactly `per_node_busy`.
+pub fn run_tasks_traced<T, R, F>(
+    threads: usize,
+    nodes: usize,
+    tasks: Vec<T>,
+    placement: &[usize],
+    recorder: &Recorder,
+    stage: &str,
+    f: F,
+) -> (Vec<R>, ExecStats)
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
     assert_eq!(placement.len(), tasks.len(), "one placement entry per task");
     assert!(nodes > 0, "cluster must have at least one node");
     debug_assert!(
@@ -38,27 +108,46 @@ where
     let wall_start = Instant::now();
     let n_tasks = tasks.len();
 
-    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(tasks.into_iter().enumerate().collect());
-    let results: Mutex<Vec<Option<(R, Duration)>>> =
-        Mutex::new((0..n_tasks).map(|_| None).collect());
+    // Lock-free work distribution: workers claim task indices from a shared
+    // counter; task inputs and results live in per-index slots, so no lock is
+    // held while running `f` and threads never contend on a results mutex.
+    let next = AtomicUsize::new(0);
+    let task_slots: Slots<T> = Slots::filled(tasks.into_iter(), n_tasks);
+    let result_slots: Slots<(R, Duration)> = Slots::empty(n_tasks);
 
     std::thread::scope(|scope| {
         for _ in 0..threads.min(n_tasks.max(1)) {
             scope.spawn(|| loop {
-                let next = queue.lock().pop_front();
-                let Some((idx, task)) = next else { break };
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= n_tasks {
+                    break;
+                }
+                // SAFETY: `idx` came from fetch_add, so this thread is its
+                // only owner; the slot was filled before the scope started.
+                let task = unsafe { task_slots.take(idx) }.expect("task slot filled once");
                 let start = Instant::now();
                 let out = f(idx, task);
                 let elapsed = start.elapsed();
-                results.lock()[idx] = Some((out, elapsed));
+                recorder.task_span(
+                    stage,
+                    placement[idx],
+                    Some(idx as u64),
+                    elapsed,
+                    Attrs::new(),
+                );
+                // SAFETY: same exclusive ownership of `idx`.
+                unsafe { result_slots.put(idx, (out, elapsed)) };
             });
         }
     });
 
     let mut per_node_busy = vec![Duration::ZERO; nodes];
     let mut out = Vec::with_capacity(n_tasks);
-    for (idx, slot) in results.into_inner().into_iter().enumerate() {
-        let (r, d) = slot.expect("worker must have produced a result");
+    // The scope join above synchronizes all worker writes with these reads.
+    for (idx, slot) in result_slots.0.into_iter().enumerate() {
+        let (r, d) = slot
+            .into_inner()
+            .expect("worker must have produced a result");
         per_node_busy[placement[idx]] += d;
         out.push(r);
     }
@@ -138,5 +227,42 @@ mod tests {
     fn more_threads_than_tasks_is_fine() {
         let (out, _) = run_tasks(16, 4, vec![1u8, 2], &[0, 3], |_, t| t * 10);
         assert_eq!(out, vec![10, 20]);
+    }
+
+    #[test]
+    fn heavy_contention_returns_every_result_once() {
+        // Stress the lock-free slot path: many tiny tasks over many threads.
+        let n = 10_000;
+        let tasks: Vec<usize> = (0..n).collect();
+        let placement: Vec<usize> = (0..n).map(|i| i % 7).collect();
+        let (out, stats) = run_tasks(8, 7, tasks, &placement, |idx, t| {
+            assert_eq!(idx, t);
+            t
+        });
+        assert_eq!(out, (0..n).collect::<Vec<_>>());
+        assert_eq!(
+            stats.total_busy(),
+            stats.per_node_busy.iter().sum::<Duration>()
+        );
+    }
+
+    #[test]
+    fn traced_run_spans_sum_to_per_node_busy() {
+        let recorder = Recorder::for_nodes(3);
+        let tasks: Vec<u32> = (0..30).collect();
+        let placement: Vec<usize> = (0..30).map(|i| i % 3).collect();
+        let (_, stats) = run_tasks_traced(4, 3, tasks, &placement, &recorder, "unit", |_, t| t + 1);
+        let trace = recorder.snapshot();
+        assert_eq!(trace.spans.len(), 30);
+        for node in 0..3 {
+            let span_sum: u64 = trace
+                .spans
+                .iter()
+                .filter(|s| s.lane == asj_obs::Lane::Node(node))
+                .map(|s| s.sim_dur_ns)
+                .sum();
+            assert_eq!(span_sum, stats.per_node_busy[node].as_nanos() as u64);
+            assert_eq!(recorder.node_sim_total(node), stats.per_node_busy[node]);
+        }
     }
 }

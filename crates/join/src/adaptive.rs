@@ -38,43 +38,53 @@ pub fn adaptive_join(
     let rdd_s = Dataset::from_vec(s, spec.input_partitions);
 
     // --- Sampling (parallel) + graph construction (driver). ---
+    let recorder = cluster.recorder().clone();
     let mut construction = asj_engine::ExecStats::default();
-    let (sample_r, ex) = rdd_r.sample(cluster, spec.sample_fraction, spec.seed);
-    construction.accumulate(&ex);
-    let (sample_s, ex) = rdd_s.sample(cluster, spec.sample_fraction, spec.seed ^ 0x5151);
-    construction.accumulate(&ex);
+    let (sample_r, sample_s) = recorder.phase_attrs("sampling", |attrs| {
+        let (sample_r, ex) = rdd_r.sample(cluster, spec.sample_fraction, spec.seed);
+        construction.accumulate(&ex);
+        let (sample_s, ex) = rdd_s.sample(cluster, spec.sample_fraction, spec.seed ^ 0x5151);
+        construction.accumulate(&ex);
+        *attrs = attrs.records((sample_r.len() + sample_s.len()) as u64);
+        (sample_r, sample_s)
+    });
 
     let driver_start = Instant::now();
-    let sample = GridSample::from_points(
-        &grid,
-        sample_r.iter().map(|rec| rec.point),
-        sample_s.iter().map(|rec| rec.point),
-    );
-    let graph = AgreementGraph::build(&grid, &sample, policy);
-    let broadcast_bytes = graph.broadcast_bytes();
+    let (graph, partitioner) = recorder.phase_attrs("agreement_graph", |attrs| {
+        let sample = GridSample::from_points(
+            &grid,
+            sample_r.iter().map(|rec| rec.point),
+            sample_s.iter().map(|rec| rec.point),
+        );
+        let graph = AgreementGraph::build(&grid, &sample, policy);
+        *attrs = attrs.cells(grid.num_cells() as u64);
 
-    // Cell placement: Spark-default hash, or LPT over sampled cell costs.
-    let partitioner: Box<dyn Partitioner<u64> + Sync> = match spec.placement {
-        Placement::Hash => Box::new(HashPartitioner::new(spec.num_partitions)),
-        Placement::RoundRobin => {
-            Box::new(asj_engine::RoundRobinPartitioner::new(spec.num_partitions))
-        }
-        Placement::Lpt => {
-            let costs = cell_costs(
-                &graph,
-                sample_r.iter().map(|rec| &rec.point),
-                sample_s.iter().map(|rec| &rec.point),
-            );
-            let weighted: Vec<(u64, u64)> = costs
-                .iter()
-                .enumerate()
-                .filter(|(_, c)| c.cost() > 0)
-                .map(|(i, c)| (i as u64, c.cost()))
-                .collect();
-            let map = asj_engine::lpt_assign(&weighted, spec.num_partitions);
-            Box::new(ExplicitPartitioner::new(map, spec.num_partitions))
-        }
-    };
+        // Cell placement: Spark-default hash, or LPT over sampled cell costs.
+        let partitioner: Box<dyn Partitioner<u64> + Sync> = match spec.placement {
+            Placement::Hash => Box::new(HashPartitioner::new(spec.num_partitions)),
+            Placement::RoundRobin => {
+                Box::new(asj_engine::RoundRobinPartitioner::new(spec.num_partitions))
+            }
+            Placement::Lpt => {
+                let costs = cell_costs(
+                    &graph,
+                    sample_r.iter().map(|rec| &rec.point),
+                    sample_s.iter().map(|rec| &rec.point),
+                );
+                let weighted: Vec<(u64, u64)> = costs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.cost() > 0)
+                    .map(|(i, c)| (i as u64, c.cost()))
+                    .collect();
+                let map = asj_engine::lpt_assign(&weighted, spec.num_partitions);
+                Box::new(ExplicitPartitioner::new(map, spec.num_partitions))
+            }
+        };
+        (graph, partitioner)
+    });
+    let broadcast_bytes = graph.broadcast_bytes();
+    recorder.counter_add("agreement_graph", "broadcast_bytes", broadcast_bytes);
     let driver = driver_start.elapsed();
 
     // --- Spatial mapping (Algorithms 2-4) on the broadcast graph. ---

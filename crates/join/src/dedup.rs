@@ -66,20 +66,25 @@ pub fn adaptive_join_dedup(
     // Distributed distinct: shuffle pairs by their R id, then sort + dedup
     // each partition.
     let duplicated_count = out.result_count;
-    let pair_data =
-        KeyedDataset::from_partitions(vec![out.pairs.into_iter().collect::<Vec<(u64, u64)>>()]);
-    let (pair_data, dedup_shuffle, ex) = pair_data.shuffle(cluster, &partitioner);
     let mut shuffle = out.shuffle;
-    shuffle.merge(&dedup_shuffle);
     let mut join_exec = out.join_exec;
-    join_exec.accumulate(&ex);
-    let (deduped_parts, ex) =
-        cluster.run_partitioned(pair_data.into_partitions(), |_, mut part| {
-            part.sort_unstable();
-            part.dedup();
-            part
-        });
-    join_exec.accumulate(&ex);
+    let deduped_parts = cluster.recorder().clone().phase_attrs("dedup", |attrs| {
+        let pair_data =
+            KeyedDataset::from_partitions(vec![out.pairs.into_iter().collect::<Vec<(u64, u64)>>()]);
+        let (pair_data, dedup_shuffle, ex) =
+            pair_data.shuffle_stage(cluster, &partitioner, "dedup");
+        shuffle.merge(&dedup_shuffle);
+        join_exec.accumulate(&ex);
+        let (deduped_parts, ex) =
+            cluster.run_partitioned_stage("dedup", pair_data.into_partitions(), |_, mut part| {
+                part.sort_unstable();
+                part.dedup();
+                part
+            });
+        join_exec.accumulate(&ex);
+        *attrs = attrs.records(duplicated_count);
+        deduped_parts
+    });
 
     let result_count: u64 = deduped_parts.iter().map(|p| p.len() as u64).sum();
     let pairs: Vec<(u64, u64)> = if spec.collect_pairs {

@@ -78,26 +78,35 @@ where
     F: Fn(Point, &mut Vec<u64>, &mut Vec<asj_grid::CellCoord>) + Sync,
 {
     let records_in: u64 = input.len() as u64;
-    let (parts, stats) =
-        cluster.run_partitioned(input.into_partitions(), |_, part: Vec<Record>| {
-            let mut out: Vec<(u64, Record)> = Vec::with_capacity(part.len() + part.len() / 8);
-            let mut cells: Vec<u64> = Vec::with_capacity(4);
-            let mut scratch: Vec<asj_grid::CellCoord> = Vec::with_capacity(4);
-            for rec in part {
-                cells.clear();
-                assign(rec.point, &mut cells, &mut scratch);
-                debug_assert!(!cells.is_empty(), "every record must map to >= 1 cell");
-                // Clone for the replicas, move the original into the last.
-                for &c in &cells[1..] {
-                    out.push((c, rec.clone()));
+    cluster.recorder().phase_attrs("marking", |attrs| {
+        let (parts, stats) = cluster.run_partitioned_stage(
+            "marking",
+            input.into_partitions(),
+            |_, part: Vec<Record>| {
+                let mut out: Vec<(u64, Record)> = Vec::with_capacity(part.len() + part.len() / 8);
+                let mut cells: Vec<u64> = Vec::with_capacity(4);
+                let mut scratch: Vec<asj_grid::CellCoord> = Vec::with_capacity(4);
+                for rec in part {
+                    cells.clear();
+                    assign(rec.point, &mut cells, &mut scratch);
+                    debug_assert!(!cells.is_empty(), "every record must map to >= 1 cell");
+                    // Clone for the replicas, move the original into the last.
+                    for &c in &cells[1..] {
+                        out.push((c, rec.clone()));
+                    }
+                    out.push((cells[0], rec));
                 }
-                out.push((cells[0], rec));
-            }
-            out
-        });
-    let keyed = KeyedDataset::from_partitions(parts);
-    let replicas = keyed.len() as u64 - records_in;
-    (keyed, replicas, stats)
+                out
+            },
+        );
+        let keyed = KeyedDataset::from_partitions(parts);
+        let replicas = keyed.len() as u64 - records_in;
+        *attrs = attrs.records(records_in).cells(replicas);
+        cluster
+            .recorder()
+            .counter_add("marking", "replicas", replicas);
+        (keyed, replicas, stats)
+    })
 }
 
 /// Shuffle + partition-local join with immediate refinement (Algorithm 5,
@@ -113,12 +122,17 @@ pub(crate) fn join_stage<P>(
 where
     P: Partitioner<u64> + ?Sized,
 {
-    let (keyed_r, sh_r, ex_r) = keyed_r.shuffle(cluster, partitioner);
-    let (keyed_s, sh_s, ex_s) = keyed_s.shuffle(cluster, partitioner);
-    let mut shuffle = sh_r;
-    shuffle.merge(&sh_s);
-    let mut shuffle_exec = ex_r;
-    shuffle_exec.accumulate(&ex_s);
+    let recorder = cluster.recorder().clone();
+    let (keyed_r, keyed_s, shuffle, shuffle_exec) = recorder.phase_attrs("shuffle", |attrs| {
+        let (keyed_r, sh_r, ex_r) = keyed_r.shuffle_stage(cluster, partitioner, "shuffle.R");
+        let (keyed_s, sh_s, ex_s) = keyed_s.shuffle_stage(cluster, partitioner, "shuffle.S");
+        let mut shuffle = sh_r;
+        shuffle.merge(&sh_s);
+        let mut shuffle_exec = ex_r;
+        shuffle_exec.accumulate(&ex_s);
+        *attrs = attrs.records(shuffle.records).bytes(shuffle.total_bytes());
+        (keyed_r, keyed_s, shuffle, shuffle_exec)
+    });
 
     let placement: Vec<usize> = (0..partitioner.num_partitions())
         .map(|p| cluster.node_of_partition(p))
@@ -128,42 +142,48 @@ where
     let kernel = spec.kernel;
     let candidates = AtomicU64::new(0);
     let results = AtomicU64::new(0);
-    let (joined, join_exec) = keyed_r.cogroup_join(
-        cluster,
-        keyed_s,
-        &placement,
-        |_cell, rs: &[Record], ss: &[Record], out: &mut Vec<(u64, u64)>| {
-            let emit = |i: usize, j: usize, out: &mut Vec<(u64, u64)>| {
-                if collect {
-                    out.push((rs[i].id, ss[j].id));
-                }
-            };
-            let stats = match kernel {
-                LocalKernel::NestedLoop => kernels::nested_loop(
-                    rs,
-                    ss,
-                    eps,
-                    |r| r.point,
-                    |s| s.point,
-                    |i, j| emit(i, j, out),
-                ),
-                LocalKernel::PlaneSweep => kernels::plane_sweep(
-                    rs,
-                    ss,
-                    eps,
-                    |r| r.point,
-                    |s| s.point,
-                    |i, j| emit(i, j, out),
-                ),
-            };
-            candidates.fetch_add(stats.candidates, Ordering::Relaxed);
-            results.fetch_add(stats.results, Ordering::Relaxed);
-        },
-    );
+    let (joined, join_exec) = recorder.phase("local_join", || {
+        keyed_r.cogroup_join(
+            cluster,
+            keyed_s,
+            &placement,
+            |_cell, rs: &[Record], ss: &[Record], out: &mut Vec<(u64, u64)>| {
+                let emit = |i: usize, j: usize, out: &mut Vec<(u64, u64)>| {
+                    if collect {
+                        out.push((rs[i].id, ss[j].id));
+                    }
+                };
+                let stats = match kernel {
+                    LocalKernel::NestedLoop => kernels::nested_loop(
+                        rs,
+                        ss,
+                        eps,
+                        |r| r.point,
+                        |s| s.point,
+                        |i, j| emit(i, j, out),
+                    ),
+                    LocalKernel::PlaneSweep => kernels::plane_sweep(
+                        rs,
+                        ss,
+                        eps,
+                        |r| r.point,
+                        |s| s.point,
+                        |i, j| emit(i, j, out),
+                    ),
+                };
+                candidates.fetch_add(stats.candidates, Ordering::Relaxed);
+                results.fetch_add(stats.results, Ordering::Relaxed);
+            },
+        )
+    });
+    let result_count = results.into_inner();
+    let candidate_count = candidates.into_inner();
+    recorder.counter_add("local_join", "candidates", candidate_count);
+    recorder.counter_add("local_join", "results", result_count);
     JoinStageOutput {
         pairs: joined.collect(),
-        result_count: results.into_inner(),
-        candidates: candidates.into_inner(),
+        result_count,
+        candidates: candidate_count,
         shuffle,
         shuffle_exec,
         join_exec,

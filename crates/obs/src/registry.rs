@@ -1,0 +1,167 @@
+//! Metrics registry: counters, gauges and histograms keyed by
+//! `(stage, name)`, so tests can ask e.g. "how many remote bytes did the
+//! `shuffle.R` stage move?" without parsing a trace.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Streaming summary of a histogram — enough for assertions and reports
+/// without retaining every observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    pub count: u64,
+    pub min: f64,
+    pub max: f64,
+    pub sum: f64,
+}
+
+impl HistogramSummary {
+    fn observe(&mut self, v: f64) {
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.sum += v;
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+impl Default for HistogramSummary {
+    fn default() -> Self {
+        HistogramSummary {
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+}
+
+type Key = (String, String);
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<Key, u64>,
+    gauges: BTreeMap<Key, f64>,
+    histograms: BTreeMap<Key, HistogramSummary>,
+}
+
+/// Thread-safe metrics store. One global lock is fine here: metrics are
+/// updated once per *stage* (not per record), so contention is negligible.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl Registry {
+    pub fn counter_add(&self, stage: &str, name: &str, delta: u64) {
+        let mut g = self.inner.lock().unwrap();
+        *g.counters
+            .entry((stage.to_owned(), name.to_owned()))
+            .or_insert(0) += delta;
+    }
+
+    pub fn gauge_set(&self, stage: &str, name: &str, value: f64) {
+        let mut g = self.inner.lock().unwrap();
+        g.gauges.insert((stage.to_owned(), name.to_owned()), value);
+    }
+
+    pub fn histogram_record(&self, stage: &str, name: &str, value: f64) {
+        let mut g = self.inner.lock().unwrap();
+        g.histograms
+            .entry((stage.to_owned(), name.to_owned()))
+            .or_default()
+            .observe(value);
+    }
+
+    pub fn counter_value(&self, stage: &str, name: &str) -> Option<u64> {
+        let g = self.inner.lock().unwrap();
+        g.counters
+            .get(&(stage.to_owned(), name.to_owned()))
+            .copied()
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let g = self.inner.lock().unwrap();
+        MetricsSnapshot {
+            counters: g.counters.clone(),
+            gauges: g.gauges.clone(),
+            histograms: g.histograms.clone(),
+        }
+    }
+}
+
+/// Point-in-time copy of the registry, ordered for deterministic export.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<Key, u64>,
+    pub gauges: BTreeMap<Key, f64>,
+    pub histograms: BTreeMap<Key, HistogramSummary>,
+}
+
+impl MetricsSnapshot {
+    pub fn counter(&self, stage: &str, name: &str) -> Option<u64> {
+        self.counters
+            .get(&(stage.to_owned(), name.to_owned()))
+            .copied()
+    }
+
+    pub fn gauge(&self, stage: &str, name: &str) -> Option<f64> {
+        self.gauges
+            .get(&(stage.to_owned(), name.to_owned()))
+            .copied()
+    }
+
+    pub fn histogram(&self, stage: &str, name: &str) -> Option<&HistogramSummary> {
+        self.histograms.get(&(stage.to_owned(), name.to_owned()))
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_stage() {
+        let r = Registry::default();
+        r.counter_add("shuffle.R", "remote_bytes", 100);
+        r.counter_add("shuffle.R", "remote_bytes", 20);
+        r.counter_add("shuffle.S", "remote_bytes", 7);
+        assert_eq!(r.counter_value("shuffle.R", "remote_bytes"), Some(120));
+        assert_eq!(r.counter_value("shuffle.S", "remote_bytes"), Some(7));
+        assert_eq!(r.counter_value("shuffle.S", "local_bytes"), None);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("shuffle.R", "remote_bytes"), Some(120));
+    }
+
+    #[test]
+    fn gauges_overwrite_and_histograms_summarize() {
+        let r = Registry::default();
+        r.gauge_set("join", "imbalance", 1.5);
+        r.gauge_set("join", "imbalance", 1.25);
+        r.histogram_record("join", "partition_bytes", 10.0);
+        r.histogram_record("join", "partition_bytes", 30.0);
+        let snap = r.snapshot();
+        assert_eq!(snap.gauge("join", "imbalance"), Some(1.25));
+        let h = snap.histogram("join", "partition_bytes").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.min, 10.0);
+        assert_eq!(h.max, 30.0);
+        assert_eq!(h.mean(), 20.0);
+    }
+
+    #[test]
+    fn empty_histogram_mean_is_zero() {
+        assert_eq!(HistogramSummary::default().mean(), 0.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! The span/event model: what one recorded unit of work looks like.
+
+/// Which timeline a span or event belongs to.
+///
+/// The engine multiplexes many simulated nodes over a few host threads, so
+/// the interesting identity is the *simulated node*, not the OS thread. The
+/// driver (everything that runs serially between parallel stages) gets its
+/// own lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Lane {
+    /// Serial driver-side work (sampling aggregation, graph construction…).
+    Driver,
+    /// Work attributed to one simulated worker node.
+    Node(usize),
+}
+
+impl Lane {
+    /// Stable lane id used as the `tid` of Chrome trace events: driver is 0,
+    /// node `n` is `n + 1`.
+    pub fn tid(self) -> usize {
+        match self {
+            Lane::Driver => 0,
+            Lane::Node(n) => n + 1,
+        }
+    }
+
+    pub fn node(self) -> Option<usize> {
+        match self {
+            Lane::Driver => None,
+            Lane::Node(n) => Some(n),
+        }
+    }
+}
+
+/// Typed attributes carried by spans and events. All optional; `None` fields
+/// are omitted from exports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Attrs {
+    /// Records processed / moved.
+    pub records: Option<u64>,
+    /// Bytes processed / moved (e.g. shuffle volume).
+    pub bytes: Option<u64>,
+    /// Grid cells touched (e.g. cells assigned to a partition).
+    pub cells: Option<u64>,
+}
+
+impl Attrs {
+    pub fn new() -> Self {
+        Attrs::default()
+    }
+
+    pub fn records(mut self, n: u64) -> Self {
+        self.records = Some(n);
+        self
+    }
+
+    pub fn bytes(mut self, n: u64) -> Self {
+        self.bytes = Some(n);
+        self
+    }
+
+    pub fn cells(mut self, n: u64) -> Self {
+        self.cells = Some(n);
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_none() && self.bytes.is_none() && self.cells.is_none()
+    }
+}
+
+/// One completed unit of work with an extent on *both* clocks.
+///
+/// * `wall_*` — host monotonic time, nanoseconds since the recorder's epoch.
+///   This is what actually happened on this machine.
+/// * `sim_*` — simulated cluster time. For [`Lane::Node`] spans the interval
+///   is allocated from that node's private clock, so the spans of one node
+///   never overlap and their durations sum to exactly the node's busy time
+///   (`ExecStats::per_node_busy`). For [`Lane::Driver`] spans the simulated
+///   clock *is* the wall clock: the driver is serial, its timeline needs no
+///   reattribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    pub stage: String,
+    pub lane: Lane,
+    /// Partition (= task index) this span worked on, when applicable.
+    pub partition: Option<u64>,
+    pub attrs: Attrs,
+    pub wall_start_ns: u64,
+    pub wall_dur_ns: u64,
+    pub sim_start_ns: u64,
+    pub sim_dur_ns: u64,
+}
+
+/// A point-in-time annotation (Chrome "instant" event).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    pub name: String,
+    pub lane: Lane,
+    pub partition: Option<u64>,
+    pub attrs: Attrs,
+    pub wall_ns: u64,
+    pub sim_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_tids_are_stable_and_disjoint() {
+        assert_eq!(Lane::Driver.tid(), 0);
+        assert_eq!(Lane::Node(0).tid(), 1);
+        assert_eq!(Lane::Node(11).tid(), 12);
+        assert_eq!(Lane::Driver.node(), None);
+        assert_eq!(Lane::Node(3).node(), Some(3));
+    }
+
+    #[test]
+    fn attrs_builder() {
+        let a = Attrs::new().records(5).bytes(80);
+        assert_eq!(a.records, Some(5));
+        assert_eq!(a.bytes, Some(80));
+        assert_eq!(a.cells, None);
+        assert!(!a.is_empty());
+        assert!(Attrs::new().is_empty());
+    }
+}

@@ -1,0 +1,73 @@
+//! Golden-file test for the exporters: a hand-constructed [`Trace`] must
+//! render byte-for-byte to the checked-in `tests/golden/*` files. If an
+//! exporter change is intentional, update the goldens with the rendered
+//! output this test prints on failure.
+
+use asj_obs::{Attrs, Event, HistogramSummary, Lane, Span, Trace};
+
+fn sample_trace() -> Trace {
+    let mut trace = Trace::empty();
+    trace.nodes = 2;
+    trace.spans = vec![
+        Span {
+            stage: "agreement_graph".to_owned(),
+            lane: Lane::Driver,
+            partition: None,
+            attrs: Attrs::new().cells(9),
+            wall_start_ns: 1_500,
+            wall_dur_ns: 250_000,
+            sim_start_ns: 1_500,
+            sim_dur_ns: 250_000,
+        },
+        Span {
+            stage: "local_join".to_owned(),
+            lane: Lane::Node(1),
+            partition: Some(3),
+            attrs: Attrs::new().records(42).bytes(1024),
+            wall_start_ns: 2_000,
+            wall_dur_ns: 500,
+            sim_start_ns: 0,
+            sim_dur_ns: 500,
+        },
+    ];
+    trace.events = vec![Event {
+        name: "shuffle.partition".to_owned(),
+        lane: Lane::Node(0),
+        partition: Some(0),
+        attrs: Attrs::new().bytes(64),
+        wall_ns: 3_000,
+        sim_ns: 500,
+    }];
+    trace
+        .metrics
+        .counters
+        .insert(("shuffle".to_owned(), "remote_bytes".to_owned()), 4096);
+    trace
+        .metrics
+        .gauges
+        .insert(("join".to_owned(), "imbalance".to_owned()), 1.5);
+    trace.metrics.histograms.insert(
+        ("shuffle".to_owned(), "partition_bytes".to_owned()),
+        HistogramSummary {
+            count: 2,
+            min: 10.0,
+            max: 30.0,
+            sum: 40.0,
+        },
+    );
+    trace
+}
+
+#[test]
+fn chrome_export_matches_golden() {
+    let rendered = sample_trace().to_chrome_json();
+    let golden = include_str!("golden/trace.chrome.json");
+    assert_eq!(rendered, golden, "rendered chrome trace:\n{rendered}");
+}
+
+#[test]
+fn jsonl_export_matches_golden() {
+    let rendered = sample_trace().to_jsonl();
+    let golden = include_str!("golden/trace.jsonl");
+    assert_eq!(rendered, golden, "rendered jsonl trace:\n{rendered}");
+}

@@ -1,0 +1,220 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The workspace's benches only need a harness that compiles and runs:
+//! groups, `bench_function`/`bench_with_input`, `iter`/`iter_batched`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros. This
+//! shim executes every routine `sample_size` times and prints the mean
+//! duration per iteration — enough to compare before/after locally, with
+//! none of criterion's statistics, plotting, or CLI machinery.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — defeats constant folding of benchmark inputs.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` sizes its batches. Ignored by the shim (every batch
+/// has one iteration), kept for call-site compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Identifier of one parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Measurement handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Mean duration of one routine invocation, recorded by `iter*`.
+    mean: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.mean = start.elapsed() / self.samples as u32;
+    }
+
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.mean = total / self.samples as u32;
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl ToString, f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.to_string());
+        self.criterion.run_one(&label, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&label, |b| f(b, input));
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_one(name, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            mean: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("bench {label:<48} {:>12.3?}/iter", b.mean);
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut calls = 0;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn groups_and_batched() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        let mut setups = 0;
+        let mut runs = 0;
+        group.bench_with_input(BenchmarkId::new("p", 7), &7usize, |b, &n| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    n
+                },
+                |v| {
+                    runs += 1;
+                    v * 2
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.finish();
+        assert_eq!(setups, 2);
+        assert_eq!(runs, 2);
+        assert_eq!(format!("{}", BenchmarkId::from_parameter("x")), "x");
+    }
+}

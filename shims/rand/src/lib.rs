@@ -1,0 +1,265 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build container has no registry access, so the workspace vendors the
+//! slice of `rand` it actually uses: seedable deterministic generators
+//! (`StdRng`, `SmallRng`), `gen_range` over half-open and inclusive numeric
+//! ranges, and `gen_bool`. Both rngs are xoshiro256++ seeded through
+//! SplitMix64 — the same construction `rand`'s own `SmallRng` uses — so
+//! streams are deterministic, well distributed and cheap. Exact values differ
+//! from upstream `rand`, which no test in this workspace depends on.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core source of randomness: 64 random bits per call.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// SplitMix64: expands a 64-bit seed into independent state words.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++ core state shared by both named generators.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Xoshiro256 { s }
+    }
+}
+
+impl RngCore for Xoshiro256 {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng, Xoshiro256};
+
+    macro_rules! named_rng {
+        ($(#[$doc:meta])* $name:ident) => {
+            $(#[$doc])*
+            #[derive(Debug, Clone)]
+            pub struct $name(Xoshiro256);
+
+            impl RngCore for $name {
+                #[inline]
+                fn next_u64(&mut self) -> u64 {
+                    self.0.next_u64()
+                }
+            }
+
+            impl SeedableRng for $name {
+                fn seed_from_u64(seed: u64) -> Self {
+                    $name(Xoshiro256::from_u64(seed))
+                }
+            }
+        };
+    }
+
+    named_rng!(
+        /// Deterministic general-purpose generator (stand-in for `rand::rngs::StdRng`).
+        StdRng
+    );
+    named_rng!(
+        /// Small fast generator (stand-in for `rand::rngs::SmallRng`).
+        SmallRng
+    );
+}
+
+/// A type `gen_range` can sample uniformly. The blanket [`SampleRange`]
+/// impls below are generic over this trait (one impl per *range shape*, not
+/// per element type) so that type inference can flow from the expected
+/// output into a range built from unsuffixed literals — exactly like
+/// upstream `rand`'s `SampleUniform`.
+pub trait SampleUniform: Copy + PartialOrd + std::fmt::Debug {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+/// 53 uniform mantissa bits in [0, 1).
+#[inline]
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let v = lo + (hi - lo) * unit_f64(rng) as $t;
+                // Guard the open upper bound against floating-point round-up.
+                if v >= hi {
+                    lo
+                } else {
+                    v
+                }
+            }
+
+            #[inline]
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let v = lo + (hi - lo) * unit_f64(rng) as $t;
+                if v > hi {
+                    hi
+                } else {
+                    v
+                }
+            }
+        }
+    )*};
+}
+
+sample_uniform_float!(f64, f32);
+
+macro_rules! sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (lo as i128 + offset as i128) as $t
+            }
+
+            #[inline]
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (lo as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A range a random value can be drawn from.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "empty gen_range {self:?}");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty gen_range {lo:?}..={hi:?}");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    #[inline]
+    fn gen_range<T, B: SampleRange<T>>(&mut self, range: B) -> T {
+        range.sample_single(self)
+    }
+
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p={p} out of [0,1]");
+        // Compare 53 uniform bits against p; p == 1.0 must always win.
+        if p >= 1.0 {
+            return true;
+        }
+        ((self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::{SmallRng, StdRng};
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let va: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..1_000_000)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen_range(0u64..1_000_000)).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.gen_range(0u64..1_000_000)).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let f = rng.gen_range(-1.5..2.5);
+            assert!((-1.5..2.5).contains(&f));
+            let i = rng.gen_range(3..9);
+            assert!((3..9).contains(&i));
+            let k = rng.gen_range(2usize..=5);
+            assert!((2..=5).contains(&k));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((hits as f64 - 30_000.0).abs() < 1_500.0, "hits={hits}");
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+
+    #[test]
+    fn uniform_f64_covers_the_range() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+    }
+}

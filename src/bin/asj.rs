@@ -41,12 +41,16 @@ usage:
                 [--seed S]
   asj join      --r FILE --s FILE --eps E [--algo ALGO] [--nodes N]
                 [--partitions P] [--grid-factor F] [--out FILE]
+                [--trace FILE] [--trace-format chrome|jsonl]
   asj self-join --input FILE --eps E [--nodes N] [--partitions P]
+                [--trace FILE] [--trace-format chrome|jsonl]
   asj knn       --r FILE --s FILE --k K --eps E [--nodes N] [--partitions P]
   asj range     --input FILE --rect x0,y0,x1,y1 --eps E [--nodes N]
   asj heatmap   --input FILE [--width W] [--height H]
 
-ALGO: lpib (default) | diff | uni-r | uni-s | eps-grid | sedona";
+ALGO: lpib (default) | diff | uni-r | uni-s | eps-grid | sedona
+--trace records a dual-clock execution trace; the chrome format opens in
+Perfetto (https://ui.perfetto.dev) or chrome://tracing.";
 
 /// Parsed `--flag value` options after the subcommand.
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -147,7 +151,58 @@ fn bbox_of(points: impl Iterator<Item = Point>) -> Rect {
     bbox
 }
 
-fn build_spec(flags: &HashMap<String, String>, bbox: Rect) -> Result<(Cluster, JoinSpec), String> {
+/// Tracing requested on the command line: the recorder attached to the
+/// cluster plus where to write the rendered trace when the job is done.
+struct TraceSink {
+    recorder: Recorder,
+    path: Option<PathBuf>,
+    format: TraceFormat,
+}
+
+impl TraceSink {
+    fn from_flags(flags: &HashMap<String, String>, nodes: usize) -> Result<TraceSink, String> {
+        let path = flags.get("trace").map(PathBuf::from);
+        let format: TraceFormat = flags
+            .get("trace-format")
+            .map_or(Ok(TraceFormat::Chrome), |s| {
+                s.parse().map_err(|e: String| e)
+            })?;
+        // Without --trace the recorder stays no-op: zero overhead, and the
+        // join's outputs and metrics are bit-identical to an untraced run.
+        let recorder = if path.is_some() {
+            Recorder::for_nodes(nodes)
+        } else {
+            Recorder::noop()
+        };
+        Ok(TraceSink {
+            recorder,
+            path,
+            format,
+        })
+    }
+
+    fn write(&self) -> Result<(), String> {
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        let trace = self.recorder.snapshot();
+        trace
+            .write_to(path, self.format)
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!(
+            "wrote trace          : {} ({} spans, {} events)",
+            path.display(),
+            trace.spans.len(),
+            trace.events.len()
+        );
+        Ok(())
+    }
+}
+
+fn build_spec(
+    flags: &HashMap<String, String>,
+    bbox: Rect,
+) -> Result<(Cluster, JoinSpec, TraceSink), String> {
     let eps: f64 = parse(required(flags, "eps")?, "--eps")?;
     if eps <= 0.0 {
         return Err("--eps must be positive".into());
@@ -159,12 +214,13 @@ fn build_spec(flags: &HashMap<String, String>, bbox: Rect) -> Result<(Cluster, J
     let factor: f64 = flags
         .get("grid-factor")
         .map_or(Ok(2.0), |s| parse(s, "--grid-factor"))?;
-    let cluster = Cluster::new(ClusterConfig::new(nodes));
+    let trace = TraceSink::from_flags(flags, nodes)?;
+    let cluster = Cluster::new(ClusterConfig::new(nodes)).with_recorder(trace.recorder.clone());
     // Pad the observed bbox so border points still get full neighborhoods.
     let spec = JoinSpec::new(bbox.expand(eps), eps)
         .with_partitions(partitions)
         .with_grid_factor(factor);
-    Ok((cluster, spec))
+    Ok((cluster, spec, trace))
 }
 
 fn report(out: &JoinOutput) {
@@ -218,12 +274,13 @@ fn cmd_join(flags: &HashMap<String, String>) -> Result<(), String> {
     if bbox.is_empty() {
         return Err("inputs contain no points".into());
     }
-    let (cluster, mut spec) = build_spec(flags, bbox)?;
+    let (cluster, mut spec, trace) = build_spec(flags, bbox)?;
     if flags.get("out").is_none() {
         spec = spec.counting_only();
     }
     let out = algo.run(&cluster, &spec, r, s);
     report(&out);
+    trace.write()?;
     if let Some(path) = flags.get("out") {
         write_pairs(path, &out.pairs)?;
     }
@@ -236,12 +293,13 @@ fn cmd_self_join(flags: &HashMap<String, String>) -> Result<(), String> {
     if bbox.is_empty() {
         return Err("input contains no points".into());
     }
-    let (cluster, mut spec) = build_spec(flags, bbox)?;
+    let (cluster, mut spec, trace) = build_spec(flags, bbox)?;
     if flags.get("out").is_none() {
         spec = spec.counting_only();
     }
     let out = self_join(&cluster, &spec, input);
     report(&out);
+    trace.write()?;
     if let Some(path) = flags.get("out") {
         write_pairs(path, &out.pairs)?;
     }
@@ -256,7 +314,7 @@ fn cmd_knn(flags: &HashMap<String, String>) -> Result<(), String> {
     if bbox.is_empty() {
         return Err("inputs contain no points".into());
     }
-    let (cluster, spec) = build_spec(flags, bbox)?;
+    let (cluster, spec, _trace) = build_spec(flags, bbox)?;
     let out = knn_join(&cluster, &spec, k, r, s);
     println!("queries answered     : {}", out.neighbors.len());
     println!("expanding rounds     : {}", out.rounds);
@@ -294,7 +352,7 @@ fn cmd_range(flags: &HashMap<String, String>) -> Result<(), String> {
     if bbox.is_empty() {
         return Err("input contains no points".into());
     }
-    let (cluster, spec) = build_spec(flags, bbox)?;
+    let (cluster, spec, _trace) = build_spec(flags, bbox)?;
     let table = PartitionedPoints::build(&cluster, &spec, input);
     let (ids, _) = table.range_query(&cluster, region);
     println!("points in region     : {}", ids.len());
@@ -496,5 +554,96 @@ mod tests {
         for p in [r_path, s_path, out_path] {
             let _ = std::fs::remove_file(p);
         }
+    }
+
+    #[test]
+    fn join_with_trace_writes_chrome_and_jsonl() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let r_path = dir.join(format!("asj-trace-r-{pid}.csv"));
+        let chrome_path = dir.join(format!("asj-trace-{pid}.json"));
+        let jsonl_path = dir.join(format!("asj-trace-{pid}.jsonl"));
+        let arg = |s: &str| s.to_string();
+        run(&[
+            arg("generate"),
+            arg("--kind"),
+            arg("uniform"),
+            arg("--n"),
+            arg("400"),
+            arg("--out"),
+            arg(r_path.to_str().unwrap()),
+        ])
+        .unwrap();
+        run(&[
+            arg("join"),
+            arg("--r"),
+            arg(r_path.to_str().unwrap()),
+            arg("--s"),
+            arg(r_path.to_str().unwrap()),
+            arg("--eps"),
+            arg("1.0"),
+            arg("--nodes"),
+            arg("3"),
+            arg("--partitions"),
+            arg("6"),
+            arg("--trace"),
+            arg(chrome_path.to_str().unwrap()),
+        ])
+        .unwrap();
+        let chrome = std::fs::read_to_string(&chrome_path).unwrap();
+        assert!(chrome.starts_with("{\"traceEvents\":["));
+        // One named lane per simulated node plus the driver.
+        for lane in [
+            "\"driver\"",
+            "\"node 0 (sim)\"",
+            "\"node 1 (sim)\"",
+            "\"node 2 (sim)\"",
+        ] {
+            assert!(chrome.contains(lane), "missing lane {lane}");
+        }
+        // At least one span per join phase of the pipeline.
+        for phase in [
+            "\"sampling\"",
+            "\"agreement_graph\"",
+            "\"marking\"",
+            "\"shuffle\"",
+            "\"local_join\"",
+        ] {
+            assert!(chrome.contains(phase), "missing phase {phase}");
+        }
+        run(&[
+            arg("self-join"),
+            arg("--input"),
+            arg(r_path.to_str().unwrap()),
+            arg("--eps"),
+            arg("1.0"),
+            arg("--nodes"),
+            arg("3"),
+            arg("--partitions"),
+            arg("6"),
+            arg("--trace"),
+            arg(jsonl_path.to_str().unwrap()),
+            arg("--trace-format"),
+            arg("jsonl"),
+        ])
+        .unwrap();
+        let jsonl = std::fs::read_to_string(&jsonl_path).unwrap();
+        assert!(jsonl.lines().count() > 4);
+        assert!(jsonl.lines().next().unwrap().contains("\"kind\":\"meta\""));
+        assert!(jsonl.contains("\"kind\":\"span\""));
+        for p in [r_path, chrome_path, jsonl_path] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn bad_trace_format_is_rejected() {
+        let flags: HashMap<String, String> = [
+            ("trace".to_string(), "t.json".to_string()),
+            ("trace-format".to_string(), "xml".to_string()),
+        ]
+        .into_iter()
+        .collect();
+        assert!(TraceSink::from_flags(&flags, 2).is_err());
     }
 }

@@ -43,6 +43,7 @@
 pub use asj_core as core;
 pub use asj_data as data;
 pub use asj_engine as engine;
+pub use asj_engine::obs;
 pub use asj_geom as geom;
 pub use asj_grid as grid;
 pub use asj_index as index;
@@ -52,7 +53,9 @@ pub use asj_join as join;
 pub mod prelude {
     pub use asj_core::{AgreementGraph, AgreementPolicy, GridSample};
     pub use asj_data::{Catalog, DatasetSpec, TupleSizeFactor};
-    pub use asj_engine::{Cluster, ClusterConfig, JobMetrics, Placement};
+    pub use asj_engine::{
+        Cluster, ClusterConfig, JobMetrics, Placement, Recorder, Trace, TraceFormat,
+    };
     pub use asj_geom::{Point, Rect};
     pub use asj_grid::{Grid, GridSpec};
     pub use asj_join::{

@@ -209,3 +209,69 @@ mod knn_properties {
         }
     }
 }
+
+mod shuffle_accounting {
+    use adaptive_spatial_join::engine::{
+        ExplicitPartitioner, HashPartitioner, KeyedDataset, Recorder,
+    };
+    use adaptive_spatial_join::prelude::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The shuffle's byte meter must balance exactly: every record is
+        /// charged once, split into remote/local by placement, and lands in
+        /// exactly one target partition. The identities hold for any cluster
+        /// width, partition count and key → partition map.
+        #[test]
+        fn shuffle_byte_accounting_is_exact(
+            nodes in 1usize..6,
+            partitions in 1usize..24,
+            kvs in prop::collection::vec((0u64..64, 0u64..1_000_000), 0..400),
+            assigns in prop::collection::vec(0usize..1000, 64),
+        ) {
+            let cluster = Cluster::new(ClusterConfig::new(nodes));
+            let src_parts = 4;
+            let mut parts: Vec<Vec<(u64, u64)>> = vec![Vec::new(); src_parts];
+            for (i, kv) in kvs.iter().enumerate() {
+                parts[i % src_parts].push(*kv);
+            }
+            let data = KeyedDataset::from_partitions(parts);
+
+            let hash = HashPartitioner::new(partitions);
+            let (out_h, stats_h, _) = data.clone().shuffle(&cluster, &hash);
+            prop_assert_eq!(stats_h.remote_bytes + stats_h.local_bytes, stats_h.total_bytes());
+            prop_assert_eq!(stats_h.partition_bytes.iter().sum::<u64>(), stats_h.total_bytes());
+            prop_assert_eq!(stats_h.records as usize, kvs.len());
+            prop_assert_eq!(out_h.len(), kvs.len());
+
+            // An explicit (LPT-style) partitioner with arbitrary placements
+            // moves exactly the same records and bytes — only the
+            // remote/local split and the per-partition footprints may differ.
+            let map: HashMap<u64, usize> = (0u64..64)
+                .map(|k| (k, assigns[k as usize] % partitions))
+                .collect();
+            let explicit = ExplicitPartitioner::new(map, partitions);
+            let (out_e, stats_e, _) = data.clone().shuffle(&cluster, &explicit);
+            prop_assert_eq!(stats_e.records, stats_h.records);
+            prop_assert_eq!(stats_e.total_bytes(), stats_h.total_bytes());
+            prop_assert_eq!(stats_e.remote_bytes + stats_e.local_bytes, stats_e.total_bytes());
+            prop_assert_eq!(stats_e.partition_bytes.iter().sum::<u64>(), stats_e.total_bytes());
+            prop_assert_eq!(out_e.len(), kvs.len());
+
+            // With a recorder attached, the metrics registry mirrors the
+            // ShuffleStats fields under the stage name.
+            let traced = cluster.with_recorder(Recorder::for_nodes(nodes));
+            let (_, stats_t, _) = data.shuffle_stage(&traced, &hash, "shuffle.test");
+            let m = traced.recorder().metrics();
+            prop_assert_eq!(m.counter("shuffle.test", "remote_bytes"), Some(stats_t.remote_bytes));
+            prop_assert_eq!(m.counter("shuffle.test", "local_bytes"), Some(stats_t.local_bytes));
+            prop_assert_eq!(m.counter("shuffle.test", "records"), Some(stats_t.records));
+            let h = m.histogram("shuffle.test", "partition_bytes").unwrap();
+            prop_assert_eq!(h.count as usize, partitions);
+            prop_assert_eq!(h.sum as u64, stats_t.total_bytes());
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! End-to-end dual-clock consistency: for a traced adaptive join, the
+//! simulated time attributed to each node's trace lane must equal —
+//! exactly, not approximately — the node's busy time in the job's
+//! `ExecStats`, because both are fed by the same measured task durations.
+//! And attaching a recorder must not change what the join computes.
+
+use adaptive_spatial_join::core::AgreementPolicy;
+use adaptive_spatial_join::engine::Lane;
+use adaptive_spatial_join::geom::{Point, Rect};
+use adaptive_spatial_join::join::adaptive_join;
+use adaptive_spatial_join::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn clouds(seed: u64, n: usize) -> (Vec<Point>, Vec<Point>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cloud = |rng: &mut StdRng| -> Vec<Point> {
+        (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..25.0), rng.gen_range(0.0..25.0)))
+            .collect()
+    };
+    (cloud(&mut rng), cloud(&mut rng))
+}
+
+#[test]
+fn traced_join_sim_lanes_match_per_node_busy() {
+    let nodes = 5;
+    let (r_pts, s_pts) = clouds(42, 600);
+    let r = to_records(&r_pts, 0);
+    let s = to_records(&s_pts, 0);
+    let spec = JoinSpec::new(Rect::new(0.0, 0.0, 25.0, 25.0), 0.8)
+        .with_partitions(20)
+        .with_sample_fraction(0.3);
+
+    let recorder = Recorder::for_nodes(nodes);
+    let cluster =
+        Cluster::new(ClusterConfig::with_threads(nodes, 3)).with_recorder(recorder.clone());
+    let out = adaptive_join(&cluster, &spec, AgreementPolicy::Lpib, r.clone(), s.clone());
+    let trace = recorder.snapshot();
+
+    // Every simulated lane's spans are disjoint, monotone and account for
+    // exactly the node's busy time across all stages of the job.
+    for n in 0..nodes {
+        let mut lane: Vec<_> = trace
+            .spans
+            .iter()
+            .filter(|sp| sp.lane == Lane::Node(n))
+            .collect();
+        lane.sort_by_key(|sp| sp.sim_start_ns);
+        let mut cursor = 0u64;
+        let mut lane_total = 0u64;
+        for sp in &lane {
+            assert!(
+                sp.sim_start_ns >= cursor,
+                "overlapping sim spans on node {n}"
+            );
+            cursor = sp.sim_start_ns + sp.sim_dur_ns;
+            lane_total += sp.sim_dur_ns;
+        }
+        let busy = out.metrics.construction.per_node_busy[n].as_nanos() as u64
+            + out.metrics.join.per_node_busy[n].as_nanos() as u64;
+        assert_eq!(
+            lane_total, busy,
+            "node {n}: trace lane total must equal ExecStats::per_node_busy"
+        );
+        assert_eq!(lane_total, recorder.node_sim_total(n).as_nanos() as u64);
+    }
+
+    // Each named pipeline phase shows up at least once.
+    for phase in [
+        "sampling",
+        "agreement_graph",
+        "marking",
+        "shuffle",
+        "local_join",
+    ] {
+        assert!(
+            trace.spans.iter().any(|sp| sp.stage == phase),
+            "missing phase {phase}"
+        );
+    }
+
+    // The recorder observes; it must not perturb the join itself.
+    let plain = Cluster::new(ClusterConfig::with_threads(nodes, 3));
+    let untraced = adaptive_join(&plain, &spec, AgreementPolicy::Lpib, r, s);
+    let (mut a, mut b) = (out.pairs, untraced.pairs);
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b);
+    assert_eq!(out.result_count, untraced.result_count);
+    assert_eq!(out.candidates, untraced.candidates);
+    assert_eq!(out.replicated, untraced.replicated);
+    assert_eq!(
+        out.metrics.shuffle.total_bytes(),
+        untraced.metrics.shuffle.total_bytes()
+    );
+}
