@@ -2,20 +2,29 @@
 //!
 //! ```text
 //! repro [EXPERIMENT...] [--quick] [--scale N] [--reps N]
+//!       [--faults SPEC] [--fault-seed N] [--speculation]
 //!
 //! EXPERIMENT: table1 fig1b fig10 table4 fig13 fig14 fig15 fig16 fig17
-//!             fig18 table5 table6 table7 all   (default: all)
-//! --quick     reduced scale (same as `cargo bench --bench figures`)
-//! --scale N   x1 cardinality of the synthetic sets (default 100000)
-//! --reps N    repetitions per configuration (times averaged; default 3)
+//!             fig18 table5 table6 table7 faults all   (default: all)
+//! --quick       reduced scale (same as `cargo bench --bench figures`)
+//! --scale N     x1 cardinality of the synthetic sets (default 100000)
+//! --reps N      repetitions per configuration (times averaged; default 3)
+//! --faults SPEC inject deterministic faults into every run, e.g. 'chaos'
+//!               or 'p=0.02,slow:1=3.0' (see `asj --faults`)
+//! --fault-seed N  seed for --faults and the `faults` experiment (default 7)
+//! --speculation   speculatively re-execute straggler tasks
 //! ```
 
 use asj_bench::{experiments, Combo, ExpConfig};
+use asj_engine::{FaultPlan, RetryPolicy};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = ExpConfig::full();
     let mut wanted: Vec<String> = Vec::new();
+    let mut fault_spec: Option<String> = None;
+    let mut fault_seed: u64 = 7;
+    let mut policy = RetryPolicy::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -34,14 +43,46 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("missing value for --reps"));
             }
+            "--faults" => {
+                i += 1;
+                fault_spec = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("missing value for --faults")),
+                );
+            }
+            "--fault-seed" => {
+                i += 1;
+                fault_seed = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("missing value for --fault-seed"));
+            }
+            "--speculation" => policy = policy.with_speculation(true),
             "--help" | "-h" => usage(""),
             other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
             other => wanted.push(other.to_string()),
         }
         i += 1;
     }
+    let plan = match &fault_spec {
+        Some(spec) => match FaultPlan::parse(spec, fault_seed) {
+            Ok(plan) => Some(plan),
+            Err(e) => usage(&e),
+        },
+        // No flag: honor ASJ_FAULTS / ASJ_FAULT_SEED, so the CI fault-matrix
+        // job can chaos-test the whole figure pipeline without flag plumbing.
+        None => FaultPlan::from_env(),
+    };
+    if let Some(plan) = &plan {
+        cfg = cfg.with_faults(plan.clone(), policy);
+    }
+    // The dedicated A/B experiment compares against the given plan, or the
+    // standard chaos plan when --faults was not passed.
+    let ab_plan = plan.unwrap_or_else(|| FaultPlan::chaos(fault_seed));
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         experiments::run_all(&cfg);
+        experiments::fault_tolerance(&cfg, &ab_plan, policy);
         return;
     }
     let start = std::time::Instant::now();
@@ -96,6 +137,9 @@ fn main() {
             "ext" | "extensions" => {
                 experiments::extensions(&cfg);
             }
+            "faults" | "fault-tolerance" => {
+                experiments::fault_tolerance(&cfg, &ab_plan, policy);
+            }
             other => usage(&format!("unknown experiment {other}")),
         }
     }
@@ -108,8 +152,9 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: repro [EXPERIMENT...] [--quick] [--scale N] [--reps N]\n\
+         \x20            [--faults SPEC] [--fault-seed N] [--speculation]\n\
          experiments: table1 fig1b fig10 table4 fig13 fig14 fig15 fig16 \
-         fig17 fig18 table5 table6 table7 a1 a2 ext all"
+         fig17 fig18 table5 table6 table7 a1 a2 ext faults all"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

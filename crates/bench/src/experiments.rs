@@ -1,11 +1,11 @@
 //! One function per paper artifact. Each prints its table(s) and returns
 //! them for inspection; `run_all` regenerates the entire evaluation.
 
-use crate::runner::{mib, run_avg, Combo, NetModel};
+use crate::runner::{mib, run_avg, run_fault_ab, Combo, NetModel};
 use crate::{ExpConfig, Table};
 use asj_core::{cell_costs, AgreementGraph, AgreementPolicy, GridSample};
 use asj_data::{TupleSizeFactor, PAPER_BBOX};
-use asj_engine::Placement;
+use asj_engine::{Cluster, ClusterConfig, FaultPlan, Placement, RetryPolicy};
 use asj_geom::{Point, Rect};
 use asj_grid::{Grid, GridSpec};
 use asj_join::{adaptive_join, adaptive_join_dedup, adaptive_join_post_fetch, Algorithm, JoinSpec};
@@ -617,6 +617,59 @@ pub fn run_all(cfg: &ExpConfig) {
     ablation_kernels(cfg);
     ablation_edge_order(cfg);
     extensions(cfg);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-tolerance A/B (ours): recovery transparency and its time overhead.
+// ---------------------------------------------------------------------------
+
+/// Fault-injection A/B: every algorithm runs fault-free and under a seeded
+/// chaos plan (random failures + one slow node + one lost node); the result
+/// sets must be identical and the table reports the recovery work and the
+/// simulated-time overhead. Not part of the paper's evaluation — it
+/// exercises the Spark fault-tolerance semantics the paper's jobs rely on.
+pub fn fault_tolerance(cfg: &ExpConfig, plan: &FaultPlan, policy: RetryPolicy) -> Table {
+    // Speculative copies need a second worker thread to race the straggler;
+    // on a single-core host `ClusterConfig::new` would provide only one.
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2);
+    let cluster = Cluster::new(ClusterConfig::with_threads(cfg.nodes, threads));
+    let (r, s) = Combo::S1S2.datasets(cfg, 1, TupleSizeFactor::F0);
+    let spec = spec_for(cfg, cfg.default_eps);
+    let mut table = Table::new(
+        [
+            "algorithm",
+            "results",
+            "attempts",
+            "retries",
+            "spec wins",
+            "blacklisted",
+            "time",
+            "time (faults)",
+        ]
+        .map(str::to_string)
+        .to_vec(),
+    );
+    for algo in [Algorithm::Lpib, Algorithm::Diff] {
+        let ab = run_fault_ab(&cluster, &spec, algo, &r, &s, plan.clone(), policy);
+        table.row(vec![
+            algo.name().to_string(),
+            ab.faulted.results.to_string(),
+            ab.attempts.to_string(),
+            ab.retries.to_string(),
+            ab.speculative_wins.to_string(),
+            ab.blacklisted_nodes.to_string(),
+            format!("{:.3}", ab.baseline.sim_time),
+            format!("{:.3}", ab.faulted.sim_time),
+        ]);
+    }
+    table.print(&format!(
+        "Fault tolerance (S1 ⋈ S2, plan seed {}): identical results under chaos",
+        plan.seed
+    ));
+    table
 }
 
 // ---------------------------------------------------------------------------

@@ -12,10 +12,12 @@ pub mod experiments;
 mod runner;
 mod table;
 
-pub use runner::{run_avg, run_once, run_traced, Combo, NetModel, RunResult};
+pub use runner::{
+    run_avg, run_fault_ab, run_once, run_traced, Combo, FaultAb, NetModel, RunResult,
+};
 pub use table::Table;
 
-use asj_engine::{Cluster, ClusterConfig};
+use asj_engine::{Cluster, ClusterConfig, FaultPlan, RetryPolicy};
 
 /// Global experiment configuration (Table 3 of the paper, scaled).
 #[derive(Debug, Clone)]
@@ -35,6 +37,9 @@ pub struct ExpConfig {
     pub reps: usize,
     /// Size factors for the scalability experiment (paper: 1,2,4,6,8).
     pub size_factors: Vec<usize>,
+    /// Deterministic fault plan and retry policy injected into every cluster
+    /// this config builds (`None` = fault-free fast path).
+    pub faults: Option<(FaultPlan, RetryPolicy)>,
 }
 
 impl ExpConfig {
@@ -54,6 +59,7 @@ impl ExpConfig {
             partitions: 96,
             reps: 3,
             size_factors: vec![1, 2, 4, 6, 8],
+            faults: None,
         };
         cfg.set_base(100_000);
         cfg
@@ -87,14 +93,25 @@ impl ExpConfig {
         self.eps_values = vec![0.75 * default, default, 1.25 * default, 1.5 * default];
     }
 
+    /// Injects `plan`/`policy` into every cluster this config builds — the
+    /// chaos mode of the `repro --faults` flag.
+    pub fn with_faults(mut self, plan: FaultPlan, policy: RetryPolicy) -> Self {
+        self.faults = Some((plan, policy));
+        self
+    }
+
     /// The simulated cluster for this configuration.
     pub fn cluster(&self) -> Cluster {
-        Cluster::new(ClusterConfig::new(self.nodes))
+        self.cluster_with_nodes(self.nodes)
     }
 
     /// The cluster with an explicit node count (Fig. 14).
     pub fn cluster_with_nodes(&self, nodes: usize) -> Cluster {
-        Cluster::new(ClusterConfig::new(nodes))
+        let cluster = Cluster::new(ClusterConfig::new(nodes));
+        match &self.faults {
+            Some((plan, policy)) => cluster.with_fault_policy(plan.clone(), *policy),
+            None => cluster,
+        }
     }
 }
 
@@ -148,5 +165,13 @@ mod tests {
         let cfg = ExpConfig::quick();
         assert_eq!(cfg.cluster().nodes(), 12);
         assert_eq!(cfg.cluster_with_nodes(4).nodes(), 4);
+    }
+
+    #[test]
+    fn faulty_config_builds_recovering_clusters() {
+        assert!(ExpConfig::quick().cluster().fault_context().is_none());
+        let cfg = ExpConfig::quick().with_faults(FaultPlan::chaos(5), RetryPolicy::default());
+        assert!(cfg.cluster().fault_context().is_some());
+        assert!(cfg.cluster_with_nodes(4).fault_context().is_some());
     }
 }

@@ -1,6 +1,6 @@
 use crate::ExpConfig;
 use asj_data::{Catalog, TupleSizeFactor};
-use asj_engine::Cluster;
+use asj_engine::{Cluster, ExecStats, FaultPlan, RetryPolicy};
 use asj_join::{to_records, Algorithm, JoinOutput, JoinSpec, Record};
 
 /// The dataset combinations of the paper's experiments.
@@ -196,6 +196,58 @@ pub fn run_avg(
     acc
 }
 
+/// One fault-injection A/B comparison: the same join fault-free and under a
+/// seeded [`FaultPlan`], plus the recovery work the faulted run performed.
+#[derive(Debug, Clone)]
+pub struct FaultAb {
+    pub baseline: RunResult,
+    pub faulted: RunResult,
+    /// Task attempts of the faulted run (> tasks when anything was retried).
+    pub attempts: u64,
+    pub retries: u64,
+    pub failed_attempts: u64,
+    pub speculative_wins: u64,
+    pub blacklisted_nodes: u64,
+}
+
+/// Runs `algo` twice — on `cluster` as-is and on a copy with `plan`/`policy`
+/// injected — and asserts the recovered run produces the identical result
+/// set (the engine's recovery-transparency guarantee).
+pub fn run_fault_ab(
+    cluster: &Cluster,
+    spec: &JoinSpec,
+    algo: Algorithm,
+    r: &[Record],
+    s: &[Record],
+    plan: FaultPlan,
+    policy: RetryPolicy,
+) -> FaultAb {
+    // The control run must be fault-free even when the caller's cluster
+    // already carries a plan (e.g. `repro --faults` attaches one globally).
+    let clean = cluster.clone().without_faults();
+    let base_out = algo.run(&clean, spec, r.to_vec(), s.to_vec());
+    let chaotic = cluster.clone().with_fault_policy(plan, policy);
+    let fault_out = algo.run(&chaotic, spec, r.to_vec(), s.to_vec());
+    assert_eq!(
+        fault_out.result_count, base_out.result_count,
+        "fault recovery must not change the join result"
+    );
+    assert_eq!(fault_out.pairs, base_out.pairs);
+    let mut exec = ExecStats::default();
+    exec.accumulate(&fault_out.metrics.construction);
+    exec.accumulate(&fault_out.metrics.join);
+    let net = NetModel::gigabit(cluster.nodes());
+    FaultAb {
+        baseline: RunResult::from_output(&base_out, &net),
+        faulted: RunResult::from_output(&fault_out, &net),
+        attempts: exec.attempts,
+        retries: exec.retries,
+        failed_attempts: exec.failed_attempts,
+        speculative_wins: exec.speculative_wins,
+        blacklisted_nodes: exec.blacklisted_nodes,
+    }
+}
+
 /// Formats bytes as mebibytes with two decimals.
 pub fn mib(bytes: u64) -> String {
     format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
@@ -231,5 +283,30 @@ mod tests {
         assert_eq!(a.replicated, b.replicated);
         assert_eq!(a.results, b.results);
         assert!(a.sim_time > 0.0);
+    }
+
+    #[test]
+    fn fault_ab_recovers_the_same_results() {
+        let cfg = ExpConfig::quick().with_base(1200);
+        let cluster = cfg.cluster();
+        let (r, s) = Combo::S1S2.datasets(&cfg, 1, TupleSizeFactor::F0);
+        let spec = JoinSpec::new(PAPER_BBOX, cfg.default_eps).with_partitions(cfg.partitions);
+        let plan = FaultPlan::none()
+            .with_seed(42)
+            .with_fail_prob(0.05)
+            .with_slow_node(1, 2.0);
+        let ab = run_fault_ab(
+            &cluster,
+            &spec,
+            Algorithm::Lpib,
+            &r,
+            &s,
+            plan,
+            RetryPolicy::default().with_max_attempts(8),
+        );
+        assert_eq!(ab.baseline.results, ab.faulted.results);
+        assert!(ab.attempts > 0);
+        // Without speculation every failed attempt is followed by a retry.
+        assert_eq!(ab.retries, ab.failed_attempts);
     }
 }

@@ -1,5 +1,6 @@
+use crate::fault::{FaultContext, FaultPlan, JobError, RetryPolicy};
 use crate::metrics::ExecStats;
-use crate::pool::run_tasks_traced;
+use crate::pool::{run_tasks_ft, try_run_tasks_traced};
 use asj_obs::Recorder;
 use std::ops::Deref;
 use std::sync::Arc;
@@ -17,14 +18,26 @@ pub struct ClusterConfig {
 
 impl ClusterConfig {
     /// `nodes` simulated workers, host-default real parallelism.
+    ///
+    /// # Panics
+    /// Panics if `nodes == 0`.
     pub fn new(nodes: usize) -> Self {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        ClusterConfig { nodes, threads }
+        ClusterConfig::with_threads(nodes, threads)
     }
 
+    /// Explicit node and thread counts. Both are validated here — at
+    /// construction — so a zero slips through neither to the scheduler (which
+    /// asserted `nodes > 0` deep in the pool) nor silently into a bumped
+    /// thread count.
+    ///
+    /// # Panics
+    /// Panics if `nodes == 0` or `threads == 0`.
     pub fn with_threads(nodes: usize, threads: usize) -> Self {
+        assert!(nodes > 0, "cluster needs at least one node");
+        assert!(threads > 0, "cluster needs at least one worker thread");
         ClusterConfig { nodes, threads }
     }
 }
@@ -35,14 +48,23 @@ impl ClusterConfig {
 pub struct Cluster {
     config: ClusterConfig,
     recorder: Recorder,
+    /// Fault-injection plan, recovery policy and cluster-lifetime fault
+    /// state (blacklist, fired losses). `None` — the default — runs every
+    /// stage on the zero-overhead fail-stop path.
+    faults: Option<Arc<FaultContext>>,
 }
 
 impl Cluster {
     pub fn new(config: ClusterConfig) -> Self {
         assert!(config.nodes > 0, "cluster needs at least one node");
+        assert!(
+            config.threads > 0,
+            "cluster needs at least one worker thread"
+        );
         Cluster {
             config,
             recorder: Recorder::noop(),
+            faults: None,
         }
     }
 
@@ -53,6 +75,49 @@ impl Cluster {
     pub fn with_recorder(mut self, recorder: Recorder) -> Self {
         self.recorder = recorder;
         self
+    }
+
+    /// Attaches a [`FaultPlan`] with the default [`RetryPolicy`]: stages run
+    /// on the fault-tolerant executor, which injects the plan's failures and
+    /// recovers via retries, blacklisting and (if enabled) speculation.
+    pub fn with_faults(self, plan: FaultPlan) -> Self {
+        let policy = self.faults.as_ref().map(|c| c.policy).unwrap_or_default();
+        self.with_fault_policy(plan, policy)
+    }
+
+    /// Changes the recovery policy, keeping (or installing an empty) fault
+    /// plan. Attaching a policy alone still routes stages through the
+    /// recovering executor, so panicking tasks are retried instead of
+    /// failing the job outright.
+    pub fn with_retry_policy(self, policy: RetryPolicy) -> Self {
+        let plan = self
+            .faults
+            .as_ref()
+            .map(|c| c.plan.clone())
+            .unwrap_or_else(FaultPlan::none);
+        self.with_fault_policy(plan, policy)
+    }
+
+    /// Attaches a fault plan and recovery policy together. Resets the
+    /// cluster-lifetime fault state (attempt counters, blacklist, fired
+    /// losses).
+    pub fn with_fault_policy(mut self, plan: FaultPlan, policy: RetryPolicy) -> Self {
+        self.faults = Some(Arc::new(FaultContext::new(plan, policy, self.config.nodes)));
+        self
+    }
+
+    /// Detaches any fault plan and recovery policy: stages run on the
+    /// legacy zero-overhead executor again. The fault-free twin used as the
+    /// control side of A/B recovery experiments.
+    pub fn without_faults(mut self) -> Self {
+        self.faults = None;
+        self
+    }
+
+    /// The attached fault context, if any.
+    #[inline]
+    pub fn fault_context(&self) -> Option<&FaultContext> {
+        self.faults.as_deref()
     }
 
     #[inline]
@@ -79,9 +144,12 @@ impl Cluster {
 
     /// Runs one task per element of `tasks`, placing task `i` on
     /// `node_of_partition(i)`.
+    ///
+    /// # Panics
+    /// Panics if the stage fails (task panic past the retry budget).
     pub fn run_partitioned<T, R, F>(&self, tasks: Vec<T>, f: F) -> (Vec<R>, ExecStats)
     where
-        T: Send,
+        T: Send + Sync + Clone,
         R: Send,
         F: Fn(usize, T) -> R + Sync,
     {
@@ -90,6 +158,9 @@ impl Cluster {
 
     /// [`Cluster::run_partitioned`] with a stage name for the recorded task
     /// spans.
+    ///
+    /// # Panics
+    /// Panics if the stage fails (task panic past the retry budget).
     pub fn run_partitioned_stage<T, R, F>(
         &self,
         stage: &str,
@@ -97,25 +168,44 @@ impl Cluster {
         f: F,
     ) -> (Vec<R>, ExecStats)
     where
-        T: Send,
+        T: Send + Sync + Clone,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        match self.try_run_partitioned_stage(stage, tasks, f) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Cluster::run_partitioned_stage`]: a stage whose tasks
+    /// exhaust their attempts (or panic, without a retrying fault context)
+    /// reports a [`JobError`] instead of panicking the driver.
+    ///
+    /// Tasks are `Clone` because the fault-tolerant executor may re-run one
+    /// on another node — the analog of Spark recomputing a partition from
+    /// lineage.
+    pub fn try_run_partitioned_stage<T, R, F>(
+        &self,
+        stage: &str,
+        tasks: Vec<T>,
+        f: F,
+    ) -> Result<(Vec<R>, ExecStats), JobError>
+    where
+        T: Send + Sync + Clone,
         R: Send,
         F: Fn(usize, T) -> R + Sync,
     {
         let placement: Vec<usize> = (0..tasks.len())
             .map(|i| self.node_of_partition(i))
             .collect();
-        run_tasks_traced(
-            self.config.threads,
-            self.config.nodes,
-            tasks,
-            &placement,
-            &self.recorder,
-            stage,
-            f,
-        )
+        self.try_run_placed_stage(stage, tasks, &placement, f)
     }
 
     /// Runs tasks with an explicit node placement.
+    ///
+    /// # Panics
+    /// Panics if the stage fails (task panic past the retry budget).
     pub fn run_placed<T, R, F>(
         &self,
         tasks: Vec<T>,
@@ -123,7 +213,7 @@ impl Cluster {
         f: F,
     ) -> (Vec<R>, ExecStats)
     where
-        T: Send,
+        T: Send + Sync + Clone,
         R: Send,
         F: Fn(usize, T) -> R + Sync,
     {
@@ -131,6 +221,9 @@ impl Cluster {
     }
 
     /// [`Cluster::run_placed`] with a stage name for the recorded task spans.
+    ///
+    /// # Panics
+    /// Panics if the stage fails (task panic past the retry budget).
     pub fn run_placed_stage<T, R, F>(
         &self,
         stage: &str,
@@ -139,19 +232,56 @@ impl Cluster {
         f: F,
     ) -> (Vec<R>, ExecStats)
     where
-        T: Send,
+        T: Send + Sync + Clone,
         R: Send,
         F: Fn(usize, T) -> R + Sync,
     {
-        run_tasks_traced(
-            self.config.threads,
-            self.config.nodes,
-            tasks,
-            placement,
-            &self.recorder,
-            stage,
-            f,
-        )
+        match self.try_run_placed_stage(stage, tasks, placement, f) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Cluster::run_placed_stage`]; see
+    /// [`Cluster::try_run_partitioned_stage`] for the error contract.
+    ///
+    /// With a fault context attached the stage runs on the fault-tolerant
+    /// executor (injection, retries, blacklisting, speculation); without one
+    /// it runs single-attempt with panics caught and surfaced as
+    /// [`JobError`]s.
+    pub fn try_run_placed_stage<T, R, F>(
+        &self,
+        stage: &str,
+        tasks: Vec<T>,
+        placement: &[usize],
+        f: F,
+    ) -> Result<(Vec<R>, ExecStats), JobError>
+    where
+        T: Send + Sync + Clone,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        match &self.faults {
+            Some(ctx) => run_tasks_ft(
+                self.config.threads,
+                self.config.nodes,
+                tasks,
+                placement,
+                &self.recorder,
+                stage,
+                ctx,
+                f,
+            ),
+            None => try_run_tasks_traced(
+                self.config.threads,
+                self.config.nodes,
+                tasks,
+                placement,
+                &self.recorder,
+                stage,
+                f,
+            ),
+        }
     }
 
     /// Makes a value available to every task, like Spark's broadcast
@@ -220,6 +350,62 @@ mod tests {
         let cfg = ClusterConfig::new(12);
         assert_eq!(cfg.nodes, 12);
         assert!(cfg.threads >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected_at_config_construction() {
+        let _ = ClusterConfig::with_threads(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker thread")]
+    fn zero_threads_rejected_at_config_construction() {
+        let _ = ClusterConfig::with_threads(4, 0);
+    }
+
+    #[test]
+    fn try_stage_reports_panics_as_job_errors() {
+        let c = Cluster::new(ClusterConfig::with_threads(2, 2));
+        let err = c
+            .try_run_partitioned_stage("boom", vec![1u32, 2, 3], |_, t| {
+                assert!(t != 2, "poison value");
+                t
+            })
+            .expect_err("panicking stage must error");
+        assert_eq!(err.stage, "boom");
+        assert_eq!(err.task, 1);
+    }
+
+    #[test]
+    fn fault_context_routes_stages_through_recovery() {
+        let plan = FaultPlan::none().with_fail_point("task", 0, 1);
+        let c = Cluster::new(ClusterConfig::with_threads(2, 2)).with_faults(plan);
+        let (out, stats) = c.run_partitioned(vec![10u64, 20], |_, t| t + 1);
+        assert_eq!(out, vec![11, 21]);
+        assert_eq!(stats.attempts, 3, "one injected failure plus two wins");
+        assert_eq!(stats.retries, 1);
+        // Fail points match by stage name: a differently-named stage is
+        // untouched by the plan.
+        let (_, stats2) = c.run_partitioned_stage("clean", vec![1u64], |_, t| t);
+        assert_eq!(stats2.retries, 0);
+    }
+
+    #[test]
+    fn retry_policy_alone_recovers_flaky_panics() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let c = Cluster::new(ClusterConfig::with_threads(1, 1))
+            .with_retry_policy(RetryPolicy::default());
+        let flaky = AtomicUsize::new(0);
+        let (out, stats) = c.run_partitioned(vec![5u32], |_, t| {
+            if flaky.fetch_add(1, Ordering::Relaxed) == 0 {
+                panic!("transient");
+            }
+            t
+        });
+        assert_eq!(out, vec![5]);
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.failed_attempts, 1);
     }
 
     #[test]

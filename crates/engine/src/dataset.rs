@@ -1,4 +1,5 @@
 use crate::cluster::Cluster;
+use crate::fault::JobError;
 use crate::metrics::{ExecStats, ShuffleStats};
 use crate::partitioner::Partitioner;
 use crate::wire::Wire;
@@ -30,7 +31,10 @@ pub struct Dataset<T> {
     parts: Vec<Vec<T>>,
 }
 
-impl<T: Send> Dataset<T> {
+// Elements are `Sync + Clone` (not just `Send`) because the fault-tolerant
+// executor may re-run a partition task on another node — the engine's analog
+// of Spark recomputing a partition from lineage.
+impl<T: Send + Sync + Clone> Dataset<T> {
     /// Splits `data` into `partitions` near-equal chunks (like reading a file
     /// into fixed-size input splits).
     pub fn from_vec(data: Vec<T>, partitions: usize) -> Self {
@@ -111,10 +115,23 @@ impl<T: Send> Dataset<T> {
         U: Send,
         F: Fn(T) -> U + Sync,
     {
-        let (parts, stats) = cluster.run_partitioned_stage("map", self.parts, |_, part| {
+        match self.try_map(cluster, f) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Dataset::map`]: a panic in `f` (past the retry budget, if a
+    /// fault context is attached) becomes a [`JobError`].
+    pub fn try_map<U, F>(self, cluster: &Cluster, f: F) -> Result<(Dataset<U>, ExecStats), JobError>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        let (parts, stats) = cluster.try_run_partitioned_stage("map", self.parts, |_, part| {
             part.into_iter().map(&f).collect()
-        });
-        (Dataset { parts }, stats)
+        })?;
+        Ok((Dataset { parts }, stats))
     }
 
     /// Keeps only records satisfying `pred` (Spark `filter`).
@@ -122,11 +139,26 @@ impl<T: Send> Dataset<T> {
     where
         F: Fn(&T) -> bool + Sync,
     {
+        match self.try_filter(cluster, pred) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Dataset::filter`]; see [`Dataset::try_map`].
+    pub fn try_filter<F>(
+        self,
+        cluster: &Cluster,
+        pred: F,
+    ) -> Result<(Dataset<T>, ExecStats), JobError>
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
         let (parts, stats) =
-            cluster.run_partitioned_stage("filter", self.parts, |_, part: Vec<T>| {
+            cluster.try_run_partitioned_stage("filter", self.parts, |_, part: Vec<T>| {
                 part.into_iter().filter(|t| pred(t)).collect::<Vec<T>>()
-            });
-        (Dataset { parts }, stats)
+            })?;
+        Ok((Dataset { parts }, stats))
     }
 
     /// Concatenates two datasets partition-wise (Spark `union`): the result
@@ -139,10 +171,7 @@ impl<T: Send> Dataset<T> {
     /// Bernoulli sample of every partition, gathered on the driver — the
     /// `sample(φ).forEach(...)` step of Algorithm 5. Deterministic for a
     /// given `seed`.
-    pub fn sample(&self, cluster: &Cluster, fraction: f64, seed: u64) -> (Vec<T>, ExecStats)
-    where
-        T: Clone + Sync,
-    {
+    pub fn sample(&self, cluster: &Cluster, fraction: f64, seed: u64) -> (Vec<T>, ExecStats) {
         assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
         let refs: Vec<&Vec<T>> = self.parts.iter().collect();
         let (sampled, stats) = cluster.run_partitioned_stage("sample", refs, |idx, part| {
@@ -191,8 +220,8 @@ pub struct KeyedDataset<K, V> {
 
 impl<K, V> KeyedDataset<K, V>
 where
-    K: Wire + Send + Copy,
-    V: Wire + Send,
+    K: Wire + Send + Sync + Copy,
+    V: Wire + Send + Sync + Clone,
 {
     pub fn from_partitions(parts: Vec<Vec<(K, V)>>) -> Self {
         assert!(!parts.is_empty(), "need at least one partition");
@@ -248,11 +277,28 @@ where
     where
         P: Partitioner<K> + ?Sized,
     {
+        match self.try_shuffle_stage(cluster, partitioner, stage) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`KeyedDataset::shuffle_stage`]: task failures past the retry
+    /// budget surface as a [`JobError`] instead of a panic.
+    pub fn try_shuffle_stage<P>(
+        self,
+        cluster: &Cluster,
+        partitioner: &P,
+        stage: &str,
+    ) -> Result<(KeyedDataset<K, V>, ShuffleStats, ExecStats), JobError>
+    where
+        P: Partitioner<K> + ?Sized,
+    {
         let targets = partitioner.num_partitions();
         // Map side: bucket each source partition by target partition and
         // meter bytes by destination node.
         let (bucketed, stats) =
-            cluster.run_partitioned_stage(stage, self.parts, |src_idx, part| {
+            cluster.try_run_partitioned_stage(stage, self.parts, |src_idx, part| {
                 let src_node = cluster.node_of_partition(src_idx);
                 let mut buckets: Vec<Vec<(K, V)>> = (0..targets).map(|_| Vec::new()).collect();
                 let mut shuffle = ShuffleStats::default();
@@ -269,7 +315,7 @@ where
                     buckets[t].push((k, v));
                 }
                 (buckets, shuffle)
-            });
+            })?;
         // Reduce side: concatenate the buckets of each target partition and
         // account the per-partition memory footprint.
         let mut shuffle = ShuffleStats::default();
@@ -302,7 +348,7 @@ where
                 );
             }
         }
-        (KeyedDataset { parts }, shuffle, stats)
+        Ok((KeyedDataset { parts }, shuffle, stats))
     }
 
     /// Processes each partition's key groups with `kernel` (a one-sided
@@ -320,10 +366,36 @@ where
         R: Send,
         F: Fn(K, &[V], &mut Vec<R>) + Sync,
     {
-        let (parts, stats) =
+        let (ds, _, stats) =
+            self.process_groups_fold(cluster, placement, |k, vs, out, _acc: &mut ()| {
+                kernel(k, vs, out)
+            });
+        (ds, stats)
+    }
+
+    /// [`KeyedDataset::process_groups`] with a per-partition accumulator:
+    /// `kernel` folds into an `A` that starts at `A::default()` for every
+    /// task *attempt* and is committed together with the partition's output.
+    /// This is the fault-safe replacement for accumulating side statistics
+    /// in shared atomics, which a retried or speculatively re-executed task
+    /// would double-count (Spark restarts accumulators the same way).
+    pub fn process_groups_fold<R, A, F>(
+        self,
+        cluster: &Cluster,
+        placement: &[usize],
+        kernel: F,
+    ) -> (Dataset<R>, Vec<A>, ExecStats)
+    where
+        K: Ord,
+        R: Send,
+        A: Default + Send,
+        F: Fn(K, &[V], &mut Vec<R>, &mut A) + Sync,
+    {
+        let (folded, stats) =
             cluster.run_placed_stage("process_groups", self.parts, placement, |_, mut part| {
                 part.sort_unstable_by_key(|x| x.0);
                 let mut out = Vec::new();
+                let mut acc = A::default();
                 let mut values: Vec<V> = Vec::new();
                 let mut it = part.into_iter().peekable();
                 while let Some(k) = it.peek().map(|x| x.0) {
@@ -331,11 +403,12 @@ where
                     while it.peek().is_some_and(|x| x.0 == k) {
                         values.push(it.next().expect("peeked").1);
                     }
-                    kernel(k, &values, &mut out);
+                    kernel(k, &values, &mut out, &mut acc);
                 }
-                out
+                (out, acc)
             });
-        (Dataset { parts }, stats)
+        let (parts, accs) = folded.into_iter().unzip();
+        (Dataset { parts }, accs, stats)
     }
 
     /// Combines the values of every key with `combine` after shuffling by
@@ -400,9 +473,77 @@ where
     ) -> (Dataset<R>, ExecStats)
     where
         K: Ord,
-        V2: Wire + Send,
+        V2: Wire + Send + Sync + Clone,
         R: Send,
         F: Fn(K, &[V], &[V2], &mut Vec<R>) + Sync,
+    {
+        match self.try_cogroup_join(cluster, other, placement, kernel) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`KeyedDataset::cogroup_join`]; see
+    /// [`KeyedDataset::try_shuffle_stage`].
+    pub fn try_cogroup_join<V2, R, F>(
+        self,
+        cluster: &Cluster,
+        other: KeyedDataset<K, V2>,
+        placement: &[usize],
+        kernel: F,
+    ) -> Result<(Dataset<R>, ExecStats), JobError>
+    where
+        K: Ord,
+        V2: Wire + Send + Sync + Clone,
+        R: Send,
+        F: Fn(K, &[V], &[V2], &mut Vec<R>) + Sync,
+    {
+        let (ds, _, stats) = self.try_cogroup_join_fold(
+            cluster,
+            other,
+            placement,
+            |k, va, vb, out, _acc: &mut ()| kernel(k, va, vb, out),
+        )?;
+        Ok((ds, stats))
+    }
+
+    /// [`KeyedDataset::cogroup_join`] with a per-partition accumulator; see
+    /// [`KeyedDataset::process_groups_fold`] for why side statistics must
+    /// travel with the task result rather than through shared atomics.
+    pub fn cogroup_join_fold<V2, R, A, F>(
+        self,
+        cluster: &Cluster,
+        other: KeyedDataset<K, V2>,
+        placement: &[usize],
+        kernel: F,
+    ) -> (Dataset<R>, Vec<A>, ExecStats)
+    where
+        K: Ord,
+        V2: Wire + Send + Sync + Clone,
+        R: Send,
+        A: Default + Send,
+        F: Fn(K, &[V], &[V2], &mut Vec<R>, &mut A) + Sync,
+    {
+        match self.try_cogroup_join_fold(cluster, other, placement, kernel) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`KeyedDataset::cogroup_join_fold`].
+    pub fn try_cogroup_join_fold<V2, R, A, F>(
+        self,
+        cluster: &Cluster,
+        other: KeyedDataset<K, V2>,
+        placement: &[usize],
+        kernel: F,
+    ) -> Result<(Dataset<R>, Vec<A>, ExecStats), JobError>
+    where
+        K: Ord,
+        V2: Wire + Send + Sync + Clone,
+        R: Send,
+        A: Default + Send,
+        F: Fn(K, &[V], &[V2], &mut Vec<R>, &mut A) + Sync,
     {
         assert_eq!(
             self.parts.len(),
@@ -410,11 +551,15 @@ where
             "joined datasets must share the partitioner"
         );
         let tasks: CogroupTasks<K, V, V2> = self.parts.into_iter().zip(other.parts).collect();
-        let (parts, stats) =
-            cluster.run_placed_stage("cogroup_join", tasks, placement, |_, (mut a, mut b)| {
+        let (folded, stats) = cluster.try_run_placed_stage(
+            "cogroup_join",
+            tasks,
+            placement,
+            |_, (mut a, mut b)| {
                 a.sort_unstable_by_key(|x| x.0);
                 b.sort_unstable_by_key(|x| x.0);
                 let mut out = Vec::new();
+                let mut acc = A::default();
                 let mut ia = a.into_iter().peekable();
                 let mut ib = b.into_iter().peekable();
                 let mut va: Vec<V> = Vec::new();
@@ -436,13 +581,15 @@ where
                             while ib.peek().is_some_and(|x| x.0 == ka) {
                                 vb.push(ib.next().expect("peeked").1);
                             }
-                            kernel(ka, &va, &vb, &mut out);
+                            kernel(ka, &va, &vb, &mut out, &mut acc);
                         }
                     }
                 }
-                out
-            });
-        (Dataset { parts }, stats)
+                (out, acc)
+            },
+        )?;
+        let (parts, accs) = folded.into_iter().unzip();
+        Ok((Dataset { parts }, accs, stats))
     }
 }
 

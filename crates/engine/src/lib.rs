@@ -28,6 +28,7 @@
 
 mod cluster;
 mod dataset;
+mod fault;
 mod lpt;
 mod metrics;
 mod partitioner;
@@ -36,13 +37,14 @@ mod wire;
 
 pub use cluster::{Broadcast, Cluster, ClusterConfig};
 pub use dataset::{Dataset, KeyedDataset};
-pub use lpt::{assignment_makespan, lpt_assign};
+pub use fault::{FailPoint, FaultContext, FaultPlan, FaultState, JobError, RetryPolicy, TaskError};
+pub use lpt::{assignment_makespan, least_loaded, lpt_assign};
 pub use metrics::{ExecStats, JobMetrics, ShuffleStats};
 pub use partitioner::{
     ExplicitPartitioner, HashPartitioner, Partitioner, Placement, RoundRobinPartitioner,
 };
-pub use pool::{run_tasks, run_tasks_traced};
-pub use wire::Wire;
+pub use pool::{run_tasks, run_tasks_ft, run_tasks_traced, try_run_tasks_traced};
+pub use wire::{ensure_remaining, Wire, WireError};
 
 // Re-exported so engine users can construct recorders and read traces
 // without naming the obs crate separately.

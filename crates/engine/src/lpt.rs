@@ -29,6 +29,20 @@ pub fn lpt_assign(costs: &[(u64, u64)], bins: usize) -> HashMap<u64, usize> {
     map
 }
 
+/// Index of the least-loaded bin among those not `banned`, ties broken by
+/// the lowest index (deterministic). Returns `None` when every bin is
+/// banned. This is the same greedy "smallest aggregate load" choice LPT
+/// makes per placement, exposed for the fault-tolerant executor to re-place
+/// retries and speculative copies on the emptiest usable node.
+pub fn least_loaded(loads: &[u64], banned: impl Fn(usize) -> bool) -> Option<usize> {
+    loads
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !banned(*i))
+        .min_by_key(|(i, load)| (**load, *i))
+        .map(|(i, _)| i)
+}
+
 /// Maximum bin load under an assignment — used by tests and diagnostics.
 pub fn assignment_makespan(costs: &[(u64, u64)], map: &HashMap<u64, usize>, bins: usize) -> u64 {
     let mut load = vec![0u64; bins];
@@ -83,6 +97,17 @@ mod tests {
         let costs = vec![(1, 5), (2, 6)];
         let map = lpt_assign(&costs, 1);
         assert!(map.values().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn least_loaded_skips_banned_bins() {
+        let loads = [30u64, 10, 20];
+        assert_eq!(least_loaded(&loads, |_| false), Some(1));
+        assert_eq!(least_loaded(&loads, |i| i == 1), Some(2));
+        assert_eq!(least_loaded(&loads, |_| true), None);
+        assert_eq!(least_loaded(&[], |_| false), None);
+        // Ties break toward the lowest index.
+        assert_eq!(least_loaded(&[5, 5, 5], |i| i == 0), Some(1));
     }
 
     #[test]

@@ -8,6 +8,18 @@ pub struct ExecStats {
     pub per_node_busy: Vec<Duration>,
     /// Real elapsed time on the host machine.
     pub wall: Duration,
+    /// Task attempts executed, including failed and speculative ones. Equals
+    /// the task count on a fault-free run; exceeds it under recovery.
+    pub attempts: u64,
+    /// Attempts that were re-runs of a previously failed task.
+    pub retries: u64,
+    /// Attempts that ended in failure (injected, panic, or lost node).
+    pub failed_attempts: u64,
+    /// Speculative copies that finished before the original attempt.
+    pub speculative_wins: u64,
+    /// Nodes blacklisted by the end of the stage (cluster-lifetime view:
+    /// accumulation takes the max, not the sum).
+    pub blacklisted_nodes: u64,
 }
 
 impl ExecStats {
@@ -47,6 +59,13 @@ impl ExecStats {
             *a += *b;
         }
         self.wall += other.wall;
+        self.attempts += other.attempts;
+        self.retries += other.retries;
+        self.failed_attempts += other.failed_attempts;
+        self.speculative_wins += other.speculative_wins;
+        // The blacklist is cluster-lifetime state observed per stage, not a
+        // per-stage increment: the later stage's view supersedes.
+        self.blacklisted_nodes = self.blacklisted_nodes.max(other.blacklisted_nodes);
     }
 }
 
@@ -136,6 +155,7 @@ mod tests {
         let s = ExecStats {
             per_node_busy: vec![ms(10), ms(30), ms(20)],
             wall: ms(35),
+            ..ExecStats::default()
         };
         assert_eq!(s.makespan(), ms(30));
         assert_eq!(s.total_busy(), ms(60));
@@ -154,14 +174,29 @@ mod tests {
         let mut a = ExecStats {
             per_node_busy: vec![ms(5), ms(10)],
             wall: ms(12),
+            attempts: 2,
+            retries: 1,
+            failed_attempts: 1,
+            speculative_wins: 0,
+            blacklisted_nodes: 1,
         };
         let b = ExecStats {
             per_node_busy: vec![ms(1), ms(2), ms(3)],
             wall: ms(4),
+            attempts: 3,
+            retries: 0,
+            failed_attempts: 0,
+            speculative_wins: 2,
+            blacklisted_nodes: 0,
         };
         a.accumulate(&b);
         assert_eq!(a.per_node_busy, vec![ms(6), ms(12), ms(3)]);
         assert_eq!(a.wall, ms(16));
+        assert_eq!(a.attempts, 5);
+        assert_eq!(a.retries, 1);
+        assert_eq!(a.failed_attempts, 1);
+        assert_eq!(a.speculative_wins, 2);
+        assert_eq!(a.blacklisted_nodes, 1, "blacklist accumulates as max");
     }
 
     #[test]
@@ -198,10 +233,12 @@ mod tests {
             construction: ExecStats {
                 per_node_busy: vec![ms(10), ms(20)],
                 wall: ms(25),
+                ..ExecStats::default()
             },
             join: ExecStats {
                 per_node_busy: vec![ms(40), ms(5)],
                 wall: ms(42),
+                ..ExecStats::default()
             },
             driver: ms(3),
             broadcast_bytes: 0,

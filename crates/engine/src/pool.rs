@@ -1,7 +1,11 @@
+use crate::fault::{FaultContext, JobError, TaskError};
+use crate::lpt::least_loaded;
 use crate::metrics::ExecStats;
-use asj_obs::{Attrs, Recorder};
+use asj_obs::{Attrs, Lane, Recorder};
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Executes `tasks` on a pool of `threads` OS threads and attributes each
@@ -45,9 +49,9 @@ where
 /// # Safety
 /// Callers must guarantee that at most one thread accesses any given index
 /// (here: each index is claimed exactly once via `fetch_add` on a shared
-/// counter), and that reads of the final values happen only after all writer
-/// threads have been joined (the `thread::scope` exit provides the necessary
-/// happens-before edge).
+/// counter, or via a compare-exchange on a per-index flag), and that reads of
+/// the final values happen only after all writer threads have been joined
+/// (the `thread::scope` exit provides the necessary happens-before edge).
 struct Slots<V>(Vec<UnsafeCell<Option<V>>>);
 
 unsafe impl<V: Send> Sync for Slots<V> {}
@@ -80,10 +84,42 @@ impl<V> Slots<V> {
     }
 }
 
+/// Renders a caught panic payload for [`TaskError::Panic`].
+fn panic_msg(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Scales a measured duration by a slowdown multiplier.
+fn scale_dur(d: Duration, mult: f64) -> Duration {
+    if mult <= 1.0 {
+        d
+    } else {
+        Duration::from_nanos((d.as_nanos() as f64 * mult) as u64)
+    }
+}
+
+fn empty_stats(nodes: usize, wall_start: Instant) -> ExecStats {
+    ExecStats {
+        per_node_busy: vec![Duration::ZERO; nodes],
+        wall: wall_start.elapsed(),
+        ..ExecStats::default()
+    }
+}
+
 /// [`run_tasks`] with a [`Recorder`]: every task additionally emits a span
 /// named `stage` on its simulated node's lane, whose simulated duration is
 /// the same measurement that feeds [`ExecStats`] — so per node, the trace's
 /// span durations sum to exactly `per_node_busy`.
+///
+/// # Panics
+/// Panics if a task panics (the job is fail-stop on this path; use
+/// [`try_run_tasks_traced`] or [`run_tasks_ft`] for recoverable execution).
 pub fn run_tasks_traced<T, R, F>(
     threads: usize,
     nodes: usize,
@@ -98,26 +134,64 @@ where
     R: Send,
     F: Fn(usize, T) -> R + Sync,
 {
+    match try_run_tasks_traced(threads, nodes, tasks, placement, recorder, stage, f) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible single-attempt execution: each task body runs under
+/// `catch_unwind`, and a panicking task aborts the stage with a
+/// [`JobError`] instead of poisoning the thread scope. No retries are
+/// attempted on this path — it is the zero-overhead route taken when no
+/// fault plan is attached (see [`run_tasks_ft`] for the recovering
+/// executor).
+///
+/// On success the behaviour (results, spans, stats) is identical to the
+/// historical `run_tasks_traced`.
+pub fn try_run_tasks_traced<T, R, F>(
+    threads: usize,
+    nodes: usize,
+    tasks: Vec<T>,
+    placement: &[usize],
+    recorder: &Recorder,
+    stage: &str,
+    f: F,
+) -> Result<(Vec<R>, ExecStats), JobError>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
     assert_eq!(placement.len(), tasks.len(), "one placement entry per task");
     assert!(nodes > 0, "cluster must have at least one node");
     debug_assert!(
         placement.iter().all(|&n| n < nodes),
         "placement out of range"
     );
-    let threads = threads.max(1);
     let wall_start = Instant::now();
     let n_tasks = tasks.len();
+    // An empty stage spawns no workers at all.
+    if n_tasks == 0 {
+        return Ok((Vec::new(), empty_stats(nodes, wall_start)));
+    }
+    let threads = threads.max(1).min(n_tasks);
 
     // Lock-free work distribution: workers claim task indices from a shared
     // counter; task inputs and results live in per-index slots, so no lock is
     // held while running `f` and threads never contend on a results mutex.
     let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let fatal: Mutex<Option<JobError>> = Mutex::new(None);
     let task_slots: Slots<T> = Slots::filled(tasks.into_iter(), n_tasks);
     let result_slots: Slots<(R, Duration)> = Slots::empty(n_tasks);
 
     std::thread::scope(|scope| {
-        for _ in 0..threads.min(n_tasks.max(1)) {
+        for _ in 0..threads {
             scope.spawn(|| loop {
+                if abort.load(Ordering::Relaxed) {
+                    break;
+                }
                 let idx = next.fetch_add(1, Ordering::Relaxed);
                 if idx >= n_tasks {
                     break;
@@ -126,21 +200,51 @@ where
                 // only owner; the slot was filled before the scope started.
                 let task = unsafe { task_slots.take(idx) }.expect("task slot filled once");
                 let start = Instant::now();
-                let out = f(idx, task);
+                let out = catch_unwind(AssertUnwindSafe(|| f(idx, task)));
                 let elapsed = start.elapsed();
-                recorder.task_span(
-                    stage,
-                    placement[idx],
-                    Some(idx as u64),
-                    elapsed,
-                    Attrs::new(),
-                );
-                // SAFETY: same exclusive ownership of `idx`.
-                unsafe { result_slots.put(idx, (out, elapsed)) };
+                match out {
+                    Ok(r) => {
+                        recorder.task_span(
+                            stage,
+                            placement[idx],
+                            Some(idx as u64),
+                            elapsed,
+                            Attrs::new(),
+                        );
+                        // SAFETY: same exclusive ownership of `idx`.
+                        unsafe { result_slots.put(idx, (r, elapsed)) };
+                    }
+                    Err(payload) => {
+                        // The failed attempt still shows up on its node's
+                        // trace lane; the stage aborts with the first error.
+                        recorder.task_span_sim(
+                            &format!("{stage}!failed"),
+                            placement[idx],
+                            Some(idx as u64),
+                            elapsed,
+                            elapsed,
+                            Attrs::new(),
+                        );
+                        let mut g = fatal.lock().expect("pool error slot poisoned");
+                        if g.is_none() {
+                            *g = Some(JobError {
+                                stage: stage.to_string(),
+                                task: idx,
+                                attempts: 1,
+                                error: TaskError::Panic(panic_msg(payload)),
+                            });
+                        }
+                        abort.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
             });
         }
     });
 
+    if let Some(e) = fatal.into_inner().expect("pool error slot poisoned") {
+        return Err(e);
+    }
     let mut per_node_busy = vec![Duration::ZERO; nodes];
     let mut out = Vec::with_capacity(n_tasks);
     // The scope join above synchronizes all worker writes with these reads.
@@ -151,18 +255,392 @@ where
         per_node_busy[placement[idx]] += d;
         out.push(r);
     }
-    (
+    Ok((
         out,
         ExecStats {
             per_node_busy,
             wall: wall_start.elapsed(),
+            attempts: n_tasks as u64,
+            ..ExecStats::default()
         },
-    )
+    ))
+}
+
+/// The fault-tolerant executor: like [`try_run_tasks_traced`], but attempts
+/// are subject to the [`FaultContext`]'s injection plan and recovered
+/// according to its retry policy:
+///
+/// * every attempt runs under `catch_unwind`; a failed attempt (panic,
+///   injected fault, or lost node) is retried up to `max_attempts` times,
+///   re-placed on the least-loaded node that is neither blacklisted nor
+///   lost;
+/// * a node accumulating `blacklist_after` failures is blacklisted for the
+///   rest of the cluster's life (but never the last usable node);
+/// * with speculation enabled, workers that drained the task queue clone the
+///   slowest still-running tasks onto the least-loaded node; the first
+///   finisher commits its result and the loser is killed;
+/// * *every* attempt — failed, killed and winning alike — is charged to its
+///   node's simulated clock and emits a span on that node's trace lane
+///   (`stage` for committed attempts, `stage!failed` / `stage!killed`
+///   otherwise), so the makespan and the trace honestly reflect the price of
+///   recovery. A straggler node's attempts are billed at its slowdown
+///   multiple; an attempt killed by a faster competitor is billed only for
+///   the time it occupied the node before the winner committed.
+///
+/// Tasks must be `Clone` because a retry or a speculative copy re-runs the
+/// same input — the analog of Spark recomputing a partition from lineage.
+#[allow(clippy::too_many_arguments)] // executor entry point: each knob is load-bearing
+pub fn run_tasks_ft<T, R, F>(
+    threads: usize,
+    nodes: usize,
+    tasks: Vec<T>,
+    placement: &[usize],
+    recorder: &Recorder,
+    stage: &str,
+    ctx: &FaultContext,
+    f: F,
+) -> Result<(Vec<R>, ExecStats), JobError>
+where
+    T: Sync + Clone,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    assert_eq!(placement.len(), tasks.len(), "one placement entry per task");
+    assert!(nodes > 0, "cluster must have at least one node");
+    assert_eq!(
+        ctx.state.nodes(),
+        nodes,
+        "fault state sized for a different cluster"
+    );
+    let wall_start = Instant::now();
+    let n_tasks = tasks.len();
+    if n_tasks == 0 {
+        let mut stats = empty_stats(nodes, wall_start);
+        stats.blacklisted_nodes = ctx.state.blacklisted_count();
+        return Ok((Vec::new(), stats));
+    }
+    let threads = threads.max(1).min(n_tasks);
+    let plan = &ctx.plan;
+    let policy = &ctx.policy;
+    let state = &ctx.state;
+    let tasks = &tasks;
+    let failed_stage = format!("{stage}!failed");
+    let killed_stage = format!("{stage}!killed");
+
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let fatal: Mutex<Option<JobError>> = Mutex::new(None);
+    // Per-task completion/speculation flags and the running-attempt registry
+    // the straggler scan reads. `running_since` stores nanoseconds since
+    // `wall_start` plus one (0 means "not currently running").
+    let done: Vec<AtomicBool> = (0..n_tasks).map(|_| AtomicBool::new(false)).collect();
+    let speculated: Vec<AtomicBool> = (0..n_tasks).map(|_| AtomicBool::new(false)).collect();
+    let running_since: Vec<AtomicU64> = (0..n_tasks).map(|_| AtomicU64::new(0)).collect();
+    let running_node: Vec<AtomicUsize> = (0..n_tasks).map(|_| AtomicUsize::new(0)).collect();
+    let completed = AtomicUsize::new(0);
+    let completed_charged_ns = AtomicU64::new(0);
+    let node_busy_ns: Vec<AtomicU64> = (0..nodes).map(|_| AtomicU64::new(0)).collect();
+    let n_attempts = AtomicU64::new(0);
+    let n_retries = AtomicU64::new(0);
+    let n_failed = AtomicU64::new(0);
+    let n_spec_wins = AtomicU64::new(0);
+    let result_slots: Slots<R> = Slots::empty(n_tasks);
+
+    let now_ns = || wall_start.elapsed().as_nanos() as u64;
+    let charge = |node: usize, d: Duration| {
+        node_busy_ns[node].fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    };
+    // Least-loaded usable node, preferring to avoid `exclude`; the final
+    // fallback ignores the blacklist entirely so the job fails with a real
+    // error instead of starving when everything is lost.
+    let pick_node = |exclude: Option<usize>| -> usize {
+        let loads: Vec<u64> = node_busy_ns
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        least_loaded(&loads, |n| state.is_avoided(n) || Some(n) == exclude)
+            .or_else(|| least_loaded(&loads, |n| state.is_avoided(n)))
+            .or_else(|| least_loaded(&loads, |_| false))
+            .expect("cluster has at least one node")
+    };
+
+    // Runs one attempt of task `idx` on `node`. `attempt` is 1-based for
+    // regular attempts; speculative copies pass 0. `Ok(())` means the task
+    // is complete (this attempt committed, or a competitor already had).
+    let attempt_once = |idx: usize, attempt: usize, node: usize| -> Result<(), TaskError> {
+        n_attempts.fetch_add(1, Ordering::Relaxed);
+        recorder.counter_add(stage, "attempts", 1);
+        state.note_attempt_started(plan, node);
+        if state.is_lost(node) {
+            // Fast failure: a dead executor burns no simulated time, but the
+            // doomed attempt still appears on the node's lane.
+            recorder.task_span_sim(
+                &failed_stage,
+                node,
+                Some(idx as u64),
+                Duration::ZERO,
+                Duration::ZERO,
+                Attrs::new(),
+            );
+            recorder.event(
+                "node_lost",
+                Lane::Node(node),
+                Some(idx as u64),
+                Attrs::new(),
+            );
+            return Err(TaskError::NodeLost { node });
+        }
+        let will_fail = plan.injects(stage, idx, attempt);
+        running_node[idx].store(node, Ordering::Relaxed);
+        running_since[idx].store(now_ns() + 1, Ordering::Relaxed);
+        let start = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| f(idx, tasks[idx].clone())));
+        let d0 = start.elapsed();
+        let mult = plan.slowdown(node);
+        if mult > 1.0 && outcome.is_ok() && !will_fail {
+            // A straggler node really is slower: stretch the attempt in wall
+            // time (in interruptible slices) so a speculative copy elsewhere
+            // can genuinely overtake it.
+            let target = scale_dur(d0, mult);
+            while start.elapsed() < target {
+                if done[idx].load(Ordering::Relaxed) || abort.load(Ordering::Relaxed) {
+                    break;
+                }
+                let left = target.saturating_sub(start.elapsed());
+                std::thread::sleep(left.min(Duration::from_micros(500)));
+            }
+        }
+        match outcome {
+            Err(payload) => {
+                let charged = scale_dur(d0, mult);
+                charge(node, charged);
+                recorder.task_span_sim(
+                    &failed_stage,
+                    node,
+                    Some(idx as u64),
+                    d0,
+                    charged,
+                    Attrs::new(),
+                );
+                running_since[idx].store(0, Ordering::Relaxed);
+                Err(TaskError::Panic(panic_msg(payload)))
+            }
+            Ok(_) if will_fail => {
+                // The attempt did its work and died at commit time — the
+                // result is discarded but the burned time is billed in full.
+                let charged = scale_dur(d0, mult);
+                charge(node, charged);
+                recorder.task_span_sim(
+                    &failed_stage,
+                    node,
+                    Some(idx as u64),
+                    d0,
+                    charged,
+                    Attrs::new(),
+                );
+                running_since[idx].store(0, Ordering::Relaxed);
+                Err(TaskError::Injected { attempt })
+            }
+            Ok(r) => {
+                if done[idx]
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    // SAFETY: the `done` compare-exchange makes this thread
+                    // the unique writer of slot `idx`; results are read only
+                    // after the scope joins all workers.
+                    unsafe { result_slots.put(idx, r) };
+                    let charged = scale_dur(d0, mult);
+                    charge(node, charged);
+                    recorder.task_span_sim(
+                        stage,
+                        node,
+                        Some(idx as u64),
+                        start.elapsed(),
+                        charged,
+                        Attrs::new(),
+                    );
+                    running_since[idx].store(0, Ordering::Relaxed);
+                    completed.fetch_add(1, Ordering::Relaxed);
+                    completed_charged_ns.fetch_add(charged.as_nanos() as u64, Ordering::Relaxed);
+                    if attempt == 0 {
+                        n_spec_wins.fetch_add(1, Ordering::Relaxed);
+                        recorder.counter_add(stage, "speculative_wins", 1);
+                        recorder.event(
+                            "speculation_win",
+                            Lane::Node(node),
+                            Some(idx as u64),
+                            Attrs::new(),
+                        );
+                    }
+                    Ok(())
+                } else {
+                    // Lost the race against a competitor attempt: this copy
+                    // is killed, billed only for the time it held the node.
+                    let actual = start.elapsed();
+                    charge(node, actual);
+                    recorder.task_span_sim(
+                        &killed_stage,
+                        node,
+                        Some(idx as u64),
+                        actual,
+                        actual,
+                        Attrs::new(),
+                    );
+                    Ok(())
+                }
+            }
+        }
+    };
+
+    // Books a failed attempt: failure counters, blacklisting.
+    let note_failed = |node: usize| {
+        n_failed.fetch_add(1, Ordering::Relaxed);
+        recorder.counter_add(stage, "failed_attempts", 1);
+        if state.note_failure(policy, node) {
+            recorder.counter_add(stage, "blacklisted_nodes", 1);
+            recorder.event("node_blacklisted", Lane::Node(node), None, Attrs::new());
+        }
+    };
+
+    // Straggler scan: once enough of the stage has finished, find a
+    // still-running task whose elapsed time projects past the speculation
+    // threshold and claim it for a speculative copy.
+    let find_straggler = || -> Option<(usize, usize)> {
+        let comp = completed.load(Ordering::Relaxed);
+        if comp == 0 || (comp as f64) < policy.speculation_quantile * n_tasks as f64 {
+            return None;
+        }
+        let mean_ns = completed_charged_ns.load(Ordering::Relaxed) / comp as u64;
+        let threshold_ns = (mean_ns as f64 * policy.speculation_multiplier) as u64;
+        let now = now_ns();
+        for idx in 0..n_tasks {
+            if done[idx].load(Ordering::Relaxed) || speculated[idx].load(Ordering::Relaxed) {
+                continue;
+            }
+            let since = running_since[idx].load(Ordering::Relaxed);
+            if since == 0 || now.saturating_sub(since - 1) <= threshold_ns {
+                continue;
+            }
+            if speculated[idx]
+                .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                let origin = running_node[idx].load(Ordering::Relaxed);
+                let spec_node = pick_node(Some(origin));
+                recorder.event(
+                    "speculative_launch",
+                    Lane::Node(spec_node),
+                    Some(idx as u64),
+                    Attrs::new(),
+                );
+                return Some((idx, spec_node));
+            }
+        }
+        None
+    };
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                if abort.load(Ordering::Relaxed) {
+                    return;
+                }
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx < n_tasks {
+                    // Fresh task: run it to completion, retrying failures.
+                    let mut attempt = 1usize;
+                    let mut node = placement[idx];
+                    loop {
+                        if abort.load(Ordering::Relaxed) || done[idx].load(Ordering::Relaxed) {
+                            break;
+                        }
+                        match attempt_once(idx, attempt, node) {
+                            Ok(()) => break,
+                            Err(e) => {
+                                note_failed(node);
+                                if attempt >= policy.max_attempts {
+                                    // A competitor may still have committed.
+                                    if !done[idx].load(Ordering::Relaxed) {
+                                        let mut g = fatal.lock().expect("pool error slot poisoned");
+                                        if g.is_none() {
+                                            *g = Some(JobError {
+                                                stage: stage.to_string(),
+                                                task: idx,
+                                                attempts: attempt,
+                                                error: e,
+                                            });
+                                        }
+                                        abort.store(true, Ordering::Relaxed);
+                                    }
+                                    break;
+                                }
+                                attempt += 1;
+                                n_retries.fetch_add(1, Ordering::Relaxed);
+                                recorder.counter_add(stage, "retries", 1);
+                                let from = node;
+                                node = pick_node(Some(node));
+                                recorder.event(
+                                    "task_retry",
+                                    Lane::Node(node),
+                                    Some(idx as u64),
+                                    Attrs::new().records(from as u64),
+                                );
+                            }
+                        }
+                    }
+                    continue;
+                }
+                // Queue drained: either help stragglers or leave.
+                if !policy.speculation || completed.load(Ordering::Relaxed) >= n_tasks {
+                    return;
+                }
+                if let Some((tidx, spec_node)) = find_straggler() {
+                    if let Err(_e) = attempt_once(tidx, 0, spec_node) {
+                        // A failed speculative copy is just a failed attempt;
+                        // the original is still running, so nothing retries.
+                        note_failed(spec_node);
+                    }
+                } else {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            });
+        }
+    });
+
+    if let Some(e) = fatal.into_inner().expect("pool error slot poisoned") {
+        return Err(e);
+    }
+    let per_node_busy: Vec<Duration> = node_busy_ns
+        .iter()
+        .map(|b| Duration::from_nanos(b.load(Ordering::Relaxed)))
+        .collect();
+    let mut out = Vec::with_capacity(n_tasks);
+    // The scope join above synchronizes all worker writes with these reads.
+    for slot in result_slots.0.into_iter() {
+        out.push(
+            slot.into_inner()
+                .expect("every task committed a result or the job errored"),
+        );
+    }
+    Ok((
+        out,
+        ExecStats {
+            per_node_busy,
+            wall: wall_start.elapsed(),
+            attempts: n_attempts.load(Ordering::Relaxed),
+            retries: n_retries.load(Ordering::Relaxed),
+            failed_attempts: n_failed.load(Ordering::Relaxed),
+            speculative_wins: n_spec_wins.load(Ordering::Relaxed),
+            blacklisted_nodes: state.blacklisted_count(),
+        },
+    ))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultPlan, RetryPolicy};
 
     #[test]
     fn results_preserve_task_order() {
@@ -172,6 +650,9 @@ mod tests {
         assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
         assert_eq!(stats.per_node_busy.len(), 4);
         assert!(stats.wall > Duration::ZERO);
+        assert_eq!(stats.attempts, 100);
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.failed_attempts, 0);
     }
 
     #[test]
@@ -193,6 +674,7 @@ mod tests {
         let (out, stats) = run_tasks(4, 2, Vec::<u8>::new(), &[], |_, t| t);
         assert!(out.is_empty());
         assert_eq!(stats.per_node_busy, vec![Duration::ZERO; 2]);
+        assert_eq!(stats.attempts, 0);
     }
 
     #[test]
@@ -221,6 +703,27 @@ mod tests {
             assert!(t != 3, "task failure");
             t
         });
+    }
+
+    #[test]
+    fn try_run_converts_panics_into_job_errors() {
+        let res = try_run_tasks_traced(
+            2,
+            2,
+            vec![1u32, 2, 3, 4],
+            &[0, 1, 0, 1],
+            &Recorder::noop(),
+            "unit",
+            |_, t| {
+                assert!(t != 3, "task failure");
+                t
+            },
+        );
+        let err = res.expect_err("panicking task must fail the job");
+        assert_eq!(err.stage, "unit");
+        assert_eq!(err.task, 2);
+        assert_eq!(err.attempts, 1);
+        assert!(matches!(err.error, TaskError::Panic(ref m) if m.contains("task failure")));
     }
 
     #[test]
@@ -264,5 +767,215 @@ mod tests {
             assert_eq!(span_sum, stats.per_node_busy[node].as_nanos() as u64);
             assert_eq!(recorder.node_sim_total(node), stats.per_node_busy[node]);
         }
+    }
+
+    fn ft_ctx(plan: FaultPlan, policy: RetryPolicy, nodes: usize) -> FaultContext {
+        FaultContext::new(plan, policy, nodes)
+    }
+
+    #[test]
+    fn ft_without_faults_matches_plain_run() {
+        let tasks: Vec<u64> = (0..64).collect();
+        let placement: Vec<usize> = (0..64).map(|i| i % 3).collect();
+        let ctx = ft_ctx(FaultPlan::none(), RetryPolicy::default(), 3);
+        let (out, stats) = run_tasks_ft(
+            4,
+            3,
+            tasks,
+            &placement,
+            &Recorder::noop(),
+            "unit",
+            &ctx,
+            |_, t| t * 3,
+        )
+        .expect("fault-free run succeeds");
+        assert_eq!(out, (0..64).map(|i| i * 3).collect::<Vec<_>>());
+        assert_eq!(stats.attempts, 64);
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.failed_attempts, 0);
+        assert_eq!(stats.speculative_wins, 0);
+        assert_eq!(stats.blacklisted_nodes, 0);
+    }
+
+    #[test]
+    fn ft_retries_injected_failures_and_recovers() {
+        // Attempt 1 of every task fails; attempt 2 succeeds.
+        let plan = FaultPlan::none().with_fail_prob(0.0).with_seed(3);
+        let plan = (0..8).fold(plan, |p, t| p.with_fail_point("unit", t, 1));
+        let ctx = ft_ctx(plan, RetryPolicy::default(), 2);
+        let tasks: Vec<u32> = (0..8).collect();
+        let placement: Vec<usize> = (0..8).map(|i| i % 2).collect();
+        let (out, stats) = run_tasks_ft(
+            2,
+            2,
+            tasks,
+            &placement,
+            &Recorder::noop(),
+            "unit",
+            &ctx,
+            |_, t| t + 100,
+        )
+        .expect("retries must recover");
+        assert_eq!(out, (0..8).map(|t| t + 100).collect::<Vec<_>>());
+        assert_eq!(stats.attempts, 16, "each task needs exactly two attempts");
+        assert_eq!(stats.retries, 8);
+        assert_eq!(stats.failed_attempts, 8);
+        assert!(stats.attempts > 8, "recovery must show up in the stats");
+    }
+
+    #[test]
+    fn ft_exhausted_attempts_fail_the_job() {
+        let plan = FaultPlan::none().with_stage_fail_prob("unit", 1.0);
+        let ctx = ft_ctx(plan, RetryPolicy::default().with_max_attempts(3), 2);
+        let err = run_tasks_ft(
+            2,
+            2,
+            vec![1u8, 2],
+            &[0, 1],
+            &Recorder::noop(),
+            "unit",
+            &ctx,
+            |_, t| t,
+        )
+        .expect_err("unsurvivable plan must fail");
+        assert_eq!(err.attempts, 3);
+        assert!(matches!(err.error, TaskError::Injected { .. }));
+    }
+
+    #[test]
+    fn ft_panicking_task_is_retried_on_another_node() {
+        // The closure panics only on node-0 placements of task 0's input; the
+        // retry lands elsewhere and succeeds. Panics are modelled by input
+        // value since the closure cannot see the node — so panic exactly once
+        // via an attempt counter.
+        let boom = AtomicUsize::new(0);
+        let ctx = ft_ctx(FaultPlan::none(), RetryPolicy::default(), 2);
+        let (out, stats) = run_tasks_ft(
+            1,
+            2,
+            vec![7u32],
+            &[0],
+            &Recorder::noop(),
+            "unit",
+            &ctx,
+            |_, t| {
+                if boom.fetch_add(1, Ordering::Relaxed) == 0 {
+                    panic!("first attempt dies");
+                }
+                t
+            },
+        )
+        .expect("retry must recover from a panic");
+        assert_eq!(out, vec![7]);
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.failed_attempts, 1);
+    }
+
+    #[test]
+    fn ft_lost_node_reroutes_work() {
+        // Node 0 is lost immediately; everything placed there must be
+        // rerouted to node 1 and still succeed.
+        let plan = FaultPlan::none().with_lost_node(0, 0);
+        let ctx = ft_ctx(plan, RetryPolicy::default(), 2);
+        let tasks: Vec<u32> = (0..6).collect();
+        let (out, stats) = run_tasks_ft(
+            2,
+            2,
+            tasks,
+            &[0, 0, 0, 0, 0, 0],
+            &Recorder::noop(),
+            "unit",
+            &ctx,
+            |_, t| t,
+        )
+        .expect("reroute must recover");
+        assert_eq!(out, (0..6).collect::<Vec<_>>());
+        assert_eq!(stats.failed_attempts, 6, "one fast failure per task");
+        assert_eq!(stats.per_node_busy[0], Duration::ZERO);
+        assert!(stats.per_node_busy[1] > Duration::ZERO);
+    }
+
+    #[test]
+    fn ft_blacklists_failing_node() {
+        let plan = FaultPlan::none().with_lost_node(0, 0);
+        let ctx = ft_ctx(plan, RetryPolicy::default().with_blacklist_after(2), 3);
+        let tasks: Vec<u32> = (0..8).collect();
+        let (_, stats) = run_tasks_ft(
+            2,
+            3,
+            tasks,
+            &[0; 8],
+            &Recorder::noop(),
+            "unit",
+            &ctx,
+            |_, t| t,
+        )
+        .expect("must recover");
+        assert_eq!(stats.blacklisted_nodes, 1);
+        assert!(ctx.state.is_blacklisted(0));
+    }
+
+    #[test]
+    fn ft_speculation_beats_a_straggler() {
+        // Node 1 is 40x slower. The straggling task's speculative copy on
+        // node 0 finishes first and wins; the sleeping original is killed.
+        let plan = FaultPlan::none().with_slow_node(1, 40.0);
+        let policy = RetryPolicy::default()
+            .with_speculation(true)
+            .with_blacklist_after(u64::MAX);
+        let ctx = ft_ctx(plan, policy, 2);
+        let tasks: Vec<u32> = (0..8).collect();
+        // Task 7 runs on the slow node; everything else on node 0.
+        let placement = [0, 0, 0, 0, 0, 0, 0, 1];
+        let recorder = Recorder::for_nodes(2);
+        let (out, stats) =
+            run_tasks_ft(2, 2, tasks, &placement, &recorder, "unit", &ctx, |_, t| {
+                std::thread::sleep(Duration::from_millis(3));
+                t * 2
+            })
+            .expect("speculation run succeeds");
+        assert_eq!(out, (0..8).map(|t| t * 2).collect::<Vec<_>>());
+        assert_eq!(stats.speculative_wins, 1, "the copy must win the race");
+        // The killed original shows up on the slow node's lane, and the
+        // trace still accounts for exactly the busy time.
+        let trace = recorder.snapshot();
+        assert!(trace.spans.iter().any(|s| s.stage == "unit!killed"));
+        for node in 0..2 {
+            let span_sum: u64 = trace
+                .spans
+                .iter()
+                .filter(|s| s.lane == asj_obs::Lane::Node(node))
+                .map(|s| s.sim_dur_ns)
+                .sum();
+            assert_eq!(span_sum, stats.per_node_busy[node].as_nanos() as u64);
+        }
+        // Makespan with a rescued straggler must be far below the 40x bill
+        // the original would have paid (3ms * 40 = 120ms).
+        assert!(stats.makespan() < Duration::from_millis(120));
+    }
+
+    #[test]
+    fn ft_charges_failed_attempts_to_sim_clock() {
+        let plan = FaultPlan::none().with_fail_point("unit", 0, 1);
+        let ctx = ft_ctx(plan, RetryPolicy::default(), 1);
+        let recorder = Recorder::for_nodes(1);
+        let (_, stats) = run_tasks_ft(1, 1, vec![()], &[0], &recorder, "unit", &ctx, |_, ()| {
+            std::thread::sleep(Duration::from_millis(2))
+        })
+        .expect("retry recovers");
+        let trace = recorder.snapshot();
+        let failed: Vec<_> = trace
+            .spans
+            .iter()
+            .filter(|s| s.stage == "unit!failed")
+            .collect();
+        assert_eq!(failed.len(), 1, "failed attempt must appear in the trace");
+        assert!(failed[0].sim_dur_ns >= 2_000_000);
+        let span_sum: u64 = trace.spans.iter().map(|s| s.sim_dur_ns).sum();
+        assert_eq!(span_sum, stats.per_node_busy[0].as_nanos() as u64);
+        assert!(
+            stats.per_node_busy[0] >= Duration::from_millis(4),
+            "both attempts must be billed"
+        );
     }
 }

@@ -1,11 +1,11 @@
 use crate::{JoinOutput, JoinSpec};
 use asj_engine::{
-    Cluster, Dataset, ExecStats, HashPartitioner, JobMetrics, KeyedDataset, Partitioner, Wire,
+    ensure_remaining, Cluster, Dataset, ExecStats, HashPartitioner, JobMetrics, KeyedDataset,
+    Partitioner, Wire, WireError,
 };
 use asj_geom::{Point, Polygon, Polyline, Shape};
 use asj_grid::{Grid, GridSpec};
 use bytes::{Buf, BufMut};
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A spatial object with extent: the generalization beyond point data that
 /// the paper defers to future work (§8: "extend the abstraction … for other
@@ -30,11 +30,14 @@ fn encode_points(pts: &[Point], buf: &mut impl BufMut) {
     }
 }
 
-fn decode_points(buf: &mut impl Buf) -> Vec<Point> {
-    let n = buf.get_u32_le() as usize;
-    (0..n)
+fn decode_points(buf: &mut impl Buf) -> Result<Vec<Point>, WireError> {
+    let n = u32::try_decode(buf)? as usize;
+    // Validate against the remaining bytes before allocating, so a corrupt
+    // count cannot trigger a giant allocation or an underflow panic.
+    ensure_remaining(buf, 16 * n)?;
+    Ok((0..n)
         .map(|_| Point::new(buf.get_f64_le(), buf.get_f64_le()))
-        .collect()
+        .collect())
 }
 
 impl Wire for ExtentRecord {
@@ -65,17 +68,22 @@ impl Wire for ExtentRecord {
         }
     }
 
-    fn decode(buf: &mut impl Buf) -> Self {
-        let id = buf.get_u64_le();
-        let tag = buf.get_u8();
-        let pts = decode_points(buf);
+    fn try_decode(buf: &mut impl Buf) -> Result<Self, WireError> {
+        let id = u64::try_decode(buf)?;
+        let tag = u8::try_decode(buf)?;
+        let pts = decode_points(buf)?;
         let shape = match tag {
-            0 => Shape::Point(pts[0]),
+            0 => Shape::Point(
+                *pts.first()
+                    .ok_or_else(|| WireError::Malformed("point shape with no vertex".into()))?,
+            ),
             1 => Shape::Polyline(Polyline::new(pts)),
             2 => Shape::Polygon(Polygon::new(pts)),
-            other => panic!("unknown shape tag {other}"),
+            other => {
+                return Err(WireError::Malformed(format!("unknown shape tag {other}")));
+            }
         };
-        ExtentRecord { id, shape }
+        Ok(ExtentRecord { id, shape })
     }
 }
 
@@ -156,14 +164,18 @@ pub fn extent_join(
         .map(|p| cluster.node_of_partition(p))
         .collect();
     let collect = spec.collect_pairs;
-    let candidates = AtomicU64::new(0);
-    let results = AtomicU64::new(0);
     let e2 = eps * eps;
-    let (joined, join_exec) = keyed_a.cogroup_join(
+    // Counts fold into per-partition accumulators committed with the task
+    // result — safe under retries and speculative re-execution.
+    let (joined, counts, join_exec) = keyed_a.cogroup_join_fold(
         cluster,
         keyed_b,
         &placement,
-        |cell, avs: &[ExtentRecord], bvs: &[ExtentRecord], out: &mut Vec<(u64, u64)>| {
+        |cell,
+         avs: &[ExtentRecord],
+         bvs: &[ExtentRecord],
+         out: &mut Vec<(u64, u64)>,
+         acc: &mut (u64, u64)| {
             let mut local_candidates = 0u64;
             let mut local_results = 0u64;
             for ra in avs {
@@ -187,16 +199,16 @@ pub fn extent_join(
                     }
                 }
             }
-            candidates.fetch_add(local_candidates, Ordering::Relaxed);
-            results.fetch_add(local_results, Ordering::Relaxed);
+            acc.0 += local_candidates;
+            acc.1 += local_results;
         },
     );
 
     JoinOutput {
         algorithm: "extent-join".to_string(),
         pairs: joined.collect(),
-        result_count: results.into_inner(),
-        candidates: candidates.into_inner(),
+        result_count: counts.iter().map(|c| c.1).sum(),
+        candidates: counts.iter().map(|c| c.0).sum(),
         replicated: [rep_a, rep_b],
         metrics: JobMetrics {
             shuffle,
@@ -280,6 +292,37 @@ mod tests {
             let back = ExtentRecord::decode(&mut buf.freeze());
             assert_eq!(back, rec);
         }
+    }
+
+    #[test]
+    fn malformed_extent_bytes_decode_to_errors() {
+        // Unknown shape tag.
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(1);
+        buf.put_u8(9);
+        buf.put_u32_le(0);
+        assert!(matches!(
+            ExtentRecord::try_decode(&mut buf.freeze()),
+            Err(WireError::Malformed(_))
+        ));
+        // Point shape with zero vertices.
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(1);
+        buf.put_u8(0);
+        buf.put_u32_le(0);
+        assert!(matches!(
+            ExtentRecord::try_decode(&mut buf.freeze()),
+            Err(WireError::Malformed(_))
+        ));
+        // Corrupt vertex count far beyond the buffer.
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(1);
+        buf.put_u8(2);
+        buf.put_u32_le(u32::MAX);
+        assert!(matches!(
+            ExtentRecord::try_decode(&mut buf.freeze()),
+            Err(WireError::Truncated { .. })
+        ));
     }
 
     #[test]

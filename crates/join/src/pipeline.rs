@@ -3,7 +3,6 @@ use asj_core::AgreementPolicy;
 use asj_engine::{Cluster, Dataset, ExecStats, KeyedDataset, Partitioner, ShuffleStats};
 use asj_geom::Point;
 use asj_index::kernels;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Every join algorithm of the paper's evaluation, dispatchable by name —
 /// the benchmark harness iterates over these to produce each figure's
@@ -140,14 +139,19 @@ where
     let eps = spec.eps;
     let collect = spec.collect_pairs;
     let kernel = spec.kernel;
-    let candidates = AtomicU64::new(0);
-    let results = AtomicU64::new(0);
-    let (joined, join_exec) = recorder.phase("local_join", || {
-        keyed_r.cogroup_join(
+    // Candidate/result counts fold into a per-partition accumulator that is
+    // committed with the task output: shared atomics here would be
+    // double-counted by retried or speculatively re-executed tasks.
+    let (joined, counts, join_exec) = recorder.phase("local_join", || {
+        keyed_r.cogroup_join_fold(
             cluster,
             keyed_s,
             &placement,
-            |_cell, rs: &[Record], ss: &[Record], out: &mut Vec<(u64, u64)>| {
+            |_cell,
+             rs: &[Record],
+             ss: &[Record],
+             out: &mut Vec<(u64, u64)>,
+             acc: &mut (u64, u64)| {
                 let emit = |i: usize, j: usize, out: &mut Vec<(u64, u64)>| {
                     if collect {
                         out.push((rs[i].id, ss[j].id));
@@ -171,13 +175,13 @@ where
                         |i, j| emit(i, j, out),
                     ),
                 };
-                candidates.fetch_add(stats.candidates, Ordering::Relaxed);
-                results.fetch_add(stats.results, Ordering::Relaxed);
+                acc.0 += stats.candidates;
+                acc.1 += stats.results;
             },
         )
     });
-    let result_count = results.into_inner();
-    let candidate_count = candidates.into_inner();
+    let candidate_count: u64 = counts.iter().map(|c| c.0).sum();
+    let result_count: u64 = counts.iter().map(|c| c.1).sum();
     recorder.counter_add("local_join", "candidates", candidate_count);
     recorder.counter_add("local_join", "results", result_count);
     JoinStageOutput {

@@ -1,7 +1,6 @@
 use crate::{adaptive_join, JoinOutput, JoinSpec, Record};
 use asj_core::AgreementPolicy;
 use asj_engine::{Cluster, HashPartitioner, KeyedDataset};
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The Table-5 alternative for carrying non-spatial attributes: the spatial
 /// join runs on **stripped tuples** (id + coordinates only), and the extra
@@ -70,24 +69,27 @@ pub fn adaptive_join_post_fetch(
     let (s_table, sh, ex) = s_table.shuffle(cluster, &partitioner);
     out.metrics.shuffle.merge(&sh);
     out.metrics.join.accumulate(&ex);
-    let enriched = AtomicU64::new(0);
-    let enriched_bytes = AtomicU64::new(0);
-    let (_, ex) = half.cogroup_join(
+    // Enrichment counts fold into per-partition accumulators (retry-safe).
+    let (_, fold_counts, ex) = half.cogroup_join_fold(
         cluster,
         s_table,
         &placement,
-        |_sid, halves: &[(u64, Vec<u8>)], payloads: &[Vec<u8>], _out: &mut Vec<()>| {
+        |_sid,
+         halves: &[(u64, Vec<u8>)],
+         payloads: &[Vec<u8>],
+         _out: &mut Vec<()>,
+         acc: &mut (u64, u64)| {
             for (_, rpay) in halves {
                 for spay in payloads {
-                    enriched.fetch_add(1, Ordering::Relaxed);
-                    enriched_bytes.fetch_add((rpay.len() + spay.len()) as u64, Ordering::Relaxed);
+                    acc.0 += 1;
+                    acc.1 += (rpay.len() + spay.len()) as u64;
                 }
             }
         },
     );
     out.metrics.join.accumulate(&ex);
 
-    let enriched = enriched.into_inner();
+    let enriched: u64 = fold_counts.iter().map(|c| c.0).sum();
     assert_eq!(
         enriched, out.result_count,
         "every result pair must be enriched exactly once"

@@ -1,4 +1,4 @@
-use asj_engine::Wire;
+use asj_engine::{Wire, WireError};
 use asj_geom::Point;
 use bytes::{Buf, BufMut};
 
@@ -51,18 +51,16 @@ impl Wire for Record {
     }
 
     #[inline]
-    fn decode(buf: &mut impl Buf) -> Self {
-        let id = buf.get_u64_le();
-        let x = buf.get_f64_le();
-        let y = buf.get_f64_le();
-        let len = buf.get_u32_le() as usize;
-        let mut payload = vec![0u8; len];
-        buf.copy_to_slice(&mut payload);
-        Record {
+    fn try_decode(buf: &mut impl Buf) -> Result<Self, WireError> {
+        let id = u64::try_decode(buf)?;
+        let x = f64::try_decode(buf)?;
+        let y = f64::try_decode(buf)?;
+        let payload = Vec::<u8>::try_decode(buf)?;
+        Ok(Record {
             id,
             point: Point::new(x, y),
             payload,
-        }
+        })
     }
 }
 
@@ -105,6 +103,27 @@ mod tests {
         let fat = Record::with_payload(1, Point::new(0.0, 0.0), vec![0; 256]);
         assert_eq!(bare.encoded_size(), 28);
         assert_eq!(fat.encoded_size(), 28 + 256);
+    }
+
+    #[test]
+    fn truncated_record_decodes_to_error() {
+        let r = Record::with_payload(7, Point::new(1.5, -2.5), vec![1, 2, 3]);
+        let mut buf = BytesMut::new();
+        r.encode(&mut buf);
+        let bytes = buf.freeze();
+        // Every proper prefix must error, never panic.
+        for cut in 0..r.encoded_size() {
+            let mut partial = BytesMut::new();
+            let mut whole = bytes.clone();
+            let mut raw = vec![0u8; cut];
+            whole.copy_to_slice(&mut raw);
+            partial.put_slice(&raw);
+            assert!(
+                Record::try_decode(&mut partial.freeze()).is_err(),
+                "prefix of {cut} bytes must be rejected"
+            );
+        }
+        assert_eq!(Record::try_decode(&mut bytes.clone()), Ok(r));
     }
 
     #[test]

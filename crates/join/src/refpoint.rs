@@ -3,7 +3,6 @@ use crate::{JoinOutput, JoinSpec, Record};
 use asj_engine::{Cluster, Dataset, ExecStats, HashPartitioner, JobMetrics, Partitioner};
 use asj_grid::{Grid, GridSpec};
 use asj_index::kernels;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// PBSM with **both** inputs replicated and the *reference-point duplicate
 /// avoidance* technique of Dittrich & Seeger \[5\] — the classic MASJ
@@ -56,13 +55,13 @@ pub fn pbsm_refpoint_join(
         .collect();
     let eps = spec.eps;
     let collect = spec.collect_pairs;
-    let candidates = AtomicU64::new(0);
-    let results = AtomicU64::new(0);
-    let (joined, join_exec) = keyed_r.cogroup_join(
+    // Per-partition count accumulators, committed with the task result (a
+    // retried attempt would double-count shared atomics).
+    let (joined, counts, join_exec) = keyed_r.cogroup_join_fold(
         cluster,
         keyed_s,
         &placement,
-        |cell, rs: &[Record], ss: &[Record], out: &mut Vec<(u64, u64)>| {
+        |cell, rs: &[Record], ss: &[Record], out: &mut Vec<(u64, u64)>, acc: &mut (u64, u64)| {
             let mut local_results = 0u64;
             let stats = kernels::nested_loop(
                 rs,
@@ -85,16 +84,16 @@ pub fn pbsm_refpoint_join(
                     }
                 },
             );
-            candidates.fetch_add(stats.candidates, Ordering::Relaxed);
-            results.fetch_add(local_results, Ordering::Relaxed);
+            acc.0 += stats.candidates;
+            acc.1 += local_results;
         },
     );
 
     JoinOutput {
         algorithm: "PBSM+refpoint".to_string(),
         pairs: joined.collect(),
-        result_count: results.into_inner(),
-        candidates: candidates.into_inner(),
+        result_count: counts.iter().map(|c| c.1).sum(),
+        candidates: counts.iter().map(|c| c.0).sum(),
         replicated: [rep_r, rep_s],
         metrics: JobMetrics {
             shuffle,

@@ -3,7 +3,6 @@ use crate::{JoinOutput, JoinSpec, Record};
 use asj_engine::{Cluster, Dataset, ExecStats, JobMetrics, Partitioner};
 use asj_geom::Rect;
 use asj_index::{kernels::KernelStats, QuadTreePartitioner, RTree};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// The Sedona-like baseline of §7.1: the join runs in three phases —
@@ -99,8 +98,6 @@ pub fn sedona_like_join(
         .map(|p| cluster.node_of_partition(p))
         .collect();
     let collect = spec.collect_pairs;
-    let candidates = AtomicU64::new(0);
-    let results = AtomicU64::new(0);
     type LeafTasks = Vec<(Vec<(u64, Record)>, Vec<(u64, Record)>)>;
     let tasks: LeafTasks = keyed_r
         .into_partitions()
@@ -149,16 +146,20 @@ pub fn sedona_like_join(
                 });
             }
         }
-        candidates.fetch_add(stats.candidates, Ordering::Relaxed);
-        results.fetch_add(stats.results, Ordering::Relaxed);
-        out
+        // Counts travel with the task result (per-attempt, committed once) —
+        // shared atomics would double-count retried attempts.
+        (out, stats.candidates, stats.results)
     });
 
     JoinOutput {
         algorithm: "Sedona".to_string(),
-        pairs: pair_parts.into_iter().flatten().collect(),
-        result_count: results.into_inner(),
-        candidates: candidates.into_inner(),
+        pairs: pair_parts
+            .iter()
+            .flat_map(|(out, _, _)| out)
+            .copied()
+            .collect(),
+        result_count: pair_parts.iter().map(|(_, _, r)| r).sum(),
+        candidates: pair_parts.iter().map(|(_, c, _)| c).sum(),
         replicated: [rep_r, rep_s],
         metrics: JobMetrics {
             shuffle,

@@ -1,7 +1,6 @@
 use crate::pipeline::map_stage;
 use crate::{JoinOutput, JoinSpec, Record};
 use asj_engine::{Cluster, Dataset, ExecStats, HashPartitioner, JobMetrics, Partitioner};
-use std::sync::atomic::{AtomicU64, Ordering};
 
 use asj_grid::{Grid, GridSpec};
 
@@ -42,44 +41,48 @@ pub fn self_join(cluster: &Cluster, spec: &JoinSpec, input: Vec<Record>) -> Join
     let eps = spec.eps;
     let e2 = eps * eps;
     let collect = spec.collect_pairs;
-    let candidates = AtomicU64::new(0);
-    let results = AtomicU64::new(0);
-    let (joined, join_exec) = keyed.process_groups(cluster, &placement, |cell, pts, out| {
-        let mut local_candidates = 0u64;
-        let mut local_results = 0u64;
-        for i in 0..pts.len() {
-            for j in (i + 1)..pts.len() {
-                local_candidates += 1;
-                let (a, b) = (&pts[i], &pts[j]);
-                if a.id == b.id || a.point.dist2(b.point) > e2 {
-                    continue;
-                }
-                let mid = asj_geom::Point::new(
-                    (a.point.x + b.point.x) * 0.5,
-                    (a.point.y + b.point.y) * 0.5,
-                );
-                if grid_b.cell_index(grid_b.cell_of(mid)) as u64 == cell {
-                    local_results += 1;
-                    if collect {
-                        let (lo, hi) = if a.id < b.id {
-                            (a.id, b.id)
-                        } else {
-                            (b.id, a.id)
-                        };
-                        out.push((lo, hi));
+    // Counts ride in per-partition accumulators committed with the task
+    // result, so retried/speculative attempts cannot double-count them.
+    let (joined, counts, join_exec) = keyed.process_groups_fold(
+        cluster,
+        &placement,
+        |cell, pts, out, acc: &mut (u64, u64)| {
+            let mut local_candidates = 0u64;
+            let mut local_results = 0u64;
+            for i in 0..pts.len() {
+                for j in (i + 1)..pts.len() {
+                    local_candidates += 1;
+                    let (a, b) = (&pts[i], &pts[j]);
+                    if a.id == b.id || a.point.dist2(b.point) > e2 {
+                        continue;
+                    }
+                    let mid = asj_geom::Point::new(
+                        (a.point.x + b.point.x) * 0.5,
+                        (a.point.y + b.point.y) * 0.5,
+                    );
+                    if grid_b.cell_index(grid_b.cell_of(mid)) as u64 == cell {
+                        local_results += 1;
+                        if collect {
+                            let (lo, hi) = if a.id < b.id {
+                                (a.id, b.id)
+                            } else {
+                                (b.id, a.id)
+                            };
+                            out.push((lo, hi));
+                        }
                     }
                 }
             }
-        }
-        candidates.fetch_add(local_candidates, Ordering::Relaxed);
-        results.fetch_add(local_results, Ordering::Relaxed);
-    });
+            acc.0 += local_candidates;
+            acc.1 += local_results;
+        },
+    );
 
     JoinOutput {
         algorithm: "self-join".to_string(),
         pairs: joined.collect(),
-        result_count: results.into_inner(),
-        candidates: candidates.into_inner(),
+        result_count: counts.iter().map(|c| c.1).sum(),
+        candidates: counts.iter().map(|c| c.0).sum(),
         replicated: [replicas, 0],
         metrics: JobMetrics {
             shuffle,

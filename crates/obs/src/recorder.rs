@@ -98,7 +98,7 @@ impl Recorder {
     fn push_span(inner: &Inner, span: Span) {
         inner.shards[Self::shard_index()]
             .lock()
-            .unwrap()
+            .expect("recorder shard poisoned")
             .spans
             .push(span);
     }
@@ -117,13 +117,33 @@ impl Recorder {
         dur: Duration,
         attrs: Attrs,
     ) {
+        self.task_span_sim(stage, node, partition, dur, dur, attrs);
+    }
+
+    /// Like [`Recorder::task_span`], but with distinct wall and simulated
+    /// durations. The fault-aware executor uses this when the time *charged*
+    /// to a node differs from what elapsed on the host — e.g. a straggler
+    /// node's attempt is billed at its slowdown multiple, and a failed
+    /// attempt is billed for the work it burned before dying. Only `sim_dur`
+    /// advances the node's simulated clock (and hence must match what lands
+    /// in `ExecStats::per_node_busy`).
+    pub fn task_span_sim(
+        &self,
+        stage: &str,
+        node: usize,
+        partition: Option<u64>,
+        wall_dur: Duration,
+        sim_dur: Duration,
+        attrs: Attrs,
+    ) {
         let Some(inner) = self.inner.as_deref() else {
             return;
         };
         assert!(node < inner.nodes, "node {node} out of range");
-        let dur_ns = dur.as_nanos() as u64;
+        let wall_dur_ns = wall_dur.as_nanos() as u64;
+        let sim_dur_ns = sim_dur.as_nanos() as u64;
         let wall_end_ns = inner.epoch.elapsed().as_nanos() as u64;
-        let sim_start_ns = inner.node_clocks[node].fetch_add(dur_ns, Ordering::Relaxed);
+        let sim_start_ns = inner.node_clocks[node].fetch_add(sim_dur_ns, Ordering::Relaxed);
         Self::push_span(
             inner,
             Span {
@@ -131,10 +151,10 @@ impl Recorder {
                 lane: Lane::Node(node),
                 partition,
                 attrs,
-                wall_start_ns: wall_end_ns.saturating_sub(dur_ns),
-                wall_dur_ns: dur_ns,
+                wall_start_ns: wall_end_ns.saturating_sub(wall_dur_ns),
+                wall_dur_ns,
                 sim_start_ns,
-                sim_dur_ns: dur_ns,
+                sim_dur_ns,
             },
         );
     }
@@ -192,7 +212,7 @@ impl Recorder {
         };
         inner.shards[Self::shard_index()]
             .lock()
-            .unwrap()
+            .expect("recorder shard poisoned")
             .events
             .push(Event {
                 name: name.to_owned(),
@@ -256,7 +276,7 @@ impl Recorder {
         let mut spans = Vec::new();
         let mut events = Vec::new();
         for shard in &inner.shards {
-            let g = shard.lock().unwrap();
+            let g = shard.lock().expect("recorder shard poisoned");
             spans.extend(g.spans.iter().cloned());
             events.extend(g.events.iter().cloned());
         }
@@ -317,6 +337,23 @@ mod tests {
         assert_eq!(node0[1].sim_start_ns, 100_000);
         assert_eq!(r.node_sim_total(0), Duration::from_micros(125));
         assert_eq!(r.node_sim_total(1), Duration::from_micros(50));
+    }
+
+    #[test]
+    fn task_span_sim_charges_only_sim_duration() {
+        let r = Recorder::for_nodes(1);
+        r.task_span_sim(
+            "t!failed",
+            0,
+            Some(0),
+            Duration::from_micros(10),
+            Duration::from_micros(40),
+            Attrs::new(),
+        );
+        let t = r.snapshot();
+        assert_eq!(t.spans[0].wall_dur_ns, 10_000);
+        assert_eq!(t.spans[0].sim_dur_ns, 40_000);
+        assert_eq!(r.node_sim_total(0), Duration::from_micros(40));
     }
 
     #[test]

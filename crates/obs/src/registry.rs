@@ -61,19 +61,19 @@ pub struct Registry {
 
 impl Registry {
     pub fn counter_add(&self, stage: &str, name: &str, delta: u64) {
-        let mut g = self.inner.lock().unwrap();
+        let mut g = self.inner.lock().expect("metrics registry poisoned");
         *g.counters
             .entry((stage.to_owned(), name.to_owned()))
             .or_insert(0) += delta;
     }
 
     pub fn gauge_set(&self, stage: &str, name: &str, value: f64) {
-        let mut g = self.inner.lock().unwrap();
+        let mut g = self.inner.lock().expect("metrics registry poisoned");
         g.gauges.insert((stage.to_owned(), name.to_owned()), value);
     }
 
     pub fn histogram_record(&self, stage: &str, name: &str, value: f64) {
-        let mut g = self.inner.lock().unwrap();
+        let mut g = self.inner.lock().expect("metrics registry poisoned");
         g.histograms
             .entry((stage.to_owned(), name.to_owned()))
             .or_default()
@@ -81,14 +81,14 @@ impl Registry {
     }
 
     pub fn counter_value(&self, stage: &str, name: &str) -> Option<u64> {
-        let g = self.inner.lock().unwrap();
+        let g = self.inner.lock().expect("metrics registry poisoned");
         g.counters
             .get(&(stage.to_owned(), name.to_owned()))
             .copied()
     }
 
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let g = self.inner.lock().unwrap();
+        let g = self.inner.lock().expect("metrics registry poisoned");
         MetricsSnapshot {
             counters: g.counters.clone(),
             gauges: g.gauges.clone(),

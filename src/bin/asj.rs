@@ -42,17 +42,27 @@ usage:
   asj join      --r FILE --s FILE --eps E [--algo ALGO] [--nodes N]
                 [--partitions P] [--grid-factor F] [--out FILE]
                 [--trace FILE] [--trace-format chrome|jsonl]
+                [--faults SPEC] [--seed S] [--max-attempts N] [--speculation]
   asj self-join --input FILE --eps E [--nodes N] [--partitions P]
                 [--trace FILE] [--trace-format chrome|jsonl]
+                [--faults SPEC] [--seed S] [--max-attempts N] [--speculation]
   asj knn       --r FILE --s FILE --k K --eps E [--nodes N] [--partitions P]
   asj range     --input FILE --rect x0,y0,x1,y1 --eps E [--nodes N]
   asj heatmap   --input FILE [--width W] [--height H]
 
 ALGO: lpib (default) | diff | uni-r | uni-s | eps-grid | sedona
 --trace records a dual-clock execution trace; the chrome format opens in
-Perfetto (https://ui.perfetto.dev) or chrome://tracing.";
+Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+--faults injects deterministic failures, e.g. 'chaos' or
+'p=0.02,slow:1=3.0,lose:2@5' (seeded by --seed); the env vars ASJ_FAULTS /
+ASJ_FAULT_SEED do the same without flags. --speculation re-executes
+straggler tasks on another node.";
 
-/// Parsed `--flag value` options after the subcommand.
+/// Flags that take no value: their presence means "on".
+const BOOL_FLAGS: &[&str] = &["speculation"];
+
+/// Parsed `--flag value` options after the subcommand. Flags listed in
+/// [`BOOL_FLAGS`] are valueless switches recorded as `"true"`.
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut i = 0;
@@ -60,6 +70,11 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got '{}'", args[i]))?;
+        if BOOL_FLAGS.contains(&key) {
+            flags.insert(key.to_string(), "true".to_string());
+            i += 1;
+            continue;
+        }
         let value = args
             .get(i + 1)
             .ok_or_else(|| format!("missing value for --{key}"))?;
@@ -215,12 +230,44 @@ fn build_spec(
         .get("grid-factor")
         .map_or(Ok(2.0), |s| parse(s, "--grid-factor"))?;
     let trace = TraceSink::from_flags(flags, nodes)?;
-    let cluster = Cluster::new(ClusterConfig::new(nodes)).with_recorder(trace.recorder.clone());
+    let mut cluster = Cluster::new(ClusterConfig::new(nodes)).with_recorder(trace.recorder.clone());
+    if let Some((plan, policy)) = fault_setup(flags)? {
+        cluster = cluster.with_fault_policy(plan, policy);
+    }
     // Pad the observed bbox so border points still get full neighborhoods.
     let spec = JoinSpec::new(bbox.expand(eps), eps)
         .with_partitions(partitions)
         .with_grid_factor(factor);
     Ok((cluster, spec, trace))
+}
+
+/// Fault plan and retry policy requested by `--faults` / `--seed` /
+/// `--max-attempts` / `--speculation`, falling back to the `ASJ_FAULTS` /
+/// `ASJ_FAULT_SEED` environment variables. `None` leaves the cluster on the
+/// zero-overhead fault-free path.
+fn fault_setup(
+    flags: &HashMap<String, String>,
+) -> Result<Option<(FaultPlan, RetryPolicy)>, String> {
+    let seed: u64 = flags.get("seed").map_or(Ok(7), |s| parse(s, "--seed"))?;
+    let plan = match flags.get("faults") {
+        Some(spec) => Some(FaultPlan::parse(spec, seed)?),
+        None => FaultPlan::from_env(),
+    };
+    let mut policy = RetryPolicy::default();
+    if let Some(n) = flags.get("max-attempts") {
+        policy = policy.with_max_attempts(parse(n, "--max-attempts")?);
+    }
+    if flags.contains_key("speculation") {
+        policy = policy.with_speculation(true);
+    }
+    let policy_requested = flags.contains_key("max-attempts") || flags.contains_key("speculation");
+    match plan {
+        Some(plan) => Ok(Some((plan, policy))),
+        // A policy without a plan still routes stages through the recovering
+        // executor (e.g. --speculation on a fault-free run).
+        None if policy_requested => Ok(Some((FaultPlan::none(), policy))),
+        None => Ok(None),
+    }
 }
 
 fn report(out: &JoinOutput) {
@@ -253,6 +300,20 @@ fn report(out: &JoinOutput) {
         "wall time            : {:.3} s",
         out.metrics.wall_time().as_secs_f64()
     );
+    let mut exec = ExecStats::default();
+    exec.accumulate(&out.metrics.construction);
+    exec.accumulate(&out.metrics.join);
+    // Only interesting when something actually went wrong (or was recovered).
+    if exec.retries + exec.failed_attempts + exec.speculative_wins + exec.blacklisted_nodes > 0 {
+        println!(
+            "task attempts        : {} ({} retries, {} failed)",
+            exec.attempts, exec.retries, exec.failed_attempts
+        );
+        println!(
+            "fault recovery       : {} speculative wins, {} blacklisted nodes",
+            exec.speculative_wins, exec.blacklisted_nodes
+        );
+    }
 }
 
 fn write_pairs(path: &str, pairs: &[(u64, u64)]) -> Result<(), String> {
@@ -430,6 +491,50 @@ mod tests {
     fn flags_reject_missing_value_and_bad_prefix() {
         assert!(parse_flags(&["--eps".to_string()]).is_err());
         assert!(parse_flags(&["eps".to_string(), "1".to_string()]).is_err());
+    }
+
+    #[test]
+    fn bool_flags_need_no_value() {
+        let args: Vec<String> = ["--speculation", "--eps", "0.5"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let f = parse_flags(&args).unwrap();
+        assert_eq!(f["speculation"], "true");
+        assert_eq!(f["eps"], "0.5");
+    }
+
+    #[test]
+    fn fault_setup_reads_flags() {
+        let flags: HashMap<String, String> = [
+            ("faults", "p=0.5,slow:1=2.0"),
+            ("seed", "3"),
+            ("max-attempts", "6"),
+            ("speculation", "true"),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+        let (plan, policy) = fault_setup(&flags).unwrap().expect("faults requested");
+        assert!(plan.is_active());
+        assert_eq!(plan.seed, 3);
+        assert_eq!(plan.slowdown(1), 2.0);
+        assert_eq!(policy.max_attempts, 6);
+        assert!(policy.speculation);
+
+        let bad: HashMap<String, String> = [("faults".to_string(), "gremlins".to_string())].into();
+        assert!(fault_setup(&bad).is_err());
+
+        // A bare retry policy routes through recovery with an inert plan.
+        // (Skipped when the chaos env vars are set, e.g. in the CI
+        // fault-matrix job, where from_env() supplies an active plan.)
+        if std::env::var("ASJ_FAULTS").is_err() && std::env::var("ASJ_FAULT_SEED").is_err() {
+            let spec_only: HashMap<String, String> =
+                [("speculation".to_string(), "true".to_string())].into();
+            let (plan, policy) = fault_setup(&spec_only).unwrap().expect("policy requested");
+            assert!(!plan.is_active());
+            assert!(policy.speculation);
+        }
     }
 
     #[test]

@@ -1,0 +1,270 @@
+//! End-to-end fault-tolerance: a seeded, deterministic [`FaultPlan`] —
+//! random task failures, slowed nodes (stragglers), whole lost nodes —
+//! must be *recovery-transparent*: the ε-join under chaos produces exactly
+//! the result set, counters and shuffle accounting of the fault-free run,
+//! while `ExecStats` records the extra attempts, and the trace shows every
+//! failed attempt as a span on its node's lane.
+
+use adaptive_spatial_join::core::AgreementPolicy;
+use adaptive_spatial_join::engine::{Dataset, FaultContext, Lane};
+use adaptive_spatial_join::geom::{Point, Rect};
+use adaptive_spatial_join::join::{adaptive_join, oracle, to_records, JoinSpec, Record};
+use adaptive_spatial_join::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn clouds(seed: u64, n: usize) -> (Vec<Record>, Vec<Record>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cloud = |rng: &mut StdRng| -> Vec<Point> {
+        (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..20.0), rng.gen_range(0.0..20.0)))
+            .collect()
+    };
+    let r = cloud(&mut rng);
+    let s = cloud(&mut rng);
+    (to_records(&r, 0), to_records(&s, 0))
+}
+
+fn spec() -> JoinSpec {
+    JoinSpec::new(Rect::new(0.0, 0.0, 20.0, 20.0), 0.7)
+        .with_partitions(12)
+        .with_sample_fraction(0.4)
+}
+
+/// Joins under `faults` and asserts output equality against a fault-free
+/// run; returns the faulted run's combined exec stats.
+fn assert_recovery_transparent(
+    faults: FaultPlan,
+    policy: RetryPolicy,
+    nodes: usize,
+    seed: u64,
+) -> ExecStats {
+    let (r, s) = clouds(seed, 400);
+    let spec = spec();
+    let clean = Cluster::new(ClusterConfig::with_threads(nodes, 3));
+    let chaotic = clean.clone().with_fault_policy(faults, policy);
+    let base = adaptive_join(&clean, &spec, AgreementPolicy::Lpib, r.clone(), s.clone());
+    let recovered = adaptive_join(&chaotic, &spec, AgreementPolicy::Lpib, r, s);
+
+    // Byte-identical results: same pairs in the same order, same counters.
+    assert_eq!(recovered.pairs, base.pairs);
+    assert_eq!(recovered.result_count, base.result_count);
+    assert_eq!(recovered.candidates, base.candidates);
+    assert_eq!(recovered.replicated, base.replicated);
+    // Identical shuffle accounting, and the remote/local split covers it.
+    assert_eq!(
+        recovered.metrics.shuffle.remote_bytes,
+        base.metrics.shuffle.remote_bytes
+    );
+    assert_eq!(
+        recovered.metrics.shuffle.local_bytes,
+        base.metrics.shuffle.local_bytes
+    );
+    assert_eq!(
+        recovered.metrics.shuffle.remote_bytes + recovered.metrics.shuffle.local_bytes,
+        recovered.metrics.shuffle.total_bytes()
+    );
+    assert_eq!(
+        recovered.metrics.shuffle.records,
+        base.metrics.shuffle.records
+    );
+
+    let mut exec = ExecStats::default();
+    exec.accumulate(&recovered.metrics.construction);
+    exec.accumulate(&recovered.metrics.join);
+    exec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any seeded fault plan — random failure rate, a straggler node, a
+    /// stage-targeted failure spike — recovers to the exact fault-free
+    /// output.
+    #[test]
+    fn seeded_fault_plans_are_recovery_transparent(
+        fault_seed in 0u64..1_000,
+        data_seed in 0u64..1_000,
+        fail_prob in 0.0f64..0.25,
+        slow_node in 0usize..4,
+        slow_mult in 1.0f64..3.0,
+    ) {
+        let plan = FaultPlan::none()
+            .with_seed(fault_seed)
+            .with_fail_prob(fail_prob)
+            .with_slow_node(slow_node, slow_mult)
+            .with_stage_fail_prob("cogroup_join", (fail_prob * 1.5).min(0.3));
+        let exec = assert_recovery_transparent(
+            plan,
+            RetryPolicy::default().with_max_attempts(12),
+            4,
+            data_seed,
+        );
+        prop_assert!(exec.attempts >= exec.retries);
+        prop_assert_eq!(exec.retries, exec.failed_attempts);
+    }
+}
+
+#[test]
+fn chaos_with_node_loss_and_stragglers_recovers_exactly() {
+    // The standard chaos plan: p=0.03 everywhere, node 1 runs 3x slower,
+    // node 2 is lost outright after its fifth attempt starts.
+    let exec = assert_recovery_transparent(
+        FaultPlan::chaos(7),
+        RetryPolicy::default().with_max_attempts(10),
+        5,
+        99,
+    );
+    // The recovery actually happened: more attempts than a clean run, and
+    // the attempts the plan killed are on the books.
+    assert!(exec.attempts > 0);
+    assert!(
+        exec.failed_attempts > 0,
+        "chaos(7) must inject at least one failure across the pipeline"
+    );
+    assert_eq!(exec.retries, exec.failed_attempts);
+}
+
+#[test]
+fn speculation_under_chaos_stays_transparent() {
+    let exec = assert_recovery_transparent(
+        FaultPlan::chaos(13),
+        RetryPolicy::default()
+            .with_max_attempts(10)
+            .with_speculation(true),
+        5,
+        100,
+    );
+    assert!(exec.attempts > 0);
+}
+
+#[test]
+fn failed_attempts_appear_as_spans_on_node_lanes() {
+    let (r, s) = clouds(5, 300);
+    let spec = spec();
+    // Deterministically kill the first attempt of two local-join tasks
+    // (the stage label of the cogroup executor under the "local_join"
+    // trace phase).
+    let plan = FaultPlan::none()
+        .with_seed(3)
+        .with_fail_point("cogroup_join", 0, 1)
+        .with_fail_point("cogroup_join", 3, 1);
+    let recorder = Recorder::for_nodes(4);
+    let cluster = Cluster::new(ClusterConfig::with_threads(4, 2))
+        .with_recorder(recorder.clone())
+        .with_faults(plan);
+    let out = adaptive_join(&cluster, &spec, AgreementPolicy::Lpib, r, s);
+    let trace = recorder.snapshot();
+
+    let failed: Vec<_> = trace
+        .spans
+        .iter()
+        .filter(|sp| sp.stage.ends_with("!failed"))
+        .collect();
+    assert_eq!(failed.len(), 2, "one span per killed attempt");
+    for sp in &failed {
+        assert!(
+            matches!(sp.lane, Lane::Node(_)),
+            "failed attempts live on node lanes"
+        );
+        assert_eq!(sp.stage, "cogroup_join!failed");
+    }
+    // The retries were billed to the simulated clock: per-node lane totals
+    // still reconcile exactly with the job's busy time (including the
+    // failed spans), which `tests/trace_consistency.rs` checks lane by
+    // lane for clean runs.
+    let mut exec = ExecStats::default();
+    exec.accumulate(&out.metrics.construction);
+    exec.accumulate(&out.metrics.join);
+    assert_eq!(exec.retries, 2);
+    assert_eq!(exec.failed_attempts, 2);
+    for n in 0..4 {
+        let lane_total: u64 = trace
+            .spans
+            .iter()
+            .filter(|sp| sp.lane == Lane::Node(n))
+            .map(|sp| sp.sim_dur_ns)
+            .sum();
+        let busy = out.metrics.construction.per_node_busy[n].as_nanos() as u64
+            + out.metrics.join.per_node_busy[n].as_nanos() as u64;
+        assert_eq!(lane_total, busy, "node {n} lane must bill every attempt");
+    }
+    // Recovery telemetry flows through the recorder too.
+    assert!(trace.events.iter().any(|e| e.name == "task_retry"));
+}
+
+#[test]
+fn unsurvivable_plans_surface_as_job_errors() {
+    // Every attempt of the map stage fails: the retry budget exhausts and
+    // the error names the stage instead of poisoning the scope.
+    let plan = FaultPlan::none()
+        .with_seed(1)
+        .with_stage_fail_prob("map", 1.0);
+    let cluster = Cluster::new(ClusterConfig::with_threads(3, 2))
+        .with_fault_policy(plan, RetryPolicy::default().with_max_attempts(3));
+    let ds = Dataset::from_vec((0..60u64).collect::<Vec<_>>(), 6);
+    let err = ds
+        .try_map(&cluster, |x| x * 2)
+        .expect_err("a 100% failure rate cannot succeed");
+    assert_eq!(err.stage, "map");
+    assert_eq!(err.attempts, 3);
+
+    // Losing every node is equally fatal — and equally non-panicking.
+    let all_lost = FaultPlan::none()
+        .with_seed(2)
+        .with_lost_node(0, 0)
+        .with_lost_node(1, 0);
+    let cluster = Cluster::new(ClusterConfig::with_threads(2, 2))
+        .with_fault_policy(all_lost, RetryPolicy::default());
+    let ds = Dataset::from_vec((0..10u64).collect::<Vec<_>>(), 4);
+    let err = ds
+        .try_map(&cluster, |x| x + 1)
+        .expect_err("no usable node may remain");
+    assert!(
+        err.to_string().contains("map"),
+        "error names the stage: {err}"
+    );
+}
+
+#[test]
+fn zero_fault_runs_take_the_legacy_path_and_match_exactly() {
+    // A cluster without a fault context must behave byte-for-byte like the
+    // seed engine: same results AND same span structure (count per stage),
+    // which the golden trace tests elsewhere rely on.
+    let (r, s) = clouds(11, 350);
+    let spec = spec();
+    let plain = Cluster::new(ClusterConfig::with_threads(4, 2));
+    assert!(plain.fault_context().is_none());
+    let base = adaptive_join(&plain, &spec, AgreementPolicy::Lpib, r.clone(), s.clone());
+    let expected = oracle::brute_force_pairs(&r, &s, spec.eps);
+    assert_eq!(base.result_count as usize, expected.len());
+
+    // An *inert* fault context (no plan, default policy) routes through the
+    // recovering executor yet still computes the same join.
+    let routed =
+        Cluster::new(ClusterConfig::with_threads(4, 2)).with_retry_policy(RetryPolicy::default());
+    assert!(routed.fault_context().is_some());
+    let via_ft = adaptive_join(&routed, &spec, AgreementPolicy::Lpib, r, s);
+    assert_eq!(via_ft.pairs, base.pairs);
+    assert_eq!(via_ft.result_count, base.result_count);
+}
+
+#[test]
+fn fault_state_is_shared_across_stages_of_a_job() {
+    // Node blacklisting accumulates over the life of the cluster: a node
+    // that keeps failing early stages is avoided in later ones, because
+    // every stage executes against the same `FaultState`.
+    let plan = FaultPlan::none().with_seed(4).with_fail_prob(0.0);
+    let cluster = Cluster::new(ClusterConfig::with_threads(3, 2)).with_faults(plan);
+    let ctx: &FaultContext = cluster.fault_context().expect("context attached");
+    let policy = RetryPolicy::default().with_blacklist_after(2);
+    assert!(!ctx.state.is_blacklisted(1));
+    assert!(
+        !ctx.state.note_failure(&policy, 1),
+        "one failure is forgiven"
+    );
+    assert!(ctx.state.note_failure(&policy, 1), "the second blacklists");
+    assert!(ctx.state.is_blacklisted(1));
+    assert_eq!(ctx.state.blacklisted_count(), 1);
+}
