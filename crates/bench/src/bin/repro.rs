@@ -5,7 +5,8 @@
 //!       [--faults SPEC] [--fault-seed N] [--speculation]
 //!
 //! EXPERIMENT: table1 fig1b fig10 table4 fig13 fig14 fig15 fig16 fig17
-//!             fig18 table5 table6 table7 faults all   (default: all)
+//!             fig18 table5 table6 table7 ablation-kernels (a1) faults all
+//!             (default: all)
 //! --quick       reduced scale (same as `cargo bench --bench figures`)
 //! --scale N     x1 cardinality of the synthetic sets (default 100000)
 //! --reps N      repetitions per configuration (times averaged; default 3)
@@ -128,7 +129,7 @@ fn main() {
             "table7" => {
                 experiments::table7(&cfg);
             }
-            "a1" | "kernels" => {
+            "a1" | "kernels" | "ablation-kernels" => {
                 experiments::ablation_kernels(&cfg);
             }
             "a2" | "edgeorder" => {
@@ -154,7 +155,7 @@ fn usage(err: &str) -> ! {
         "usage: repro [EXPERIMENT...] [--quick] [--scale N] [--reps N]\n\
          \x20            [--faults SPEC] [--fault-seed N] [--speculation]\n\
          experiments: table1 fig1b fig10 table4 fig13 fig14 fig15 fig16 \
-         fig17 fig18 table5 table6 table7 a1 a2 ext faults all"
+         fig17 fig18 table5 table6 table7 ablation-kernels a2 ext faults all"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

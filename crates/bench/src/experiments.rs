@@ -525,28 +525,82 @@ pub fn table7(cfg: &ExpConfig) -> Table {
 // Ablations (ours, not in the paper).
 // ---------------------------------------------------------------------------
 
-/// Ablation A1: the distributed join with the paper-faithful nested-loop
-/// cell kernel versus a plane-sweep kernel (identical results; different
-/// candidate counts and join times).
+/// Ablation A1: the distributed join under every fixed partition-local
+/// kernel and under `Auto` (the calibrated cost model picking per cell
+/// group), on a uniform and a skewed workload. Results are identical across
+/// kernels; candidates and join times differ, and `Auto` must track the best
+/// fixed kernel's simulated time on both workloads. The tolerance (5%
+/// relative plus 2 ms absolute) covers measurement noise in the wall-clock
+/// makespans: the kernels' construction phases are identical, and `Auto`
+/// resolves each cell group to whatever fixed kernel the calibrated model
+/// scores cheapest, so any genuine regression shows up well beyond it.
 pub fn ablation_kernels(cfg: &ExpConfig) -> Table {
-    use asj_join::LocalKernel;
+    use asj_data::{DatasetSpec, GenKind};
+    use asj_join::{to_records, LocalKernel};
     let cluster = cfg.cluster();
-    let (r, s) = Combo::S1S2.datasets(cfg, 1, TupleSizeFactor::F0);
-    let mut table = Table::new(vec!["kernel", "candidates", "results", "join time (s)"]);
-    for (name, kernel) in [
-        ("nested-loop", LocalKernel::NestedLoop),
-        ("plane-sweep", LocalKernel::PlaneSweep),
+    // Per-run times at quick scale are a few ms; extra repetitions keep the
+    // auto-vs-fixed comparison out of the noise floor.
+    let reps = cfg.reps.max(5);
+    let mut table = Table::new(vec![
+        "workload",
+        "kernel",
+        "candidates",
+        "results",
+        "join time (s)",
+        "total (s)",
+    ]);
+    for (workload, kind) in [
+        ("uniform", GenKind::Uniform),
+        ("skewed", GenKind::GaussianClusters),
     ] {
-        let spec = spec_for(cfg, cfg.default_eps).with_kernel(kernel);
-        let res = run_avg(&cluster, &spec, Algorithm::Lpib, &r, &s, cfg.reps);
-        table.row(vec![
-            name.to_string(),
-            res.candidates.to_string(),
-            res.results.to_string(),
-            format!("{:.3}", res.join_time),
-        ]);
+        let gen = |seed: u64| {
+            DatasetSpec {
+                name: "ablation",
+                kind,
+                cardinality: cfg.base,
+                seed,
+                bbox: PAPER_BBOX,
+                sigma_scale: 1.0,
+            }
+            .points()
+        };
+        let r = to_records(&gen(101), 0);
+        let s = to_records(&gen(202), 0);
+        let mut best_fixed = f64::INFINITY;
+        let mut auto_time = f64::INFINITY;
+        let mut results: Option<u64> = None;
+        for (name, kernel) in [
+            ("nested-loop", LocalKernel::NestedLoop),
+            ("plane-sweep", LocalKernel::PlaneSweep),
+            ("grid-bucket", LocalKernel::GridBucket),
+            ("auto", LocalKernel::Auto),
+        ] {
+            let spec = spec_for(cfg, cfg.default_eps).with_kernel(kernel);
+            let res = run_avg(&cluster, &spec, Algorithm::Lpib, &r, &s, reps);
+            match results {
+                None => results = Some(res.results),
+                Some(n) => assert_eq!(n, res.results, "{workload}: kernels must agree"),
+            }
+            if kernel == LocalKernel::Auto {
+                auto_time = res.sim_time;
+            } else {
+                best_fixed = best_fixed.min(res.sim_time);
+            }
+            table.row(vec![
+                workload.to_string(),
+                name.to_string(),
+                res.candidates.to_string(),
+                res.results.to_string(),
+                format!("{:.3}", res.join_time),
+                format!("{:.3}", res.sim_time),
+            ]);
+        }
+        assert!(
+            auto_time <= best_fixed * 1.05 + 2e-3,
+            "{workload}: auto ({auto_time:.3}s) must track the best fixed kernel ({best_fixed:.3}s)"
+        );
     }
-    table.print("Ablation A1: partition-local join kernel (LPiB, S1 ⋈ S2)");
+    table.print("Ablation A1: partition-local join kernel (LPiB, uniform and skewed)");
     table
 }
 

@@ -2,6 +2,218 @@ use crate::{AgreementGraph, SetLabel};
 use asj_geom::Point;
 use asj_grid::CellCoord;
 
+/// Partition-local join kernel requested by a join spec (ablation A1 in
+/// DESIGN.md). `Auto` — the default — defers the choice to a calibrated
+/// [`KernelCostModel`] *per cell group*, following the runtime
+/// join-location-selection argument of Chandra & Sudarshan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LocalKernel {
+    /// All `r·s` candidates of a cell with immediate refinement — the
+    /// paper's hash-join-then-filter execution (Algorithm 5, line 9).
+    NestedLoop,
+    /// Forward plane sweep along x (the kernel of the original PBSM and of
+    /// the tuned in-memory variants of Tsitsigkos et al.).
+    PlaneSweep,
+    /// ε-sized bucket grid over the group with 3×3 neighborhood probing —
+    /// wins when the group extent is much larger than ε (e.g. quadtree
+    /// leaves).
+    GridBucket,
+    /// Pick the cheapest of the three per cell group from
+    /// `(|R_i|, |S_i|, ε, group extent)` via the calibrated cost model.
+    #[default]
+    Auto,
+}
+
+impl LocalKernel {
+    /// CLI / config spelling of this kernel.
+    pub fn name(self) -> &'static str {
+        match self {
+            LocalKernel::NestedLoop => "nested-loop",
+            LocalKernel::PlaneSweep => "plane-sweep",
+            LocalKernel::GridBucket => "grid-bucket",
+            LocalKernel::Auto => "auto",
+        }
+    }
+}
+
+impl std::str::FromStr for LocalKernel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(match s {
+            "nested-loop" => LocalKernel::NestedLoop,
+            "plane-sweep" => LocalKernel::PlaneSweep,
+            "grid-bucket" => LocalKernel::GridBucket,
+            "auto" => LocalKernel::Auto,
+            other => return Err(format!("unknown kernel '{other}'")),
+        })
+    }
+}
+
+/// The fixed kernel that actually executes a cell group once `Auto` has been
+/// resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    NestedLoop,
+    PlaneSweep,
+    GridBucket,
+}
+
+/// Calibrated per-operation costs of the three local kernels, in arbitrary
+/// but mutually comparable units (nanoseconds when measured).
+///
+/// The model predicts the time of joining one cell group of `r × s` points
+/// whose union spans `extent_w × extent_h`:
+///
+/// * nested loop — `r·s · nl_pair`,
+/// * plane sweep — `(r+s) · ps_point + r·s · min(1, 2ε/w) · ps_pair`
+///   (the sweep touches only pairs inside the ε x-window; under a uniform
+///   spread, that is a `2ε/w` fraction of all pairs),
+/// * grid bucket — `(r+s) · bucket_point + r·s · min(1, 3ε/w) · min(1, 3ε/h)
+///   · bucket_pair` (each probe visits the 3×3 ε-bucket neighborhood).
+///
+/// Constants default to hand-tuned ratios and are replaced at cluster
+/// startup by a one-shot microbenchmark (`asj_index::kernels::
+/// calibrate_cost_model`), cached on the `Cluster`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelCostModel {
+    /// Cost of one nested-loop candidate (distance evaluation + compare).
+    pub nl_pair: f64,
+    /// Per-point setup cost of the plane sweep (coordinate extraction and,
+    /// without sort-reuse, its share of the sort).
+    pub ps_point: f64,
+    /// Cost of one pair scanned inside the sweep's ε x-window.
+    pub ps_pair: f64,
+    /// Per-point cost of building the ε-bucket grid.
+    pub bucket_point: f64,
+    /// Cost of one pair probed in the 3×3 bucket neighborhood.
+    pub bucket_pair: f64,
+}
+
+impl Default for KernelCostModel {
+    fn default() -> Self {
+        // Uncalibrated fallback: ratios chosen so that nested loop wins tiny
+        // or fully-within-ε groups, plane sweep mid-sized cells, and the
+        // bucket grid groups whose extent dwarfs ε.
+        KernelCostModel {
+            nl_pair: 1.0,
+            ps_point: 8.0,
+            ps_pair: 1.4,
+            bucket_point: 12.0,
+            bucket_pair: 1.2,
+        }
+    }
+}
+
+impl KernelCostModel {
+    /// Below this many worst-case pairs a group is joined nested-loop
+    /// unconditionally: no kernel setup can amortize. Kept deliberately tiny
+    /// so `Auto` can inflate the candidate count over the prefiltering
+    /// kernels by at most this much per group.
+    pub const NL_TINY_PAIRS: u64 = 4;
+
+    /// Predicted cost of joining an `r × s` group spanning
+    /// `extent_w × extent_h` with `kind`.
+    pub fn predict(
+        &self,
+        kind: KernelKind,
+        r: u64,
+        s: u64,
+        eps: f64,
+        extent_w: f64,
+        extent_h: f64,
+    ) -> f64 {
+        let pairs = r as f64 * s as f64;
+        let points = (r + s) as f64;
+        let frac = |window: f64, extent: f64| {
+            if extent > window {
+                window / extent
+            } else {
+                1.0
+            }
+        };
+        match kind {
+            KernelKind::NestedLoop => pairs * self.nl_pair,
+            KernelKind::PlaneSweep => {
+                points * self.ps_point + pairs * frac(2.0 * eps, extent_w) * self.ps_pair
+            }
+            KernelKind::GridBucket => {
+                points * self.bucket_point
+                    + pairs
+                        * frac(3.0 * eps, extent_w)
+                        * frac(3.0 * eps, extent_h)
+                        * self.bucket_pair
+            }
+        }
+    }
+
+    /// The per-group kernel decision of `LocalKernel::Auto`.
+    ///
+    /// Nested loop is eligible only where it cannot inflate the candidate
+    /// count over the ε-window prefilter of the other two kernels: trivially
+    /// small groups ([`Self::NL_TINY_PAIRS`]) and groups whose extent fits
+    /// inside `ε × ε` (where every pair passes the window anyway). Everywhere
+    /// else the choice is the cheaper of plane sweep and grid bucket — whose
+    /// candidate counts are identical by construction.
+    pub fn choose(&self, r: u64, s: u64, eps: f64, extent_w: f64, extent_h: f64) -> KernelKind {
+        if r.saturating_mul(s) <= Self::NL_TINY_PAIRS {
+            return KernelKind::NestedLoop;
+        }
+        let ps = self.predict(KernelKind::PlaneSweep, r, s, eps, extent_w, extent_h);
+        let bucket = self.predict(KernelKind::GridBucket, r, s, eps, extent_w, extent_h);
+        if extent_w <= eps && extent_h <= eps {
+            let nl = self.predict(KernelKind::NestedLoop, r, s, eps, extent_w, extent_h);
+            if nl <= ps && nl <= bucket {
+                return KernelKind::NestedLoop;
+            }
+        }
+        if ps <= bucket {
+            KernelKind::PlaneSweep
+        } else {
+            KernelKind::GridBucket
+        }
+    }
+
+    /// Resolves a requested kernel to the one that will execute the group.
+    pub fn resolve(
+        &self,
+        requested: LocalKernel,
+        r: u64,
+        s: u64,
+        eps: f64,
+        extent_w: f64,
+        extent_h: f64,
+    ) -> KernelKind {
+        match requested {
+            LocalKernel::NestedLoop => KernelKind::NestedLoop,
+            LocalKernel::PlaneSweep => KernelKind::PlaneSweep,
+            LocalKernel::GridBucket => KernelKind::GridBucket,
+            LocalKernel::Auto => self.choose(r, s, eps, extent_w, extent_h),
+        }
+    }
+
+    /// LPT placement weight of a cell: the predicted cost of the kernel that
+    /// will actually run there, scaled to an integer. Replaces the raw `r·s`
+    /// of [`CellCost::cost`] so simulated makespans track the chosen kernel.
+    pub fn lpt_weight(
+        &self,
+        requested: LocalKernel,
+        r: u64,
+        s: u64,
+        eps: f64,
+        extent_w: f64,
+        extent_h: f64,
+    ) -> u64 {
+        if r == 0 || s == 0 {
+            return 0;
+        }
+        let kind = self.resolve(requested, r, s, eps, extent_w, extent_h);
+        let pred = self.predict(kind, r, s, eps, extent_w, extent_h);
+        // ×16 keeps sub-unit predictions distinguishable after rounding.
+        ((pred * 16.0).ceil() as u64).max(1)
+    }
+}
+
 /// Estimated workload of one grid cell: the number of points of each dataset
 /// assigned to it (natives plus replicas). The worst-case join cost of the
 /// cell is the product `r · s` — the candidate pairs examined by the
@@ -99,6 +311,54 @@ mod tests {
         // doubles the extrapolated populations.
         let scaled = estimate_candidates(&graph, r.iter(), s.iter(), 0.5, 0.25);
         assert_eq!(scaled, (2.0 / 0.5) * (1.0 / 0.25));
+    }
+
+    #[test]
+    fn auto_kernel_choice_follows_regimes() {
+        let m = KernelCostModel::default();
+        // Tiny groups: nested loop, no matter the extent.
+        assert_eq!(m.choose(1, 2, 0.1, 100.0, 100.0), KernelKind::NestedLoop);
+        assert_eq!(m.choose(0, 50, 0.1, 100.0, 100.0), KernelKind::NestedLoop);
+        // Group inside an eps x eps box: every pair passes the window, so
+        // nested loop wins (no setup cost).
+        assert_eq!(m.choose(30, 30, 1.0, 0.5, 0.5), KernelKind::NestedLoop);
+        // Mid-sized cell (~2 eps): the prefiltering kernels take over.
+        let mid = m.choose(50, 50, 1.0, 2.0, 2.0);
+        assert_ne!(mid, KernelKind::NestedLoop);
+        // Extent much larger than eps with many points: bucket grid wins
+        // (it prunes in both axes, the sweep only in x).
+        assert_eq!(
+            m.choose(4000, 4000, 0.1, 50.0, 50.0),
+            KernelKind::GridBucket
+        );
+        // Same huge extent, few points: sweep's cheaper setup wins.
+        assert_eq!(m.choose(8, 8, 0.1, 50.0, 50.0), KernelKind::PlaneSweep);
+    }
+
+    #[test]
+    fn lpt_weight_tracks_resolved_kernel() {
+        let m = KernelCostModel::default();
+        assert_eq!(m.lpt_weight(LocalKernel::Auto, 0, 10, 1.0, 2.0, 2.0), 0);
+        let nl = m.lpt_weight(LocalKernel::NestedLoop, 100, 100, 1.0, 20.0, 20.0);
+        let auto = m.lpt_weight(LocalKernel::Auto, 100, 100, 1.0, 20.0, 20.0);
+        // On a wide sparse cell the resolved kernel must predict cheaper
+        // than the forced nested loop.
+        assert!(auto < nl, "auto {auto} vs nested-loop {nl}");
+        assert!(auto >= 1);
+    }
+
+    #[test]
+    fn kernel_names_round_trip() {
+        for k in [
+            LocalKernel::NestedLoop,
+            LocalKernel::PlaneSweep,
+            LocalKernel::GridBucket,
+            LocalKernel::Auto,
+        ] {
+            assert_eq!(k.name().parse::<LocalKernel>(), Ok(k));
+        }
+        assert!("quantum".parse::<LocalKernel>().is_err());
+        assert_eq!(LocalKernel::default(), LocalKernel::Auto);
     }
 
     #[test]

@@ -37,7 +37,9 @@ mod policy;
 mod stats;
 
 pub use assign::AssignStats;
-pub use cost::{cell_costs, estimate_candidates, CellCost};
+pub use cost::{
+    cell_costs, estimate_candidates, CellCost, KernelCostModel, KernelKind, LocalKernel,
+};
 pub use graph::{AgreementGraph, EdgeState, GraphValidation};
 pub use label::SetLabel;
 pub use markings::{build_duplicate_free, build_duplicate_free_with_order, EdgeOrder};

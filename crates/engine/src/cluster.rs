@@ -1,9 +1,10 @@
 use crate::fault::{FaultContext, FaultPlan, JobError, RetryPolicy};
 use crate::metrics::ExecStats;
 use crate::pool::{run_tasks_ft, try_run_tasks_traced};
+use asj_core::KernelCostModel;
 use asj_obs::Recorder;
 use std::ops::Deref;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Shape of the simulated cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +53,10 @@ pub struct Cluster {
     /// state (blacklist, fired losses). `None` — the default — runs every
     /// stage on the zero-overhead fail-stop path.
     faults: Option<Arc<FaultContext>>,
+    /// Calibrated local-kernel cost constants, filled lazily by the first
+    /// join that needs them (see [`Cluster::kernel_cost_model`]) and shared
+    /// by every clone of this cluster handle.
+    cost_model: Arc<OnceLock<KernelCostModel>>,
 }
 
 impl Cluster {
@@ -65,7 +70,19 @@ impl Cluster {
             config,
             recorder: Recorder::noop(),
             faults: None,
+            cost_model: Arc::new(OnceLock::new()),
         }
+    }
+
+    /// The cluster's calibrated [`KernelCostModel`], running `calibrate` on
+    /// first use (the one-shot startup microbenchmark) and caching the
+    /// constants for the lifetime of the cluster. Callers pass the
+    /// calibration routine so the engine stays free of kernel code.
+    pub fn kernel_cost_model(
+        &self,
+        calibrate: impl FnOnce() -> KernelCostModel,
+    ) -> KernelCostModel {
+        *self.cost_model.get_or_init(calibrate)
     }
 
     /// Attaches a [`Recorder`]: every stage the cluster runs emits task spans

@@ -591,6 +591,110 @@ where
         let (parts, accs) = folded.into_iter().unzip();
         Ok((Dataset { parts }, accs, stats))
     }
+
+    /// [`KeyedDataset::cogroup_join_fold`] with a *secondary sort*: each
+    /// partition is sorted once by `(key, sort_key)`, so every value group
+    /// handed to `kernel` arrives already ordered by `sort_key`. A
+    /// plane-sweep local kernel can then skip its per-group sort — the sort
+    /// happens once per partition instead of once per cell (Spark's
+    /// `repartitionAndSortWithinPartitions` idiom).
+    pub fn cogroup_join_sorted_fold<V2, R, A, F, SA, SB>(
+        self,
+        cluster: &Cluster,
+        other: KeyedDataset<K, V2>,
+        placement: &[usize],
+        sort_key_a: SA,
+        sort_key_b: SB,
+        kernel: F,
+    ) -> (Dataset<R>, Vec<A>, ExecStats)
+    where
+        K: Ord,
+        V2: Wire + Send + Sync + Clone,
+        R: Send,
+        A: Default + Send,
+        F: Fn(K, &[V], &[V2], &mut Vec<R>, &mut A) + Sync,
+        SA: Fn(&V) -> f64 + Sync,
+        SB: Fn(&V2) -> f64 + Sync,
+    {
+        match self
+            .try_cogroup_join_sorted_fold(cluster, other, placement, sort_key_a, sort_key_b, kernel)
+        {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`KeyedDataset::cogroup_join_sorted_fold`].
+    pub fn try_cogroup_join_sorted_fold<V2, R, A, F, SA, SB>(
+        self,
+        cluster: &Cluster,
+        other: KeyedDataset<K, V2>,
+        placement: &[usize],
+        sort_key_a: SA,
+        sort_key_b: SB,
+        kernel: F,
+    ) -> Result<(Dataset<R>, Vec<A>, ExecStats), JobError>
+    where
+        K: Ord,
+        V2: Wire + Send + Sync + Clone,
+        R: Send,
+        A: Default + Send,
+        F: Fn(K, &[V], &[V2], &mut Vec<R>, &mut A) + Sync,
+        SA: Fn(&V) -> f64 + Sync,
+        SB: Fn(&V2) -> f64 + Sync,
+    {
+        assert_eq!(
+            self.parts.len(),
+            other.parts.len(),
+            "joined datasets must share the partitioner"
+        );
+        let tasks: CogroupTasks<K, V, V2> = self.parts.into_iter().zip(other.parts).collect();
+        let (folded, stats) = cluster.try_run_placed_stage(
+            "cogroup_join",
+            tasks,
+            placement,
+            |_, (mut a, mut b)| {
+                a.sort_unstable_by(|x, y| {
+                    x.0.cmp(&y.0)
+                        .then_with(|| sort_key_a(&x.1).total_cmp(&sort_key_a(&y.1)))
+                });
+                b.sort_unstable_by(|x, y| {
+                    x.0.cmp(&y.0)
+                        .then_with(|| sort_key_b(&x.1).total_cmp(&sort_key_b(&y.1)))
+                });
+                let mut out = Vec::new();
+                let mut acc = A::default();
+                let mut ia = a.into_iter().peekable();
+                let mut ib = b.into_iter().peekable();
+                let mut va: Vec<V> = Vec::new();
+                let mut vb: Vec<V2> = Vec::new();
+                while let (Some(ka), Some(kb)) = (ia.peek().map(|x| x.0), ib.peek().map(|x| x.0)) {
+                    match ka.cmp(&kb) {
+                        std::cmp::Ordering::Less => {
+                            ia.next();
+                        }
+                        std::cmp::Ordering::Greater => {
+                            ib.next();
+                        }
+                        std::cmp::Ordering::Equal => {
+                            va.clear();
+                            vb.clear();
+                            while ia.peek().is_some_and(|x| x.0 == ka) {
+                                va.push(ia.next().expect("peeked").1);
+                            }
+                            while ib.peek().is_some_and(|x| x.0 == ka) {
+                                vb.push(ib.next().expect("peeked").1);
+                            }
+                            kernel(ka, &va, &vb, &mut out, &mut acc);
+                        }
+                    }
+                }
+                (out, acc)
+            },
+        )?;
+        let (parts, accs) = folded.into_iter().unzip();
+        Ok((Dataset { parts }, accs, stats))
+    }
 }
 
 #[cfg(test)]
@@ -752,6 +856,42 @@ mod tests {
             }
         });
         assert!(joined.collect().is_empty());
+    }
+
+    #[test]
+    fn cogroup_join_sorted_fold_delivers_groups_in_sort_key_order() {
+        let c = cluster();
+        let a: KeyedDataset<u64, (u32, f64)> = KeyedDataset::from_partitions(vec![vec![
+            (1u64, (0, 3.5)),
+            (1, (1, 0.5)),
+            (2, (2, 9.0)),
+            (1, (3, 2.0)),
+            (2, (4, -1.0)),
+        ]]);
+        let b: KeyedDataset<u64, (u32, f64)> = KeyedDataset::from_partitions(vec![vec![
+            (2u64, (10, 4.0)),
+            (1, (11, 7.0)),
+            (2, (12, 0.25)),
+            (1, (13, 1.0)),
+        ]]);
+        let placement = vec![0usize];
+        let (joined, accs, _) = a.cogroup_join_sorted_fold(
+            &c,
+            b,
+            &placement,
+            |v: &(u32, f64)| v.1,
+            |v: &(u32, f64)| v.1,
+            |k, va, vb, out, acc: &mut u64| {
+                assert!(va.windows(2).all(|w| w[0].1 <= w[1].1), "a not sorted");
+                assert!(vb.windows(2).all(|w| w[0].1 <= w[1].1), "b not sorted");
+                *acc += (va.len() * vb.len()) as u64;
+                out.push((k, va.len(), vb.len()));
+            },
+        );
+        let mut rows = joined.collect();
+        rows.sort();
+        assert_eq!(rows, vec![(1, 3, 2), (2, 2, 2)]);
+        assert_eq!(accs.iter().sum::<u64>(), 3 * 2 + 2 * 2);
     }
 }
 

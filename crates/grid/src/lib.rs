@@ -305,6 +305,15 @@ impl Grid {
         (1..ny).flat_map(move |y| (1..nx).map(move |x| QuartetId { x, y }))
     }
 
+    /// Serialized size of the grid when broadcast to every node: the bbox
+    /// (four `f64`), ε, the two cell counts and the two side lengths. Every
+    /// task that routes points to cells needs this closure, exactly like the
+    /// agreement graph's `broadcast_bytes` accounts for its own shipping.
+    #[inline]
+    pub fn broadcast_bytes(&self) -> u64 {
+        (4 * 8 + 8 + 2 * 4 + 2 * 8) as u64
+    }
+
     /// Appends to `out` every cell whose rectangle intersects `rect`
     /// (clamped to the grid). Used by the extent join to assign objects with
     /// spatial extent by their (possibly ε-expanded) envelopes.

@@ -1,4 +1,5 @@
-//! Partition-local ε-distance join kernels.
+//! Partition-local ε-distance join kernels and the adaptive selector that
+//! all distributed algorithms route through.
 //!
 //! After the shuffle, each partition holds the R and S records of one or more
 //! grid cells; the kernel enumerates the result pairs of one cell group.
@@ -9,14 +10,29 @@
 //!   The per-cell cost is therefore `|R_i| · |S_i|` — the cost model used by
 //!   Table 1 and the LPT scheduler.
 //! * [`plane_sweep`] is the classic forward-sweep alternative (used by the
-//!   original PBSM and by \[21\]); asymptotically cheaper on large cells, kept
-//!   here for the kernel ablation benchmark.
+//!   original PBSM and by \[21\]); asymptotically cheaper on large cells.
+//! * [`grid_bucket`] hashes one side into ε-sized buckets and probes each
+//!   point of the other side against the 3×3 neighborhood — it prunes in
+//!   both axes and wins when the group extent dwarfs ε (quadtree leaves).
 //!
-//! Both kernels report the number of distance computations performed so
-//! benches can compare pruning power, and both emit pairs through a callback
-//! so callers can count, materialize or stream results.
+//! [`local_join`] is the shared entry point: it resolves a requested
+//! [`LocalKernel`] (including `Auto`, which consults the calibrated
+//! [`KernelCostModel`] per group using the *measured* group extent) and runs
+//! the chosen kernel over coordinate arrays extracted **once** per
+//! invocation. [`local_self_join`] and [`local_join_rects`] are the
+//! self-join and envelope (extent) variants.
+//!
+//! Candidate-count semantics: the nested loop counts every `r·s` pair; the
+//! plane sweep and the bucket grid count exactly the pairs passing the
+//! `|Δx| ≤ ε ∧ |Δy| ≤ ε` window — by construction the two prefiltering
+//! kernels report **identical** candidate counts, and `Auto` only picks the
+//! nested loop where its count cannot exceed theirs (tiny groups, or groups
+//! whose extent fits in an ε × ε box so every pair passes the window).
 
-use asj_geom::Point;
+use asj_core::{KernelCostModel, KernelKind, LocalKernel};
+use asj_geom::{Point, Rect};
+use std::sync::OnceLock;
+use std::time::Instant;
 
 /// Result-pair statistics of one kernel invocation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -34,6 +50,46 @@ impl KernelStats {
     }
 }
 
+/// What [`local_join`] (and variants) did for one cell group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalJoinOutcome {
+    /// The kernel that actually ran (the resolution of `Auto`).
+    pub kind: KernelKind,
+    /// Candidate/result tallies of the run.
+    pub stats: KernelStats,
+}
+
+/// One extracted coordinate: `(x, y, original index)`. Extracting once per
+/// kernel invocation keeps the hot loops free of position-closure calls.
+type Coord = (f64, f64, u32);
+
+fn extract<A>(recs: &[A], pos: impl Fn(&A) -> Point) -> Vec<Coord> {
+    recs.iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let p = pos(r);
+            (p.x, p.y, i as u32)
+        })
+        .collect()
+}
+
+fn sort_by_x(coords: &mut [Coord]) {
+    coords.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+}
+
+/// Bounding extent `(width, height)` of the union of both coordinate sets.
+fn union_extent(a: &[Coord], b: &[Coord]) -> (f64, f64) {
+    let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y, _) in a.iter().chain(b) {
+        min_x = min_x.min(x);
+        max_x = max_x.max(x);
+        min_y = min_y.min(y);
+        max_y = max_y.max(y);
+    }
+    ((max_x - min_x).max(0.0), (max_y - min_y).max(0.0))
+}
+
 /// All-pairs kernel with distance refinement — the paper's local join.
 ///
 /// `pos_a`/`pos_b` extract coordinates from the record types; `on_pair` is
@@ -44,17 +100,27 @@ pub fn nested_loop<A, B>(
     eps: f64,
     pos_a: impl Fn(&A) -> Point,
     pos_b: impl Fn(&B) -> Point,
+    on_pair: impl FnMut(usize, usize),
+) -> KernelStats {
+    let ca = extract(a, pos_a);
+    let cb = extract(b, pos_b);
+    nested_loop_coords(&ca, &cb, eps, on_pair)
+}
+
+fn nested_loop_coords(
+    a: &[Coord],
+    b: &[Coord],
+    eps: f64,
     mut on_pair: impl FnMut(usize, usize),
 ) -> KernelStats {
     let e2 = eps * eps;
     let mut stats = KernelStats::default();
-    for (i, ra) in a.iter().enumerate() {
-        let pa = pos_a(ra);
-        for (j, rb) in b.iter().enumerate() {
+    for &(ax, ay, ai) in a {
+        for &(bx, by, bi) in b {
             stats.candidates += 1;
-            if pa.dist2(pos_b(rb)) <= e2 {
+            if Point::new(ax, ay).dist2(Point::new(bx, by)) <= e2 {
                 stats.results += 1;
-                on_pair(i, j);
+                on_pair(ai as usize, bi as usize);
             }
         }
     }
@@ -64,46 +130,481 @@ pub fn nested_loop<A, B>(
 /// Forward plane-sweep kernel: both sides are sorted by `x`, and each record
 /// is only compared against records of the other side within an `x`-window of
 /// ε (with a `|Δy| ≤ ε` pre-filter before the exact distance).
+///
+/// Coordinates are extracted into flat sorted arrays **once** up front; the
+/// scan loop never re-invokes the position closures.
 pub fn plane_sweep<A, B>(
     a: &[A],
     b: &[B],
     eps: f64,
     pos_a: impl Fn(&A) -> Point,
     pos_b: impl Fn(&B) -> Point,
+    on_pair: impl FnMut(usize, usize),
+) -> KernelStats {
+    let mut ca = extract(a, pos_a);
+    let mut cb = extract(b, pos_b);
+    sort_by_x(&mut ca);
+    sort_by_x(&mut cb);
+    sweep_sorted(&ca, &cb, eps, on_pair)
+}
+
+fn sweep_sorted(
+    a: &[Coord],
+    b: &[Coord],
+    eps: f64,
     mut on_pair: impl FnMut(usize, usize),
 ) -> KernelStats {
     let e2 = eps * eps;
     let mut stats = KernelStats::default();
-    // Index arrays sorted by x.
-    let mut ia: Vec<usize> = (0..a.len()).collect();
-    let mut ib: Vec<usize> = (0..b.len()).collect();
-    ia.sort_unstable_by(|&p, &q| pos_a(&a[p]).x.total_cmp(&pos_a(&a[q]).x));
-    ib.sort_unstable_by(|&p, &q| pos_b(&b[p]).x.total_cmp(&pos_b(&b[q]).x));
-
     let mut start_b = 0usize;
-    for &i in &ia {
-        let pa = pos_a(&a[i]);
-        // Advance the window start: b's with x < pa.x - eps can never match
+    for &(ax, ay, ai) in a {
+        // Advance the window start: b's with x < ax - eps can never match
         // this or any later a (a is processed in ascending x).
-        while start_b < ib.len() && pos_b(&b[ib[start_b]]).x < pa.x - eps {
+        while start_b < b.len() && b[start_b].0 < ax - eps {
             start_b += 1;
         }
-        for &j in &ib[start_b..] {
-            let pb = pos_b(&b[j]);
-            if pb.x > pa.x + eps {
+        for &(bx, by, bi) in &b[start_b..] {
+            if bx > ax + eps {
                 break;
             }
-            if (pb.y - pa.y).abs() > eps {
+            if (by - ay).abs() > eps {
                 continue;
             }
             stats.candidates += 1;
-            if pa.dist2(pb) <= e2 {
+            if Point::new(ax, ay).dist2(Point::new(bx, by)) <= e2 {
                 stats.results += 1;
-                on_pair(i, j);
+                on_pair(ai as usize, bi as usize);
             }
         }
     }
     stats
+}
+
+/// One side bucketed into an ε × ε grid (anchored at the group's minimum
+/// corner), the other side probing the 3×3 bucket neighborhood of each
+/// point. Candidate counting applies the same `|Δx| ≤ ε ∧ |Δy| ≤ ε` window
+/// as the plane sweep, so both report identical candidate counts.
+pub fn grid_bucket<A, B>(
+    a: &[A],
+    b: &[B],
+    eps: f64,
+    pos_a: impl Fn(&A) -> Point,
+    pos_b: impl Fn(&B) -> Point,
+    on_pair: impl FnMut(usize, usize),
+) -> KernelStats {
+    let ca = extract(a, pos_a);
+    let cb = extract(b, pos_b);
+    bucket_probe(&ca, &cb, eps, on_pair)
+}
+
+/// Bucket coordinate of a point relative to the group origin.
+#[inline]
+fn bucket_of(x: f64, y: f64, ox: f64, oy: f64, eps: f64) -> (i64, i64) {
+    (
+        ((x - ox) / eps).floor() as i64,
+        ((y - oy) / eps).floor() as i64,
+    )
+}
+
+/// `(bucket, original coord)` of one bucketed point, sorted by bucket.
+type Bucketed = ((i64, i64), Coord);
+
+fn bucketize(coords: &[Coord], ox: f64, oy: f64, eps: f64) -> Vec<Bucketed> {
+    let mut out: Vec<Bucketed> = coords
+        .iter()
+        .map(|&(x, y, i)| (bucket_of(x, y, ox, oy, eps), (x, y, i)))
+        .collect();
+    out.sort_unstable_by_key(|p| p.0);
+    out
+}
+
+/// Contiguous range of `sorted` covering buckets `(bx, by_lo ..= by_hi)`.
+fn bucket_range(sorted: &[Bucketed], bx: i64, by_lo: i64, by_hi: i64) -> &[Bucketed] {
+    let lo = sorted.partition_point(|&(b, _)| b < (bx, by_lo));
+    let hi = sorted[lo..].partition_point(|&(b, _)| b <= (bx, by_hi)) + lo;
+    &sorted[lo..hi]
+}
+
+fn bucket_probe(
+    a: &[Coord],
+    b: &[Coord],
+    eps: f64,
+    mut on_pair: impl FnMut(usize, usize),
+) -> KernelStats {
+    let mut stats = KernelStats::default();
+    if a.is_empty() || b.is_empty() {
+        return stats;
+    }
+    let e2 = eps * eps;
+    let ox = a.iter().chain(b).map(|c| c.0).fold(f64::INFINITY, f64::min);
+    let oy = a.iter().chain(b).map(|c| c.1).fold(f64::INFINITY, f64::min);
+    let sb = bucketize(b, ox, oy, eps);
+    for &(ax, ay, ai) in a {
+        let (bx, by) = bucket_of(ax, ay, ox, oy, eps);
+        for dx in -1..=1i64 {
+            for &(_, (px, py, bi)) in bucket_range(&sb, bx + dx, by - 1, by + 1) {
+                if (px - ax).abs() > eps || (py - ay).abs() > eps {
+                    continue;
+                }
+                stats.candidates += 1;
+                if Point::new(ax, ay).dist2(Point::new(px, py)) <= e2 {
+                    stats.results += 1;
+                    on_pair(ai as usize, bi as usize);
+                }
+            }
+        }
+    }
+    stats
+}
+
+/// Shared adaptive entry point for the two-sided point join: resolves
+/// `requested` (consulting `model` per group for `Auto`, using the group's
+/// **measured** extent) and runs the chosen kernel.
+///
+/// `presorted_by_x` promises that both slices are already in ascending-`x`
+/// order (the engine's per-partition sort-reuse); the plane sweep then skips
+/// its per-cell sort.
+#[allow(clippy::too_many_arguments)]
+pub fn local_join<A, B>(
+    requested: LocalKernel,
+    model: &KernelCostModel,
+    eps: f64,
+    presorted_by_x: bool,
+    a: &[A],
+    b: &[B],
+    pos_a: impl Fn(&A) -> Point,
+    pos_b: impl Fn(&B) -> Point,
+    on_pair: impl FnMut(usize, usize),
+) -> LocalJoinOutcome {
+    let ca = extract(a, pos_a);
+    let cb = extract(b, pos_b);
+    let (w, h) = union_extent(&ca, &cb);
+    let kind = model.resolve(requested, a.len() as u64, b.len() as u64, eps, w, h);
+    let stats = match kind {
+        KernelKind::NestedLoop => nested_loop_coords(&ca, &cb, eps, on_pair),
+        KernelKind::PlaneSweep => {
+            let (mut ca, mut cb) = (ca, cb);
+            if !presorted_by_x {
+                sort_by_x(&mut ca);
+                sort_by_x(&mut cb);
+            }
+            sweep_sorted(&ca, &cb, eps, on_pair)
+        }
+        KernelKind::GridBucket => bucket_probe(&ca, &cb, eps, on_pair),
+    };
+    LocalJoinOutcome { kind, stats }
+}
+
+/// Self-join variant of [`local_join`]: emits each unordered index pair
+/// `i < j` (in input order) at most once. Candidate semantics mirror the
+/// two-sided kernels: nested loop counts all `n(n-1)/2` pairs, sweep and
+/// bucket count window-passing pairs only.
+///
+/// `Auto` resolution reuses the two-sided model with `r = s = n`: that
+/// scales every prediction by exactly 2× relative to the true self-join
+/// work, so the argmin — and hence the choice — is unchanged.
+pub fn local_self_join<A>(
+    requested: LocalKernel,
+    model: &KernelCostModel,
+    eps: f64,
+    pts: &[A],
+    pos: impl Fn(&A) -> Point,
+    on_pair: impl FnMut(usize, usize),
+) -> LocalJoinOutcome {
+    let coords = extract(pts, pos);
+    let (w, h) = union_extent(&coords, &[]);
+    let n = pts.len() as u64;
+    let kind = model.resolve(requested, n, n, eps, w, h);
+    let stats = match kind {
+        KernelKind::NestedLoop => self_nested_loop(&coords, eps, on_pair),
+        KernelKind::PlaneSweep => {
+            let mut coords = coords;
+            sort_by_x(&mut coords);
+            self_sweep_sorted(&coords, eps, on_pair)
+        }
+        KernelKind::GridBucket => self_bucket_probe(&coords, eps, on_pair),
+    };
+    LocalJoinOutcome { kind, stats }
+}
+
+fn self_nested_loop(pts: &[Coord], eps: f64, mut on_pair: impl FnMut(usize, usize)) -> KernelStats {
+    let e2 = eps * eps;
+    let mut stats = KernelStats::default();
+    for (i, &(ax, ay, ai)) in pts.iter().enumerate() {
+        for &(bx, by, bi) in &pts[i + 1..] {
+            stats.candidates += 1;
+            if Point::new(ax, ay).dist2(Point::new(bx, by)) <= e2 {
+                stats.results += 1;
+                on_pair(ai as usize, bi as usize);
+            }
+        }
+    }
+    stats
+}
+
+fn self_sweep_sorted(
+    pts: &[Coord],
+    eps: f64,
+    mut on_pair: impl FnMut(usize, usize),
+) -> KernelStats {
+    let e2 = eps * eps;
+    let mut stats = KernelStats::default();
+    for (i, &(ax, ay, ai)) in pts.iter().enumerate() {
+        for &(bx, by, bi) in &pts[i + 1..] {
+            if bx - ax > eps {
+                break;
+            }
+            if (by - ay).abs() > eps {
+                continue;
+            }
+            stats.candidates += 1;
+            if Point::new(ax, ay).dist2(Point::new(bx, by)) <= e2 {
+                stats.results += 1;
+                on_pair(ai as usize, bi as usize);
+            }
+        }
+    }
+    stats
+}
+
+fn self_bucket_probe(
+    pts: &[Coord],
+    eps: f64,
+    mut on_pair: impl FnMut(usize, usize),
+) -> KernelStats {
+    let mut stats = KernelStats::default();
+    if pts.is_empty() {
+        return stats;
+    }
+    let e2 = eps * eps;
+    let ox = pts.iter().map(|c| c.0).fold(f64::INFINITY, f64::min);
+    let oy = pts.iter().map(|c| c.1).fold(f64::INFINITY, f64::min);
+    let sorted = bucketize(pts, ox, oy, eps);
+    // Each unordered pair is visited exactly once: within a bucket by list
+    // position, across buckets from the lexicographically smaller one via
+    // the four forward offsets.
+    const FORWARD: [(i64, i64); 4] = [(0, 1), (1, -1), (1, 0), (1, 1)];
+    let mut window = |a: Coord, b: Coord, stats: &mut KernelStats| {
+        let (ax, ay, ai) = a;
+        let (bx, by, bi) = b;
+        if (bx - ax).abs() > eps || (by - ay).abs() > eps {
+            return;
+        }
+        stats.candidates += 1;
+        if Point::new(ax, ay).dist2(Point::new(bx, by)) <= e2 {
+            stats.results += 1;
+            on_pair(ai as usize, bi as usize);
+        }
+    };
+    for (p, &(bucket, ca)) in sorted.iter().enumerate() {
+        for &(_, cb) in sorted[p + 1..].iter().take_while(|&&(b, _)| b == bucket) {
+            window(ca, cb, &mut stats);
+        }
+        for (dx, dy) in FORWARD {
+            for &(_, cb) in bucket_range(&sorted, bucket.0 + dx, bucket.1 + dy, bucket.1 + dy) {
+                window(ca, cb, &mut stats);
+            }
+        }
+    }
+    stats
+}
+
+/// Envelope (extent) variant: enumerates candidate index pairs whose
+/// rectangles may interact and hands each to `on_candidate`, which applies
+/// the caller's exact predicate (reference-point dedup + true shape
+/// distance) and reports whether the pair is a result.
+///
+/// The nested loop enumerates all `r·s` pairs; the sweep sorts by `min_x`
+/// and enumerates only pairs whose rectangles overlap in both axes (the
+/// caller is expected to pass ε-expanded rectangles on one side). A
+/// `GridBucket` request falls back to the sweep — ε-bucketing is not
+/// meaningful for arbitrarily wide envelopes.
+#[allow(clippy::too_many_arguments)]
+pub fn local_join_rects<A, B>(
+    requested: LocalKernel,
+    model: &KernelCostModel,
+    eps: f64,
+    a: &[A],
+    b: &[B],
+    rect_a: impl Fn(&A) -> Rect,
+    rect_b: impl Fn(&B) -> Rect,
+    mut on_candidate: impl FnMut(usize, usize) -> bool,
+) -> LocalJoinOutcome {
+    // (min_x, max_x, min_y, max_y, index)
+    let ext = |r: Rect, i: usize| (r.min_x, r.max_x, r.min_y, r.max_y, i as u32);
+    let mut ra: Vec<_> = a
+        .iter()
+        .enumerate()
+        .map(|(i, v)| ext(rect_a(v), i))
+        .collect();
+    let mut rb: Vec<_> = b
+        .iter()
+        .enumerate()
+        .map(|(i, v)| ext(rect_b(v), i))
+        .collect();
+    let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(lx, hx, ly, hy, _) in ra.iter().chain(&rb) {
+        min_x = min_x.min(lx);
+        max_x = max_x.max(hx);
+        min_y = min_y.min(ly);
+        max_y = max_y.max(hy);
+    }
+    let (w, h) = ((max_x - min_x).max(0.0), (max_y - min_y).max(0.0));
+    let kind = match model.resolve(requested, a.len() as u64, b.len() as u64, eps, w, h) {
+        KernelKind::GridBucket => KernelKind::PlaneSweep,
+        k => k,
+    };
+    let mut stats = KernelStats::default();
+    match kind {
+        KernelKind::NestedLoop => {
+            for &(.., ai) in &ra {
+                for &(.., bi) in &rb {
+                    stats.candidates += 1;
+                    if on_candidate(ai as usize, bi as usize) {
+                        stats.results += 1;
+                    }
+                }
+            }
+        }
+        _ => {
+            ra.sort_unstable_by(|p, q| p.0.total_cmp(&q.0));
+            rb.sort_unstable_by(|p, q| p.0.total_cmp(&q.0));
+            // b rectangles are sorted by min_x, but their right edges are
+            // not monotone: the window start may only skip b's that end
+            // before any later a can begin.
+            let max_w_b = rb
+                .iter()
+                .map(|&(lx, hx, ..)| hx - lx)
+                .fold(0.0f64, f64::max);
+            let mut start_b = 0usize;
+            for &(alx, ahx, aly, ahy, ai) in &ra {
+                while start_b < rb.len() && rb[start_b].0 < alx - max_w_b {
+                    start_b += 1;
+                }
+                for &(blx, bhx, bly, bhy, bi) in &rb[start_b..] {
+                    if blx > ahx {
+                        break;
+                    }
+                    if bhx < alx || bhy < aly || bly > ahy {
+                        continue;
+                    }
+                    stats.candidates += 1;
+                    if on_candidate(ai as usize, bi as usize) {
+                        stats.results += 1;
+                    }
+                }
+            }
+        }
+    }
+    LocalJoinOutcome { kind, stats }
+}
+
+// ---------------------------------------------------------------------------
+// Calibration
+// ---------------------------------------------------------------------------
+
+/// One-shot microbenchmark deriving the [`KernelCostModel`] constants from
+/// this machine, memoized process-wide so every `Cluster` in a process (and
+/// hence every traced/untraced or repeated run) resolves `Auto` with the
+/// same constants. Runs in a few milliseconds on first use.
+pub fn calibrate_cost_model() -> KernelCostModel {
+    static CALIBRATION: OnceLock<KernelCostModel> = OnceLock::new();
+    *CALIBRATION.get_or_init(measure_cost_model)
+}
+
+/// SplitMix64: tiny deterministic generator for the calibration points.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn synth_points(n: usize, seed: u64) -> Vec<Point> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            let x = (splitmix(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+            let y = (splitmix(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+            Point::new(x, y)
+        })
+        .collect()
+}
+
+/// Best-of-3 wall time of `f` in nanoseconds.
+fn best_time_ns(mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+fn measure_cost_model() -> KernelCostModel {
+    let n = 512usize;
+    let a = synth_points(n, 0xA11C_E5ED);
+    let b = synth_points(n, 0xB0B5_EED5);
+    let id = |p: &Point| *p;
+    let sink = |_: usize, _: usize| {};
+    let pairs = (n * n) as f64;
+    let points = (2 * n) as f64;
+    // ε chosen so the window prunes hard (fx = 2ε = 0.1 of the unit square):
+    // the pair terms then dominate measurably over the setup terms.
+    let eps = 0.05;
+    // ε so small that no pair survives the window: isolates per-point setup.
+    let eps0 = 1e-9;
+
+    let defaults = KernelCostModel::default();
+    let clamp = |v: f64, fallback: f64| {
+        if v.is_finite() && v > 0.0 {
+            v.clamp(1e-3, 1e4)
+        } else {
+            fallback
+        }
+    };
+
+    let t_nl = best_time_ns(|| {
+        nested_loop(&a, &b, eps, id, id, sink);
+    });
+    let nl_pair = clamp(t_nl / pairs, defaults.nl_pair);
+
+    let t_ps0 = best_time_ns(|| {
+        plane_sweep(&a, &b, eps0, id, id, sink);
+    });
+    let ps_point = clamp(t_ps0 / points, defaults.ps_point);
+    let t_ps = best_time_ns(|| {
+        plane_sweep(&a, &b, eps, id, id, sink);
+    });
+    // The sweep touches ~2ε·n² pairs in the x-window of the unit square.
+    let ps_pair = clamp(
+        (t_ps - points * ps_point) / (pairs * 2.0 * eps),
+        defaults.ps_pair,
+    );
+
+    let t_b0 = best_time_ns(|| {
+        grid_bucket(&a, &b, eps0, id, id, sink);
+    });
+    let bucket_point = clamp(t_b0 / points, defaults.bucket_point);
+    let t_b = best_time_ns(|| {
+        grid_bucket(&a, &b, eps, id, id, sink);
+    });
+    // Each probe visits a 3ε × 3ε neighborhood: ~(3ε)²·n² pairs.
+    let bucket_pair = clamp(
+        (t_b - points * bucket_point) / (pairs * 9.0 * eps * eps),
+        defaults.bucket_pair,
+    );
+
+    KernelCostModel {
+        nl_pair,
+        ps_point,
+        ps_pair,
+        bucket_point,
+        bucket_pair,
+    }
 }
 
 #[cfg(test)]
@@ -143,6 +644,10 @@ mod tests {
         plane_sweep(a, b, eps, id, id, |i, j| out.push((i, j)))
     }
 
+    fn gb(a: &[Point], b: &[Point], eps: f64, out: &mut Vec<(usize, usize)>) -> KernelStats {
+        grid_bucket(a, b, eps, id, id, |i, j| out.push((i, j)))
+    }
+
     #[test]
     fn kernels_agree_on_random_input() {
         for seed in 0..5 {
@@ -150,8 +655,13 @@ mod tests {
             let b = random_points(300, seed + 100, 10.0);
             let (p1, s1) = collect_pairs(nl, &a, &b, 0.7);
             let (p2, s2) = collect_pairs(ps, &a, &b, 0.7);
+            let (p3, s3) = collect_pairs(gb, &a, &b, 0.7);
             assert_eq!(p1, p2, "seed {seed}");
+            assert_eq!(p1, p3, "seed {seed}");
             assert_eq!(s1.results, s2.results);
+            assert_eq!(s1.results, s3.results);
+            // The two prefiltering kernels share candidate semantics.
+            assert_eq!(s2.candidates, s3.candidates, "seed {seed}");
             assert!(!p1.is_empty(), "test should exercise matches");
         }
     }
@@ -183,6 +693,10 @@ mod tests {
         assert!(p.is_empty());
         let (p, _) = collect_pairs(ps, &b, &a, 1.0);
         assert!(p.is_empty());
+        let (p, _) = collect_pairs(gb, &a, &b, 1.0);
+        assert!(p.is_empty());
+        let (p, _) = collect_pairs(gb, &b, &a, 1.0);
+        assert!(p.is_empty());
     }
 
     #[test]
@@ -192,6 +706,8 @@ mod tests {
         let (p, _) = collect_pairs(nl, &a, &b, 5.0);
         assert_eq!(p, vec![(0, 0)]);
         let (p, _) = collect_pairs(ps, &a, &b, 5.0);
+        assert_eq!(p, vec![(0, 0)]);
+        let (p, _) = collect_pairs(gb, &a, &b, 5.0);
         assert_eq!(p, vec![(0, 0)]);
     }
 
@@ -220,7 +736,214 @@ mod tests {
         let b = vec![Point::new(1.0, 1.0); 3];
         let (p1, _) = collect_pairs(nl, &a, &b, 0.5);
         let (p2, _) = collect_pairs(ps, &a, &b, 0.5);
+        let (p3, _) = collect_pairs(gb, &a, &b, 0.5);
         assert_eq!(p1.len(), 12);
         assert_eq!(p1, p2);
+        assert_eq!(p1, p3);
+    }
+
+    #[test]
+    fn local_join_matches_fixed_kernels_for_every_request() {
+        let model = KernelCostModel::default();
+        let a = random_points(250, 11, 8.0);
+        let b = random_points(250, 12, 8.0);
+        let eps = 0.5;
+        let (expected, _) = collect_pairs(nl, &a, &b, eps);
+        for requested in [
+            LocalKernel::NestedLoop,
+            LocalKernel::PlaneSweep,
+            LocalKernel::GridBucket,
+            LocalKernel::Auto,
+        ] {
+            let mut pairs = Vec::new();
+            let out = local_join(requested, &model, eps, false, &a, &b, id, id, |i, j| {
+                pairs.push((i, j))
+            });
+            pairs.sort_unstable();
+            assert_eq!(pairs, expected, "{requested:?}");
+            assert_eq!(out.stats.results as usize, expected.len());
+            assert!(out.stats.candidates >= out.stats.results);
+        }
+    }
+
+    #[test]
+    fn local_join_respects_presorted_inputs() {
+        let model = KernelCostModel::default();
+        let mut a = random_points(200, 21, 6.0);
+        let mut b = random_points(200, 22, 6.0);
+        let eps = 0.4;
+        let (expected, s_ps) = collect_pairs(ps, &a, &b, eps);
+        a.sort_unstable_by(|p, q| p.x.total_cmp(&q.x));
+        b.sort_unstable_by(|p, q| p.x.total_cmp(&q.x));
+        let out = local_join(
+            LocalKernel::PlaneSweep,
+            &model,
+            eps,
+            true,
+            &a,
+            &b,
+            id,
+            id,
+            |_, _| {},
+        );
+        let _ = expected;
+        assert_eq!(out.stats.results, s_ps.results);
+        assert_eq!(out.stats.candidates, s_ps.candidates);
+    }
+
+    #[test]
+    fn auto_picks_nested_loop_only_where_counts_cannot_inflate() {
+        let model = KernelCostModel::default();
+        // Wide sparse group: Auto must use a prefiltering kernel, so its
+        // candidate count equals the sweep's, not r·s.
+        let a = random_points(120, 31, 40.0);
+        let b = random_points(120, 32, 40.0);
+        let eps = 0.8;
+        let (_, s_ps) = collect_pairs(ps, &a, &b, eps);
+        let out = local_join(
+            LocalKernel::Auto,
+            &model,
+            eps,
+            false,
+            &a,
+            &b,
+            id,
+            id,
+            |_, _| {},
+        );
+        assert_ne!(out.kind, KernelKind::NestedLoop);
+        assert_eq!(out.stats.candidates, s_ps.candidates);
+        // Tight group inside eps x eps: nested loop, and the counts agree
+        // with the sweep by construction (every pair passes the window).
+        let a = random_points(40, 33, 0.3);
+        let b = random_points(40, 34, 0.3);
+        let eps = 0.5;
+        let (_, s_ps) = collect_pairs(ps, &a, &b, eps);
+        let out = local_join(
+            LocalKernel::Auto,
+            &model,
+            eps,
+            false,
+            &a,
+            &b,
+            id,
+            id,
+            |_, _| {},
+        );
+        assert_eq!(out.kind, KernelKind::NestedLoop);
+        assert_eq!(out.stats.candidates, s_ps.candidates);
+    }
+
+    #[test]
+    fn self_join_kernels_agree() {
+        let pts = random_points(300, 41, 9.0);
+        let eps = 0.6;
+        let model = KernelCostModel::default();
+        let mut expected = Vec::new();
+        let s_nl = self_nested_loop(&extract(&pts, id), eps, |i, j| {
+            expected.push((i.min(j), i.max(j)))
+        });
+        expected.sort_unstable();
+        assert!(!expected.is_empty());
+        let mut ps_candidates = None;
+        for requested in [
+            LocalKernel::NestedLoop,
+            LocalKernel::PlaneSweep,
+            LocalKernel::GridBucket,
+            LocalKernel::Auto,
+        ] {
+            let mut pairs = Vec::new();
+            let out = local_self_join(requested, &model, eps, &pts, id, |i, j| {
+                pairs.push((i.min(j), i.max(j)))
+            });
+            pairs.sort_unstable();
+            assert_eq!(pairs, expected, "{requested:?}");
+            assert_eq!(out.stats.results, s_nl.results);
+            match out.kind {
+                KernelKind::NestedLoop => assert_eq!(out.stats.candidates, s_nl.candidates),
+                _ => {
+                    let c = *ps_candidates.get_or_insert(out.stats.candidates);
+                    assert_eq!(out.stats.candidates, c, "{requested:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rect_kernels_agree_and_sweep_prunes() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let rects: Vec<Rect> = (0..150)
+            .map(|_| {
+                let x = rng.gen_range(0.0..30.0);
+                let y = rng.gen_range(0.0..30.0);
+                Rect::new(
+                    x,
+                    y,
+                    x + rng.gen_range(0.1..1.5),
+                    y + rng.gen_range(0.1..1.5),
+                )
+            })
+            .collect();
+        let others: Vec<Rect> = (0..150)
+            .map(|_| {
+                let x = rng.gen_range(0.0..30.0);
+                let y = rng.gen_range(0.0..30.0);
+                Rect::new(
+                    x,
+                    y,
+                    x + rng.gen_range(0.1..1.5),
+                    y + rng.gen_range(0.1..1.5),
+                )
+            })
+            .collect();
+        let model = KernelCostModel::default();
+        let eps = 0.5;
+        let run = |requested: LocalKernel| {
+            let mut hits = Vec::new();
+            let out = local_join_rects(
+                requested,
+                &model,
+                eps,
+                &rects,
+                &others,
+                |r| r.expand(eps),
+                |r| *r,
+                |i, j| {
+                    let touch = rects[i].expand(eps).intersects(&others[j]);
+                    if touch {
+                        hits.push((i, j));
+                    }
+                    touch
+                },
+            );
+            hits.sort_unstable();
+            (hits, out)
+        };
+        let (h_nl, o_nl) = run(LocalKernel::NestedLoop);
+        let (h_ps, o_ps) = run(LocalKernel::PlaneSweep);
+        let (h_auto, o_auto) = run(LocalKernel::Auto);
+        assert_eq!(h_nl, h_ps);
+        assert_eq!(h_nl, h_auto);
+        assert!(!h_nl.is_empty());
+        assert_eq!(o_nl.stats.candidates, 150 * 150);
+        assert!(o_ps.stats.candidates < o_nl.stats.candidates);
+        assert_eq!(o_nl.stats.results, o_ps.stats.results);
+        assert_ne!(o_auto.kind, KernelKind::NestedLoop);
+    }
+
+    #[test]
+    fn calibration_is_memoized_and_sane() {
+        let m1 = calibrate_cost_model();
+        let m2 = calibrate_cost_model();
+        assert_eq!(m1, m2, "process-wide calibration must be stable");
+        for c in [
+            m1.nl_pair,
+            m1.ps_point,
+            m1.ps_pair,
+            m1.bucket_point,
+            m1.bucket_pair,
+        ] {
+            assert!(c.is_finite() && c > 0.0);
+        }
     }
 }

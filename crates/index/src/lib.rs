@@ -12,9 +12,12 @@
 //!   with point→leaf and ε-disk→leaves lookups.
 //! * [`KdTree`] — median-split k-d tree over points with ε-range and exact
 //!   kNN queries (the independent oracle for the distributed kNN join).
-//! * [`kernels`] — the per-cell ε-distance kernels: the paper's hash-join
-//!   semantics (nested loop over a cell's candidates with distance
-//!   refinement) and a plane-sweep alternative used for ablations.
+//! * [`kernels`] — the shared partition-local join layer every distributed
+//!   algorithm routes through ([`kernels::local_join`]): the paper's
+//!   nested-loop semantics (§6.1), a plane-sweep kernel and an ε-bucket
+//!   grid kernel, plus `Auto` resolution — a per-cell-group pick driven by
+//!   a cost model whose constants a one-shot microbenchmark calibrates at
+//!   first use ([`kernels::calibrate_cost_model`]).
 
 mod kdtree;
 pub mod kernels;

@@ -115,6 +115,13 @@ impl QuadTreePartitioner {
         self.nodes[id].leaf_id
     }
 
+    /// Serialized size of the partitioner when broadcast to every node: one
+    /// rectangle (four `f64`), four child ids and a leaf id per node, plus
+    /// the leaf table and the global bbox.
+    pub fn broadcast_bytes(&self) -> u64 {
+        (self.nodes.len() * (4 * 8 + 4 * 8 + 8) + self.leaves.len() * 8 + 4 * 8) as u64
+    }
+
     /// Appends every leaf whose region is within distance `eps` of `p`
     /// (i.e. intersects the ε-disk) to `out` — the multi-assignment used for
     /// the replicated side.

@@ -5,6 +5,7 @@ use asj_engine::{
     Cluster, Dataset, ExplicitPartitioner, HashPartitioner, JobMetrics, Partitioner, Placement,
 };
 use asj_grid::{Grid, GridSpec};
+use asj_index::kernels;
 use std::time::Instant;
 
 /// The paper's Algorithm 5: parallel ε-distance join with **adaptive
@@ -71,11 +72,21 @@ pub fn adaptive_join(
                     sample_r.iter().map(|rec| &rec.point),
                     sample_s.iter().map(|rec| &rec.point),
                 );
+                // Cell weight = the calibrated cost model's prediction for
+                // the kernel that will actually run the cell (replicas can
+                // reach up to eps beyond the cell rectangle on each side),
+                // instead of the raw worst-case r*s product.
+                let model = cluster.kernel_cost_model(kernels::calibrate_cost_model);
+                let (cell_w, cell_h) = grid.cell_side();
+                let (ext_w, ext_h) = (cell_w + 2.0 * spec.eps, cell_h + 2.0 * spec.eps);
                 let weighted: Vec<(u64, u64)> = costs
                     .iter()
                     .enumerate()
-                    .filter(|(_, c)| c.cost() > 0)
-                    .map(|(i, c)| (i as u64, c.cost()))
+                    .map(|(i, c)| {
+                        let w = model.lpt_weight(spec.kernel, c.r, c.s, spec.eps, ext_w, ext_h);
+                        (i as u64, w)
+                    })
+                    .filter(|&(_, w)| w > 0)
                     .collect();
                 let map = asj_engine::lpt_assign(&weighted, spec.num_partitions);
                 Box::new(ExplicitPartitioner::new(map, spec.num_partitions))

@@ -40,6 +40,7 @@ pub fn adaptive_join_dedup(
     );
     // No Algorithm 1: the graph keeps its duplicate-producing triangles.
     let graph = AgreementGraph::build_unmarked(&grid, &sample, policy);
+    let broadcast_bytes = graph.broadcast_bytes();
     let driver = driver_start.elapsed();
 
     let graph_b = cluster.broadcast(graph);
@@ -104,7 +105,7 @@ pub fn adaptive_join_dedup(
             construction,
             join: join_exec,
             driver,
-            broadcast_bytes: 0,
+            broadcast_bytes,
         },
     }
 }
@@ -146,5 +147,9 @@ mod tests {
         assert_eq!(dedup.algorithm, "LPiB+dedup");
         // The naive assignment should have produced at least as much work.
         assert!(dedup.candidates >= clean.result_count);
+        assert!(
+            dedup.metrics.broadcast_bytes > 0,
+            "graph broadcast must be metered"
+        );
     }
 }

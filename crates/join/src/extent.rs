@@ -5,6 +5,7 @@ use asj_engine::{
 };
 use asj_geom::{Point, Polygon, Polyline, Shape};
 use asj_grid::{Grid, GridSpec};
+use asj_index::kernels;
 use bytes::{Buf, BufMut};
 
 /// A spatial object with extent: the generalization beyond point data that
@@ -111,6 +112,7 @@ pub fn extent_join(
     b: Vec<ExtentRecord>,
 ) -> JoinOutput {
     let grid = Grid::new(GridSpec::with_factor(spec.bbox, spec.eps, spec.grid_factor));
+    let broadcast_bytes = grid.broadcast_bytes();
     let eps = spec.eps;
     let mut construction = ExecStats::default();
     let grid_b = cluster.broadcast(grid);
@@ -165,8 +167,13 @@ pub fn extent_join(
         .collect();
     let collect = spec.collect_pairs;
     let e2 = eps * eps;
+    let kernel = spec.kernel;
+    let model = cluster.kernel_cost_model(kernels::calibrate_cost_model);
     // Counts fold into per-partition accumulators committed with the task
-    // result — safe under retries and speculative re-execution.
+    // result — safe under retries and speculative re-execution. The envelope
+    // kernel enumerates candidate pairs (all of them under a nested loop,
+    // only overlap-surviving ones under the sweep); the callback applies the
+    // envelope filter, the reference-point dedup and the exact distance.
     let (joined, counts, join_exec) = keyed_a.cogroup_join_fold(
         cluster,
         keyed_b,
@@ -176,31 +183,38 @@ pub fn extent_join(
          bvs: &[ExtentRecord],
          out: &mut Vec<(u64, u64)>,
          acc: &mut (u64, u64)| {
-            let mut local_candidates = 0u64;
-            let mut local_results = 0u64;
-            for ra in avs {
-                let ea = ra.shape.envelope().expand(eps);
-                for rb in bvs {
+            let outcome = kernels::local_join_rects(
+                kernel,
+                &model,
+                eps,
+                avs,
+                bvs,
+                |a| a.shape.envelope().expand(eps),
+                |b| b.shape.envelope(),
+                |i, j| {
+                    let (ra, rb) = (&avs[i], &bvs[j]);
+                    let ea = ra.shape.envelope().expand(eps);
                     let eb = rb.shape.envelope();
                     if !ea.intersects(&eb) {
-                        continue;
+                        return false;
                     }
                     // Reference-point test before the expensive distance.
                     let refp = Point::new(ea.min_x.max(eb.min_x), ea.min_y.max(eb.min_y));
                     if grid_b.cell_index(grid_b.cell_of(refp)) as u64 != cell {
-                        continue;
+                        return false;
                     }
-                    local_candidates += 1;
                     if ra.shape.dist2(&rb.shape) <= e2 {
-                        local_results += 1;
                         if collect {
                             out.push((ra.id, rb.id));
                         }
+                        true
+                    } else {
+                        false
                     }
-                }
-            }
-            acc.0 += local_candidates;
-            acc.1 += local_results;
+                },
+            );
+            acc.0 += outcome.stats.candidates;
+            acc.1 += outcome.stats.results;
         },
     );
 
@@ -215,7 +229,7 @@ pub fn extent_join(
             construction,
             join: join_exec,
             driver: std::time::Duration::ZERO,
-            broadcast_bytes: 0,
+            broadcast_bytes,
         },
     }
 }
@@ -339,6 +353,10 @@ mod tests {
         assert_eq!(got, expected);
         assert_eq!(out.algorithm, "extent-join");
         assert!(out.replicated[0] > 0, "expanded envelopes must replicate");
+        assert!(
+            out.metrics.broadcast_bytes > 0,
+            "grid broadcast must be metered"
+        );
     }
 
     #[test]

@@ -63,6 +63,7 @@ fn grid_baseline_join(
     r: Vec<Record>,
     s: Vec<Record>,
 ) -> JoinOutput {
+    let broadcast_bytes = grid.broadcast_bytes();
     let rdd_r = Dataset::from_vec(r, spec.input_partitions);
     let rdd_s = Dataset::from_vec(s, spec.input_partitions);
     let mut construction = ExecStats::default();
@@ -112,7 +113,7 @@ fn grid_baseline_join(
             construction,
             join: out.join_exec,
             driver: std::time::Duration::ZERO,
-            broadcast_bytes: 0,
+            broadcast_bytes,
         },
     }
 }
@@ -150,6 +151,10 @@ mod tests {
             let mut got = out.pairs.clone();
             got.sort_unstable();
             assert_eq!(got, expected, "{}", side.name());
+            assert!(
+                out.metrics.broadcast_bytes > 0,
+                "grid broadcast must be metered"
+            );
         }
     }
 
@@ -178,6 +183,10 @@ mod tests {
         let mut got = out.pairs.clone();
         got.sort_unstable();
         assert_eq!(got, expected);
+        assert!(
+            out.metrics.broadcast_bytes > 0,
+            "grid broadcast must be metered"
+        );
         // R is smaller, so R is the replicated side.
         assert!(out.replicated[0] > 0);
         assert_eq!(out.replicated[1], 0);

@@ -1,5 +1,5 @@
-use crate::{JoinOutput, JoinSpec, LocalKernel, Record};
-use asj_core::AgreementPolicy;
+use crate::{JoinOutput, JoinSpec, Record};
+use asj_core::{AgreementPolicy, KernelKind};
 use asj_engine::{Cluster, Dataset, ExecStats, KeyedDataset, Partitioner, ShuffleStats};
 use asj_geom::Point;
 use asj_index::kernels;
@@ -139,58 +139,106 @@ where
     let eps = spec.eps;
     let collect = spec.collect_pairs;
     let kernel = spec.kernel;
+    let model = cluster.kernel_cost_model(kernels::calibrate_cost_model);
     // Candidate/result counts fold into a per-partition accumulator that is
     // committed with the task output: shared atomics here would be
-    // double-counted by retried or speculatively re-executed tasks.
-    let (joined, counts, join_exec) = recorder.phase("local_join", || {
-        keyed_r.cogroup_join_fold(
+    // double-counted by retried or speculatively re-executed tasks. The
+    // secondary sort delivers every cell group in ascending-x order, so a
+    // plane sweep sorts once per partition instead of once per cell.
+    let (joined, tallies, join_exec) = recorder.phase("local_join", || {
+        keyed_r.cogroup_join_sorted_fold(
             cluster,
             keyed_s,
             &placement,
+            |r: &Record| r.point.x,
+            |s: &Record| s.point.x,
             |_cell,
              rs: &[Record],
              ss: &[Record],
              out: &mut Vec<(u64, u64)>,
-             acc: &mut (u64, u64)| {
-                let emit = |i: usize, j: usize, out: &mut Vec<(u64, u64)>| {
-                    if collect {
-                        out.push((rs[i].id, ss[j].id));
-                    }
-                };
-                let stats = match kernel {
-                    LocalKernel::NestedLoop => kernels::nested_loop(
-                        rs,
-                        ss,
-                        eps,
-                        |r| r.point,
-                        |s| s.point,
-                        |i, j| emit(i, j, out),
-                    ),
-                    LocalKernel::PlaneSweep => kernels::plane_sweep(
-                        rs,
-                        ss,
-                        eps,
-                        |r| r.point,
-                        |s| s.point,
-                        |i, j| emit(i, j, out),
-                    ),
-                };
-                acc.0 += stats.candidates;
-                acc.1 += stats.results;
+             acc: &mut KernelTally| {
+                let outcome = kernels::local_join(
+                    kernel,
+                    &model,
+                    eps,
+                    true,
+                    rs,
+                    ss,
+                    |r| r.point,
+                    |s| s.point,
+                    |i, j| {
+                        if collect {
+                            out.push((rs[i].id, ss[j].id));
+                        }
+                    },
+                );
+                acc.record(outcome, rs.len() as u64 * ss.len() as u64);
             },
         )
     });
-    let candidate_count: u64 = counts.iter().map(|c| c.0).sum();
-    let result_count: u64 = counts.iter().map(|c| c.1).sum();
-    recorder.counter_add("local_join", "candidates", candidate_count);
-    recorder.counter_add("local_join", "results", result_count);
+    let mut tally = KernelTally::default();
+    for t in &tallies {
+        tally.merge(t);
+    }
+    tally.publish(cluster, "local_join");
     JoinStageOutput {
         pairs: joined.collect(),
-        result_count,
-        candidates: candidate_count,
+        result_count: tally.results,
+        candidates: tally.candidates,
         shuffle,
         shuffle_exec,
         join_exec,
+    }
+}
+
+/// Per-partition fold of what the adaptive kernel layer did: counts, the
+/// resolved-kernel picks, and the worst-case `Σ r·s` the nested loop would
+/// have evaluated (so pruning is observable).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct KernelTally {
+    pub candidates: u64,
+    pub results: u64,
+    /// `Σ |R_i|·|S_i|` over the groups — the nested-loop candidate count.
+    pub worst_case: u64,
+    pub picks_nl: u64,
+    pub picks_ps: u64,
+    pub picks_bucket: u64,
+}
+
+impl KernelTally {
+    pub fn record(&mut self, outcome: kernels::LocalJoinOutcome, worst_case: u64) {
+        self.candidates += outcome.stats.candidates;
+        self.results += outcome.stats.results;
+        self.worst_case += worst_case;
+        match outcome.kind {
+            KernelKind::NestedLoop => self.picks_nl += 1,
+            KernelKind::PlaneSweep => self.picks_ps += 1,
+            KernelKind::GridBucket => self.picks_bucket += 1,
+        }
+    }
+
+    pub fn merge(&mut self, other: &KernelTally) {
+        self.candidates += other.candidates;
+        self.results += other.results;
+        self.worst_case += other.worst_case;
+        self.picks_nl += other.picks_nl;
+        self.picks_ps += other.picks_ps;
+        self.picks_bucket += other.picks_bucket;
+    }
+
+    /// Publishes the tally as observability counters under `phase`.
+    pub fn publish(&self, cluster: &Cluster, phase: &str) {
+        let recorder = cluster.recorder();
+        recorder.counter_add(phase, "candidates", self.candidates);
+        recorder.counter_add(phase, "results", self.results);
+        recorder.counter_add(phase, "kernel_auto_nl", self.picks_nl);
+        recorder.counter_add(phase, "kernel_auto_ps", self.picks_ps);
+        recorder.counter_add(phase, "kernel_auto_bucket", self.picks_bucket);
+        recorder.counter_add(
+            phase,
+            "candidates_pruned",
+            self.worst_case.saturating_sub(self.candidates),
+        );
     }
 }
 
@@ -243,13 +291,27 @@ mod tests {
         let r = crate::to_records(&[Point::new(1.0, 1.0), Point::new(8.0, 8.0)], 0);
         let s = crate::to_records(&[Point::new(1.5, 1.0), Point::new(4.0, 4.0)], 0);
         // Everything keyed to one cell: the kernel sees all candidates.
-        let (kr, _, _) = map_stage(&c, Dataset::from_vec(r, 1), |_, cells, _| cells.push(0));
-        let (ks, _, _) = map_stage(&c, Dataset::from_vec(s, 1), |_, cells, _| cells.push(0));
+        let (kr, _, _) = map_stage(&c, Dataset::from_vec(r.clone(), 1), |_, cells, _| {
+            cells.push(0)
+        });
+        let (ks, _, _) = map_stage(&c, Dataset::from_vec(s.clone(), 1), |_, cells, _| {
+            cells.push(0)
+        });
+        // Default Auto resolves the tiny 2x2 group to a nested loop.
         let out = join_stage(&c, &spec, kr, ks, &HashPartitioner::new(4));
         assert_eq!(out.result_count, 1); // only (1,1)-(1.5,1) within eps
         assert_eq!(out.candidates, 4);
         assert_eq!(out.pairs, vec![(0, 0)]);
         assert_eq!(out.shuffle.records, 4);
+        // An explicit plane-sweep request is honored: the epsilon window
+        // prunes everything but the matching pair.
+        let spec_ps = spec.with_kernel(crate::LocalKernel::PlaneSweep);
+        let (kr, _, _) = map_stage(&c, Dataset::from_vec(r, 1), |_, cells, _| cells.push(0));
+        let (ks, _, _) = map_stage(&c, Dataset::from_vec(s, 1), |_, cells, _| cells.push(0));
+        let out_ps = join_stage(&c, &spec_ps, kr, ks, &HashPartitioner::new(4));
+        assert_eq!(out_ps.result_count, 1);
+        assert_eq!(out_ps.pairs, vec![(0, 0)]);
+        assert_eq!(out_ps.candidates, 1, "sweep window must prune");
     }
 
     #[test]
@@ -286,7 +348,13 @@ mod kernel_choice_tests {
         let r = to_records(&pts(&mut rng, 400), 0);
         let s = to_records(&pts(&mut rng, 400), 0);
         let base = JoinSpec::new(Rect::new(0.0, 0.0, 15.0, 15.0), 0.8).with_partitions(8);
-        let nl = crate::adaptive_join(&c, &base, AgreementPolicy::Lpib, r.clone(), s.clone());
+        let nl = crate::adaptive_join(
+            &c,
+            &base.clone().with_kernel(LocalKernel::NestedLoop),
+            AgreementPolicy::Lpib,
+            r.clone(),
+            s.clone(),
+        );
         let ps = crate::adaptive_join(
             &c,
             &base.with_kernel(LocalKernel::PlaneSweep),

@@ -23,6 +23,7 @@ pub fn pbsm_refpoint_join(
     s: Vec<Record>,
 ) -> JoinOutput {
     let grid = Grid::new(GridSpec::with_factor(spec.bbox, spec.eps, spec.grid_factor));
+    let broadcast_bytes = grid.broadcast_bytes();
     let rdd_r = Dataset::from_vec(r, spec.input_partitions);
     let rdd_s = Dataset::from_vec(s, spec.input_partitions);
     let mut construction = ExecStats::default();
@@ -55,18 +56,26 @@ pub fn pbsm_refpoint_join(
         .collect();
     let eps = spec.eps;
     let collect = spec.collect_pairs;
+    let kernel = spec.kernel;
+    let model = cluster.kernel_cost_model(kernels::calibrate_cost_model);
     // Per-partition count accumulators, committed with the task result (a
-    // retried attempt would double-count shared atomics).
-    let (joined, counts, join_exec) = keyed_r.cogroup_join_fold(
+    // retried attempt would double-count shared atomics). The secondary sort
+    // feeds each cell group to the kernel already in ascending-x order.
+    let (joined, counts, join_exec) = keyed_r.cogroup_join_sorted_fold(
         cluster,
         keyed_s,
         &placement,
+        |r: &Record| r.point.x,
+        |s: &Record| s.point.x,
         |cell, rs: &[Record], ss: &[Record], out: &mut Vec<(u64, u64)>, acc: &mut (u64, u64)| {
             let mut local_results = 0u64;
-            let stats = kernels::nested_loop(
+            let outcome = kernels::local_join(
+                kernel,
+                &model,
+                eps,
+                true,
                 rs,
                 ss,
-                eps,
                 |r| r.point,
                 |s| s.point,
                 |i, j| {
@@ -84,7 +93,7 @@ pub fn pbsm_refpoint_join(
                     }
                 },
             );
-            acc.0 += stats.candidates;
+            acc.0 += outcome.stats.candidates;
             acc.1 += local_results;
         },
     );
@@ -100,7 +109,7 @@ pub fn pbsm_refpoint_join(
             construction,
             join: join_exec,
             driver: std::time::Duration::ZERO,
-            broadcast_bytes: 0,
+            broadcast_bytes,
         },
     }
 }
@@ -134,6 +143,10 @@ mod tests {
         got.sort_unstable();
         assert_eq!(got, expected);
         assert_eq!(out.algorithm, "PBSM+refpoint");
+        assert!(
+            out.metrics.broadcast_bytes > 0,
+            "grid broadcast must be metered"
+        );
     }
 
     #[test]

@@ -1,14 +1,17 @@
 use crate::pipeline::map_stage;
 use crate::{JoinOutput, JoinSpec, Record};
 use asj_engine::{Cluster, Dataset, ExecStats, JobMetrics, Partitioner};
-use asj_geom::Rect;
-use asj_index::{kernels::KernelStats, QuadTreePartitioner, RTree};
+use asj_index::{kernels, QuadTreePartitioner};
 use std::time::Instant;
 
 /// The Sedona-like baseline of §7.1: the join runs in three phases —
 /// **QuadTree space partitioning** built on the driver from a sample of the
-/// input with the fewest objects, **per-partition R-tree indexing** of the
-/// set with the most points, and **index-probed join computation**.
+/// input with the fewest objects, **per-leaf local indexing** of each
+/// partition, and **join computation** through the shared
+/// [`kernels::local_join`] entry point (so `spec.kernel` is honored here
+/// exactly like everywhere else; `Auto` typically resolves quadtree leaves —
+/// whose extent dwarfs ε — to the ε-bucket grid, the moral equivalent of
+/// Sedona's per-partition R-tree probe).
 ///
 /// The sampled (smaller) set is the replicated one: each of its points is
 /// assigned to every quadtree leaf intersecting its ε-disk; the larger set
@@ -41,6 +44,7 @@ pub fn sedona_like_join(
     // partition count (Sedona sizes its quadtree from the partition target).
     let capacity = (sample_points.len() / spec.num_partitions.max(1)).max(1);
     let qt = QuadTreePartitioner::build(spec.bbox, &sample_points, capacity, 12);
+    let broadcast_bytes = qt.broadcast_bytes();
     let driver = driver_start.elapsed();
     let qt_b = cluster.broadcast(qt);
 
@@ -92,12 +96,15 @@ pub fn sedona_like_join(
     construction.accumulate(&ex_r);
     construction.accumulate(&ex_s);
 
-    // Phase 2+3: per partition, index the bigger side with an R-tree and
-    // probe with the other side's points (ε-expanded), refining immediately.
+    // Phase 2+3: per leaf, run the shared local-join entry point (honoring
+    // `spec.kernel`; `Auto` consults the calibrated cost model with the
+    // leaf group's measured extent).
     let placement: Vec<usize> = (0..qt_b.num_leaves())
         .map(|p| cluster.node_of_partition(p))
         .collect();
     let collect = spec.collect_pairs;
+    let kernel = spec.kernel;
+    let model = cluster.kernel_cost_model(kernels::calibrate_cost_model);
     type LeafTasks = Vec<(Vec<(u64, Record)>, Vec<(u64, Record)>)>;
     let tasks: LeafTasks = keyed_r
         .into_partitions()
@@ -106,49 +113,24 @@ pub fn sedona_like_join(
         .collect();
     let (pair_parts, join_exec) = cluster.run_placed(tasks, &placement, |_, (rs, ss)| {
         let mut out: Vec<(u64, u64)> = Vec::new();
-        let mut stats = KernelStats::default();
-        let e2 = eps * eps;
-        // Index the side with more points, probe with the other.
-        if rs.len() >= ss.len() {
-            let tree = RTree::bulk_load(
-                rs.into_iter()
-                    .map(|(_, rec)| (Rect::from_point(rec.point), rec))
-                    .collect(),
-                16,
-            );
-            for (_, sp) in &ss {
-                tree.query_within(sp.point, eps, |_, rrec| {
-                    stats.candidates += 1;
-                    if rrec.point.dist2(sp.point) <= e2 {
-                        stats.results += 1;
-                        if collect {
-                            out.push((rrec.id, sp.id));
-                        }
-                    }
-                });
-            }
-        } else {
-            let tree = RTree::bulk_load(
-                ss.into_iter()
-                    .map(|(_, rec)| (Rect::from_point(rec.point), rec))
-                    .collect(),
-                16,
-            );
-            for (_, rp) in &rs {
-                tree.query_within(rp.point, eps, |_, srec| {
-                    stats.candidates += 1;
-                    if rp.point.dist2(srec.point) <= e2 {
-                        stats.results += 1;
-                        if collect {
-                            out.push((rp.id, srec.id));
-                        }
-                    }
-                });
-            }
-        }
+        let outcome = kernels::local_join(
+            kernel,
+            &model,
+            eps,
+            false,
+            &rs,
+            &ss,
+            |(_, rec)| rec.point,
+            |(_, rec)| rec.point,
+            |i, j| {
+                if collect {
+                    out.push((rs[i].1.id, ss[j].1.id));
+                }
+            },
+        );
         // Counts travel with the task result (per-attempt, committed once) —
         // shared atomics would double-count retried attempts.
-        (out, stats.candidates, stats.results)
+        (out, outcome.stats.candidates, outcome.stats.results)
     });
 
     JoinOutput {
@@ -166,7 +148,7 @@ pub fn sedona_like_join(
             construction,
             join: join_exec,
             driver,
-            broadcast_bytes: 0,
+            broadcast_bytes,
         },
     }
 }
@@ -192,7 +174,7 @@ mod tests {
     use super::*;
     use crate::to_records;
     use asj_engine::ClusterConfig;
-    use asj_geom::Point;
+    use asj_geom::{Point, Rect};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -231,6 +213,10 @@ mod tests {
         got.sort_unstable();
         assert_eq!(got, expected);
         assert_eq!(out.algorithm, "Sedona");
+        assert!(
+            out.metrics.broadcast_bytes > 0,
+            "quadtree broadcast must be metered"
+        );
     }
 
     #[test]

@@ -1,8 +1,8 @@
 use crate::pipeline::map_stage;
 use crate::{JoinOutput, JoinSpec, Record};
 use asj_engine::{Cluster, Dataset, ExecStats, HashPartitioner, JobMetrics, Partitioner};
-
 use asj_grid::{Grid, GridSpec};
+use asj_index::kernels;
 
 /// Distributed ε-distance **self-join**: all unordered pairs `{a, b}`,
 /// `a.id < b.id`, of one dataset within distance ε — the MR-DSJ setting of
@@ -15,6 +15,7 @@ use asj_grid::{Grid, GridSpec};
 /// replicated into, since `d/2 ≤ ε/2 < ε`).
 pub fn self_join(cluster: &Cluster, spec: &JoinSpec, input: Vec<Record>) -> JoinOutput {
     let grid = Grid::new(GridSpec::with_factor(spec.bbox, spec.eps, spec.grid_factor));
+    let broadcast_bytes = grid.broadcast_bytes();
     let rdd = Dataset::from_vec(input, spec.input_partitions);
     let mut construction = ExecStats::default();
 
@@ -39,22 +40,26 @@ pub fn self_join(cluster: &Cluster, spec: &JoinSpec, input: Vec<Record>) -> Join
         .map(|p| cluster.node_of_partition(p))
         .collect();
     let eps = spec.eps;
-    let e2 = eps * eps;
     let collect = spec.collect_pairs;
+    let kernel = spec.kernel;
+    let model = cluster.kernel_cost_model(kernels::calibrate_cost_model);
     // Counts ride in per-partition accumulators committed with the task
     // result, so retried/speculative attempts cannot double-count them.
     let (joined, counts, join_exec) = keyed.process_groups_fold(
         cluster,
         &placement,
-        |cell, pts, out, acc: &mut (u64, u64)| {
-            let mut local_candidates = 0u64;
+        |cell, pts: &[Record], out, acc: &mut (u64, u64)| {
             let mut local_results = 0u64;
-            for i in 0..pts.len() {
-                for j in (i + 1)..pts.len() {
-                    local_candidates += 1;
+            let outcome = kernels::local_self_join(
+                kernel,
+                &model,
+                eps,
+                pts,
+                |rec| rec.point,
+                |i, j| {
                     let (a, b) = (&pts[i], &pts[j]);
-                    if a.id == b.id || a.point.dist2(b.point) > e2 {
-                        continue;
+                    if a.id == b.id {
+                        return;
                     }
                     let mid = asj_geom::Point::new(
                         (a.point.x + b.point.x) * 0.5,
@@ -71,9 +76,9 @@ pub fn self_join(cluster: &Cluster, spec: &JoinSpec, input: Vec<Record>) -> Join
                             out.push((lo, hi));
                         }
                     }
-                }
-            }
-            acc.0 += local_candidates;
+                },
+            );
+            acc.0 += outcome.stats.candidates;
             acc.1 += local_results;
         },
     );
@@ -89,7 +94,7 @@ pub fn self_join(cluster: &Cluster, spec: &JoinSpec, input: Vec<Record>) -> Join
             construction,
             join: join_exec,
             driver: std::time::Duration::ZERO,
-            broadcast_bytes: 0,
+            broadcast_bytes,
         },
     }
 }
@@ -143,6 +148,10 @@ mod tests {
         got.sort_unstable();
         assert_eq!(got, expected);
         assert!(out.candidates >= out.result_count);
+        assert!(
+            out.metrics.broadcast_bytes > 0,
+            "grid broadcast must be metered"
+        );
     }
 
     #[test]

@@ -1,17 +1,10 @@
 use asj_engine::{JobMetrics, Placement};
 use asj_geom::Rect;
 
-/// Partition-local join kernel (ablation A1 in DESIGN.md).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum LocalKernel {
-    /// All `r·s` candidates of a cell with immediate refinement — the
-    /// paper's hash-join-then-filter execution (Algorithm 5, line 9).
-    #[default]
-    NestedLoop,
-    /// Forward plane sweep along x (the kernel of the original PBSM and of
-    /// the tuned in-memory variants of Tsitsigkos et al.).
-    PlaneSweep,
-}
+/// Partition-local join kernel (ablation A1 in DESIGN.md). Re-exported from
+/// `asj-core`, where the calibrated [`asj_core::KernelCostModel`] resolves
+/// the default `Auto` per cell group.
+pub use asj_core::LocalKernel;
 
 /// Parameters of one distributed ε-distance join run, mirroring Table 3 of
 /// the paper (defaults in **bold** there are defaults here).
@@ -38,7 +31,8 @@ pub struct JoinSpec {
     /// Materialize result pairs (`(r.id, s.id)`) in the output. Disable for
     /// large runs where only counts and metrics matter.
     pub collect_pairs: bool,
-    /// Partition-local join kernel.
+    /// Partition-local join kernel (default [`LocalKernel::Auto`]: the
+    /// calibrated cost model picks per cell group).
     pub kernel: LocalKernel,
 }
 
@@ -54,7 +48,7 @@ impl JoinSpec {
             placement: Placement::Hash,
             seed: 0xA5A5_5EED,
             collect_pairs: true,
-            kernel: LocalKernel::NestedLoop,
+            kernel: LocalKernel::default(),
         }
     }
 
@@ -153,6 +147,9 @@ mod tests {
         assert_eq!(d.sample_fraction, 0.03);
         assert_eq!(d.grid_factor, 2.0);
         assert_eq!(d.placement, Placement::Hash);
+        assert_eq!(d.kernel, LocalKernel::Auto, "Auto is the default kernel");
+        let k = JoinSpec::new(bbox, 0.5).with_kernel(LocalKernel::GridBucket);
+        assert_eq!(k.kernel, LocalKernel::GridBucket);
     }
 
     #[test]

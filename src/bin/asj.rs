@@ -14,7 +14,7 @@ use adaptive_spatial_join::data::{
 };
 use adaptive_spatial_join::geom::{Point, Rect};
 use adaptive_spatial_join::join::{
-    knn_join, self_join, Algorithm, JoinOutput, JoinSpec, PartitionedPoints, Record,
+    knn_join, self_join, Algorithm, JoinOutput, JoinSpec, LocalKernel, PartitionedPoints, Record,
 };
 use adaptive_spatial_join::prelude::*;
 use std::collections::HashMap;
@@ -40,10 +40,10 @@ usage:
   asj generate  --kind gaussian|hydrography|parks|uniform --n N --out FILE
                 [--seed S]
   asj join      --r FILE --s FILE --eps E [--algo ALGO] [--nodes N]
-                [--partitions P] [--grid-factor F] [--out FILE]
+                [--partitions P] [--grid-factor F] [--kernel K] [--out FILE]
                 [--trace FILE] [--trace-format chrome|jsonl]
                 [--faults SPEC] [--seed S] [--max-attempts N] [--speculation]
-  asj self-join --input FILE --eps E [--nodes N] [--partitions P]
+  asj self-join --input FILE --eps E [--nodes N] [--partitions P] [--kernel K]
                 [--trace FILE] [--trace-format chrome|jsonl]
                 [--faults SPEC] [--seed S] [--max-attempts N] [--speculation]
   asj knn       --r FILE --s FILE --k K --eps E [--nodes N] [--partitions P]
@@ -51,6 +51,9 @@ usage:
   asj heatmap   --input FILE [--width W] [--height H]
 
 ALGO: lpib (default) | diff | uni-r | uni-s | eps-grid | sedona
+K:    auto (default) | nested-loop | plane-sweep | grid-bucket — the
+      partition-local join kernel; auto picks per cell group from the
+      calibrated cost model.
 --trace records a dual-clock execution trace; the chrome format opens in
 Perfetto (https://ui.perfetto.dev) or chrome://tracing.
 --faults injects deterministic failures, e.g. 'chaos' or
@@ -229,6 +232,9 @@ fn build_spec(
     let factor: f64 = flags
         .get("grid-factor")
         .map_or(Ok(2.0), |s| parse(s, "--grid-factor"))?;
+    let kernel: LocalKernel = flags
+        .get("kernel")
+        .map_or(Ok(LocalKernel::Auto), |s| s.parse())?;
     let trace = TraceSink::from_flags(flags, nodes)?;
     let mut cluster = Cluster::new(ClusterConfig::new(nodes)).with_recorder(trace.recorder.clone());
     if let Some((plan, policy)) = fault_setup(flags)? {
@@ -237,7 +243,8 @@ fn build_spec(
     // Pad the observed bbox so border points still get full neighborhoods.
     let spec = JoinSpec::new(bbox.expand(eps), eps)
         .with_partitions(partitions)
-        .with_grid_factor(factor);
+        .with_grid_factor(factor)
+        .with_kernel(kernel);
     Ok((cluster, spec, trace))
 }
 
@@ -550,6 +557,28 @@ mod tests {
             assert_eq!(algorithm_by_name(name).unwrap(), algo);
         }
         assert!(algorithm_by_name("nope").is_err());
+    }
+
+    #[test]
+    fn kernel_flag_selects_local_kernel() {
+        let bbox = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let base: HashMap<String, String> = [("eps".to_string(), "0.5".to_string())].into();
+        let (_, spec, _) = build_spec(&base, bbox).unwrap();
+        assert_eq!(spec.kernel, LocalKernel::Auto, "auto is the default");
+        for (name, kernel) in [
+            ("nested-loop", LocalKernel::NestedLoop),
+            ("plane-sweep", LocalKernel::PlaneSweep),
+            ("grid-bucket", LocalKernel::GridBucket),
+            ("auto", LocalKernel::Auto),
+        ] {
+            let mut flags = base.clone();
+            flags.insert("kernel".to_string(), name.to_string());
+            let (_, spec, _) = build_spec(&flags, bbox).unwrap();
+            assert_eq!(spec.kernel, kernel, "--kernel {name}");
+        }
+        let mut bad = base.clone();
+        bad.insert("kernel".to_string(), "quadratic".to_string());
+        assert!(build_spec(&bad, bbox).is_err());
     }
 
     #[test]

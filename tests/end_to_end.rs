@@ -156,17 +156,22 @@ fn adaptive_replicates_least_on_every_combo() {
 
 /// The sample-driven cost model (`estimate_candidates`, the paper's §8
 /// future-work item) must predict the measured candidate count within a
-/// small factor when fed a 10% sample.
+/// small factor when fed a 10% sample. The estimator extrapolates the
+/// nested loop's `r·s` per cell, so the run pins that kernel (the default
+/// `Auto` prunes candidates below the `r·s` worst case).
 #[test]
 fn cost_model_predicts_candidates() {
     use adaptive_spatial_join::core::{estimate_candidates, AgreementGraph, GridSample};
     use adaptive_spatial_join::grid::{Grid, GridSpec};
+    use adaptive_spatial_join::join::LocalKernel;
 
     let catalog = Catalog::new(8_000);
     let c = cluster();
     let r = to_records(&catalog.s1.points(), 0);
     let s = to_records(&catalog.s2.points(), 0);
-    let spec = JoinSpec::new(catalog.s1.bbox, 1.2).counting_only();
+    let spec = JoinSpec::new(catalog.s1.bbox, 1.2)
+        .counting_only()
+        .with_kernel(LocalKernel::NestedLoop);
 
     let grid = Grid::new(GridSpec::new(spec.bbox, spec.eps));
     let fraction = 0.1;

@@ -1,0 +1,164 @@
+//! Regression tests for `spec.kernel` plumbing: every distributed algorithm
+//! must actually route its partition-local work through the requested kernel.
+//!
+//! Before the shared `kernels::local_join` entry point existed, the
+//! reference-point and Sedona-like joins ran a hard-wired kernel and silently
+//! ignored `spec.kernel`. The detector here is the candidate counter: the
+//! nested loop evaluates every `|R_i| × |S_i|` pair of a cell group while the
+//! plane sweep only counts pairs surviving its window, so on any workload
+//! with non-trivial groups the two requests must report *different* candidate
+//! counts — while the result pairs stay byte-identical, because every kernel
+//! applies the same exact distance refinement.
+
+use adaptive_spatial_join::core::AgreementPolicy;
+use adaptive_spatial_join::geom::{Point, Polygon, Rect, Shape};
+use adaptive_spatial_join::join::{
+    adaptive_join_dedup, extent_join, pbsm_refpoint_join, self_join, to_records, Algorithm,
+    ExtentRecord, JoinOutput, JoinSpec, LocalKernel, Record,
+};
+use adaptive_spatial_join::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn cluster() -> Cluster {
+    Cluster::new(ClusterConfig::new(4))
+}
+
+fn spec() -> JoinSpec {
+    JoinSpec::new(Rect::new(0.0, 0.0, 20.0, 20.0), 0.9)
+        .with_partitions(12)
+        .with_sample_fraction(0.4)
+}
+
+fn random_records(n: usize, seed: u64) -> Vec<Record> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pts: Vec<Point> = (0..n)
+        .map(|_| Point::new(rng.gen_range(0.0..20.0), rng.gen_range(0.0..20.0)))
+        .collect();
+    to_records(&pts, 0)
+}
+
+/// Same pairs, different candidate counts — the signature of a join that
+/// honors the requested kernel instead of running a hard-wired one.
+fn assert_kernel_is_honored(name: &str, nl: &JoinOutput, ps: &JoinOutput) {
+    let mut a = nl.pairs.clone();
+    let mut b = ps.pairs.clone();
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b, "{name}: result pairs must not depend on the kernel");
+    assert_eq!(nl.result_count, ps.result_count, "{name}");
+    assert_ne!(
+        nl.candidates, ps.candidates,
+        "{name}: nested-loop and plane-sweep must report different candidate \
+         counts (is the kernel flag ignored?)"
+    );
+    assert!(
+        ps.candidates < nl.candidates,
+        "{name}: the sweep window must prune below the nested loop's r*s \
+         ({} vs {})",
+        ps.candidates,
+        nl.candidates
+    );
+}
+
+#[test]
+fn every_two_set_algorithm_honors_the_kernel_flag() {
+    let c = cluster();
+    let r = random_records(400, 91);
+    let s = random_records(400, 92);
+    for algo in Algorithm::ALL {
+        let nl = algo.run(
+            &c,
+            &spec().with_kernel(LocalKernel::NestedLoop),
+            r.clone(),
+            s.clone(),
+        );
+        let ps = algo.run(
+            &c,
+            &spec().with_kernel(LocalKernel::PlaneSweep),
+            r.clone(),
+            s.clone(),
+        );
+        assert_kernel_is_honored(algo.name(), &nl, &ps);
+    }
+}
+
+#[test]
+fn refpoint_join_honors_the_kernel_flag() {
+    let c = cluster();
+    let r = random_records(400, 93);
+    let s = random_records(400, 94);
+    let nl = pbsm_refpoint_join(
+        &c,
+        &spec().with_kernel(LocalKernel::NestedLoop),
+        r.clone(),
+        s.clone(),
+    );
+    let ps = pbsm_refpoint_join(&c, &spec().with_kernel(LocalKernel::PlaneSweep), r, s);
+    assert_kernel_is_honored("refpoint", &nl, &ps);
+}
+
+#[test]
+fn dedup_join_honors_the_kernel_flag() {
+    let c = cluster();
+    let r = random_records(350, 95);
+    let s = random_records(350, 96);
+    let nl = adaptive_join_dedup(
+        &c,
+        &spec().with_kernel(LocalKernel::NestedLoop),
+        AgreementPolicy::Lpib,
+        r.clone(),
+        s.clone(),
+    );
+    let ps = adaptive_join_dedup(
+        &c,
+        &spec().with_kernel(LocalKernel::PlaneSweep),
+        AgreementPolicy::Lpib,
+        r,
+        s,
+    );
+    assert_kernel_is_honored("dedup", &nl, &ps);
+}
+
+#[test]
+fn self_join_honors_the_kernel_flag() {
+    let c = cluster();
+    let input = random_records(500, 97);
+    let nl = self_join(
+        &c,
+        &spec().with_kernel(LocalKernel::NestedLoop),
+        input.clone(),
+    );
+    let ps = self_join(&c, &spec().with_kernel(LocalKernel::PlaneSweep), input);
+    assert_kernel_is_honored("self-join", &nl, &ps);
+}
+
+#[test]
+fn extent_join_honors_the_kernel_flag() {
+    let c = cluster();
+    let mut rng = StdRng::seed_from_u64(98);
+    let mut boxes = |n: usize| -> Vec<ExtentRecord> {
+        (0..n)
+            .map(|i| {
+                let x = rng.gen_range(0.0..18.0);
+                let y = rng.gen_range(0.0..18.0);
+                let w = rng.gen_range(0.1..1.5);
+                let h = rng.gen_range(0.1..1.5);
+                ExtentRecord::new(
+                    i as u64,
+                    Shape::Polygon(Polygon::from_rect(Rect::new(x, y, x + w, y + h))),
+                )
+            })
+            .collect()
+    };
+    let a = boxes(250);
+    let b = boxes(250);
+    let nl = extent_join(
+        &c,
+        &spec().with_kernel(LocalKernel::NestedLoop),
+        a.clone(),
+        b.clone(),
+    );
+    let ps = extent_join(&c, &spec().with_kernel(LocalKernel::PlaneSweep), a, b);
+    assert_kernel_is_honored("extent", &nl, &ps);
+}

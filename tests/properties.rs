@@ -102,6 +102,148 @@ proptest! {
     }
 }
 
+mod kernel_properties {
+    use super::points_in;
+    use adaptive_spatial_join::core::AgreementPolicy;
+    use adaptive_spatial_join::geom::Rect;
+    use adaptive_spatial_join::grid::{Grid, GridSpec};
+    use adaptive_spatial_join::join::{
+        adaptive_join_dedup, brute_force_self_pairs, oracle, pbsm_refpoint_join, self_join,
+        to_records, Algorithm, JoinOutput, JoinSpec, LocalKernel,
+    };
+    use adaptive_spatial_join::prelude::*;
+    use proptest::prelude::*;
+
+    /// Fixed kernels first, `Auto` last — the bound check below indexes on
+    /// that order.
+    const KERNELS: [LocalKernel; 4] = [
+        LocalKernel::NestedLoop,
+        LocalKernel::PlaneSweep,
+        LocalKernel::GridBucket,
+        LocalKernel::Auto,
+    ];
+
+    /// `Auto` may fall back to the nested loop only for groups hitting the
+    /// tiny-pairs rule (`r*s <= 4`) or whose extent fits in an ε-box, so its
+    /// candidate count is bounded by the better fixed kernel's plus 10%
+    /// plus 4 candidates per cell group.
+    fn auto_bound(min_fixed: u64, groups: u64) -> u64 {
+        (min_fixed as f64 * 1.1).ceil() as u64 + 4 * groups
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Every algorithm × every kernel variant returns exactly the oracle
+        /// pairs, and `Auto` never does meaningfully more candidate work
+        /// than the best fixed kernel.
+        #[test]
+        fn every_kernel_matches_brute_force_everywhere(
+            eps in 0.4f64..1.2,
+            seed in 0u64..10_000,
+            r_pts in points_in(20.0, 20.0, 100),
+            s_pts in points_in(20.0, 20.0, 100),
+        ) {
+            let r = to_records(&r_pts, 0);
+            let s = to_records(&s_pts, 0);
+            let expected = oracle::brute_force_pairs(&r, &s, eps);
+            let cluster = Cluster::new(ClusterConfig::new(1 + (seed % 5) as usize));
+            let base = JoinSpec::new(Rect::new(0.0, 0.0, 20.0, 20.0), eps)
+                .with_partitions(1 + (seed % 17) as usize)
+                .with_sample_fraction(0.4)
+                .with_seed(seed);
+            // Upper bounds on the number of cell groups, for the Auto slack:
+            // the agreement-grid cell count for the adaptive family, the
+            // finer ε-grid's for the ε-grid baseline.
+            let grid_groups =
+                Grid::new(GridSpec::with_factor(base.bbox, eps, base.grid_factor)).num_cells()
+                    as u64;
+            let eps_groups = Grid::new(GridSpec::new(base.bbox, eps)).num_cells() as u64;
+
+            type Runner<'a> = Box<dyn Fn(&JoinSpec) -> JoinOutput + 'a>;
+            let (c, rr, ss) = (&cluster, &r, &s);
+            let mut runners: Vec<(String, Runner, Option<u64>)> = Vec::new();
+            for algo in Algorithm::ALL {
+                // Sedona's groups are quadtree leaves, not grid cells; its
+                // exactness is still checked, only the slack bound is
+                // skipped for lack of a leaf count here.
+                let groups = match algo {
+                    Algorithm::EpsGrid => Some(eps_groups),
+                    Algorithm::Sedona => None,
+                    _ => Some(grid_groups),
+                };
+                runners.push((
+                    algo.name().to_string(),
+                    Box::new(move |spec: &JoinSpec| algo.run(c, spec, rr.clone(), ss.clone())),
+                    groups,
+                ));
+            }
+            runners.push((
+                "refpoint".to_string(),
+                Box::new(move |spec| pbsm_refpoint_join(c, spec, rr.clone(), ss.clone())),
+                Some(eps_groups),
+            ));
+            runners.push((
+                "dedup".to_string(),
+                Box::new(move |spec| {
+                    adaptive_join_dedup(c, spec, AgreementPolicy::Lpib, rr.clone(), ss.clone())
+                }),
+                // Dedup's candidate counter is clamped below by the
+                // duplicated result count, so the kernel bound does not
+                // transfer; exactness only.
+                None,
+            ));
+            for (name, run, groups) in &runners {
+                let outs: Vec<JoinOutput> =
+                    KERNELS.map(|k| run(&base.clone().with_kernel(k))).into();
+                for out in &outs {
+                    let mut got = out.pairs.clone();
+                    got.sort_unstable();
+                    prop_assert_eq!(&got, &expected, "{} seed={}", name, seed);
+                }
+                if let Some(groups) = groups {
+                    let min_fixed = outs[..3].iter().map(|o| o.candidates).min().unwrap();
+                    prop_assert!(
+                        outs[3].candidates <= auto_bound(min_fixed, *groups),
+                        "{}: auto did {} candidates vs best fixed {} over {} groups",
+                        name, outs[3].candidates, min_fixed, groups
+                    );
+                }
+            }
+        }
+
+        /// The self-join, same contract: exact pairs under every kernel and
+        /// a bounded Auto.
+        #[test]
+        fn every_kernel_matches_brute_force_on_self_join(
+            pts in points_in(20.0, 20.0, 140),
+            eps in 0.3f64..1.0,
+        ) {
+            let input = to_records(&pts, 0);
+            let expected = brute_force_self_pairs(&input, eps);
+            let cluster = Cluster::new(ClusterConfig::new(4));
+            let base = JoinSpec::new(Rect::new(0.0, 0.0, 20.0, 20.0), eps).with_partitions(8);
+            let groups =
+                Grid::new(GridSpec::with_factor(base.bbox, eps, base.grid_factor)).num_cells()
+                    as u64;
+            let outs: Vec<JoinOutput> = KERNELS
+                .map(|k| self_join(&cluster, &base.clone().with_kernel(k), input.clone()))
+                .into();
+            for out in &outs {
+                let mut got = out.pairs.clone();
+                got.sort_unstable();
+                prop_assert_eq!(&got, &expected);
+            }
+            let min_fixed = outs[..3].iter().map(|o| o.candidates).min().unwrap();
+            prop_assert!(
+                outs[3].candidates <= auto_bound(min_fixed, groups),
+                "self-join: auto did {} candidates vs best fixed {} over {} groups",
+                outs[3].candidates, min_fixed, groups
+            );
+        }
+    }
+}
+
 mod extent_properties {
     use adaptive_spatial_join::geom::{Point, Polygon, Polyline, Rect, Shape};
     use adaptive_spatial_join::join::{
