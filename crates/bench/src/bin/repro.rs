@@ -5,8 +5,8 @@
 //!       [--faults SPEC] [--fault-seed N] [--speculation]
 //!
 //! EXPERIMENT: table1 fig1b fig10 table4 fig13 fig14 fig15 fig16 fig17
-//!             fig18 table5 table6 table7 ablation-kernels (a1) faults all
-//!             (default: all)
+//!             fig18 table5 table6 table7 ablation-kernels (a1) faults perf
+//!             all (default: all)
 //! --quick       reduced scale (same as `cargo bench --bench figures`)
 //! --scale N     x1 cardinality of the synthetic sets (default 100000)
 //! --reps N      repetitions per configuration (times averaged; default 3)
@@ -16,7 +16,7 @@
 //! --speculation   speculatively re-execute straggler tasks
 //! ```
 
-use asj_bench::{experiments, Combo, ExpConfig};
+use asj_bench::{experiments, perf, Combo, ExpConfig};
 use asj_engine::{FaultPlan, RetryPolicy};
 
 fn main() {
@@ -141,6 +141,9 @@ fn main() {
             "faults" | "fault-tolerance" => {
                 experiments::fault_tolerance(&cfg, &ab_plan, policy);
             }
+            "perf" | "shuffle-perf" => {
+                perf::shuffle_perf(&cfg);
+            }
             other => usage(&format!("unknown experiment {other}")),
         }
     }
@@ -155,7 +158,8 @@ fn usage(err: &str) -> ! {
         "usage: repro [EXPERIMENT...] [--quick] [--scale N] [--reps N]\n\
          \x20            [--faults SPEC] [--fault-seed N] [--speculation]\n\
          experiments: table1 fig1b fig10 table4 fig13 fig14 fig15 fig16 \
-         fig17 fig18 table5 table6 table7 ablation-kernels a2 ext faults all"
+         fig17 fig18 table5 table6 table7 ablation-kernels a2 ext faults \
+         perf all"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

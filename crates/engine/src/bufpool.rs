@@ -1,0 +1,287 @@
+//! Arena-style buffer recycling for the shuffle's data movement.
+//!
+//! Every radix shuffle used to allocate (and drop) one `Vec` per
+//! (source partition × target partition) plus per-task scratch arrays; on a
+//! 16×96 shuffle that is ~1500 allocator round-trips per stage, repeated for
+//! every stage of every join. The [`BufferPool`] keeps those allocations
+//! alive across stages instead: emptied buffers are returned after the
+//! reduce side has drained them and handed back — capacity intact — to the
+//! next map task that asks for the same element type.
+//!
+//! The pool is type-erased (`TypeId` → free list of `Box<dyn Any>`), shared
+//! by every clone of a [`Cluster`](crate::Cluster) handle, and safe under
+//! the fault-tolerant executor by construction: buffers are checked out per
+//! task *attempt* and only returned at driver-side commit points, so a
+//! retried or speculative attempt can never observe (or double-fill) a
+//! buffer owned by another attempt — the loser's buffers are simply dropped.
+
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Cumulative counters of one pool. Deltas around a stage give that stage's
+/// allocation behaviour (mirrored into `asj-obs` by the shuffle).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Checkouts served from the free list.
+    pub hits: u64,
+    /// Checkouts that had to allocate fresh.
+    pub misses: u64,
+    /// Buffers returned to the free list.
+    pub returns: u64,
+    /// Capacity bytes handed out from the free list — allocator traffic the
+    /// pool absorbed.
+    pub bytes_recycled: u64,
+}
+
+impl PoolStats {
+    /// Counter-wise `self - earlier` (for around-a-stage deltas).
+    pub fn since(&self, earlier: &PoolStats) -> PoolStats {
+        PoolStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            returns: self.returns - earlier.returns,
+            bytes_recycled: self.bytes_recycled - earlier.bytes_recycled,
+        }
+    }
+}
+
+/// Per-type cap on retained buffers: beyond this, returns are dropped so one
+/// giant stage cannot pin unbounded memory for the process lifetime.
+const MAX_RETAINED_PER_TYPE: usize = 4096;
+
+/// A type-erased free list of reusable `Vec<T>` buffers.
+///
+/// All buffers on the shelf are empty (`len == 0`) with their capacity
+/// retained; `take_vec` never hands out stale elements.
+pub struct BufferPool {
+    shelves: Mutex<HashMap<TypeId, Vec<Box<dyn Any + Send>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    returns: AtomicU64,
+    bytes_recycled: AtomicU64,
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("BufferPool")
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .field("returns", &stats.returns)
+            .field("bytes_recycled", &stats.bytes_recycled)
+            .finish()
+    }
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        BufferPool::new()
+    }
+}
+
+impl BufferPool {
+    pub fn new() -> Self {
+        BufferPool {
+            shelves: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            returns: AtomicU64::new(0),
+            bytes_recycled: AtomicU64::new(0),
+        }
+    }
+
+    /// An empty `Vec<T>` with capacity ≥ `capacity`, recycled if possible.
+    pub fn take_vec<T: Send + 'static>(&self, capacity: usize) -> Vec<T> {
+        let mut out = self.take_vecs::<T>(std::slice::from_ref(&capacity));
+        out.pop().expect("one capacity in, one vec out")
+    }
+
+    /// One buffer per entry of `capacities`, checked out under a single
+    /// lock. Zero-capacity entries are served as plain `Vec::new()` without
+    /// touching the pool (no allocation either way).
+    pub fn take_vecs<T: Send + 'static>(&self, capacities: &[usize]) -> Vec<Vec<T>> {
+        let mut shelves = self.shelves.lock().expect("buffer pool poisoned");
+        let shelf = shelves.entry(TypeId::of::<T>()).or_default();
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let mut recycled = 0u64;
+        let out = capacities
+            .iter()
+            .map(|&cap| {
+                if cap == 0 {
+                    return Vec::new();
+                }
+                match shelf.pop() {
+                    Some(boxed) => {
+                        let mut v = *boxed
+                            .downcast::<Vec<T>>()
+                            .expect("shelf keyed by TypeId holds only Vec<T>");
+                        debug_assert!(v.is_empty(), "pooled buffers are returned empty");
+                        hits += 1;
+                        recycled += (v.capacity().min(cap) * std::mem::size_of::<T>()) as u64;
+                        if v.capacity() < cap {
+                            v.reserve_exact(cap - v.len());
+                        }
+                        v
+                    }
+                    None => {
+                        misses += 1;
+                        Vec::with_capacity(cap)
+                    }
+                }
+            })
+            .collect();
+        drop(shelves);
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.misses.fetch_add(misses, Ordering::Relaxed);
+        self.bytes_recycled.fetch_add(recycled, Ordering::Relaxed);
+        out
+    }
+
+    /// Returns one buffer to the free list (cleared here; capacity kept).
+    pub fn put_vec<T: Send + 'static>(&self, v: Vec<T>) {
+        self.put_vecs(std::iter::once(v));
+    }
+
+    /// Returns a batch of buffers under a single lock. Buffers without
+    /// capacity — and anything past the per-type retention cap — are
+    /// dropped instead of shelved.
+    pub fn put_vecs<T: Send + 'static>(&self, bufs: impl IntoIterator<Item = Vec<T>>) {
+        let mut shelves = self.shelves.lock().expect("buffer pool poisoned");
+        let shelf = shelves.entry(TypeId::of::<T>()).or_default();
+        let mut returns = 0u64;
+        for mut v in bufs {
+            v.clear();
+            if v.capacity() == 0 || shelf.len() >= MAX_RETAINED_PER_TYPE {
+                continue;
+            }
+            returns += 1;
+            shelf.push(Box::new(v));
+        }
+        drop(shelves);
+        self.returns.fetch_add(returns, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the cumulative counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            returns: self.returns.load(Ordering::Relaxed),
+            bytes_recycled: self.bytes_recycled.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops every retained buffer (counters are kept).
+    pub fn clear(&self) {
+        self.shelves.lock().expect("buffer pool poisoned").clear();
+    }
+
+    /// Buffers currently shelved (across all types).
+    pub fn retained(&self) -> usize {
+        self.shelves
+            .lock()
+            .expect("buffer pool poisoned")
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit_roundtrip() {
+        let pool = BufferPool::new();
+        let mut v = pool.take_vec::<u64>(100);
+        assert!(v.capacity() >= 100);
+        assert!(v.is_empty());
+        v.extend(0..50u64);
+        pool.put_vec(v);
+        assert_eq!(pool.retained(), 1);
+        let v2 = pool.take_vec::<u64>(80);
+        assert!(v2.is_empty(), "recycled buffers must come back cleared");
+        assert!(v2.capacity() >= 100, "capacity survives the round trip");
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses, s.returns), (1, 1, 1));
+        assert!(s.bytes_recycled >= 80 * 8);
+    }
+
+    #[test]
+    fn types_do_not_mix() {
+        let pool = BufferPool::new();
+        pool.put_vec::<u32>(Vec::with_capacity(16));
+        let v: Vec<u64> = pool.take_vec(4);
+        assert!(v.capacity() >= 4);
+        assert_eq!(pool.stats().misses, 1, "u32 shelf cannot serve u64");
+        assert_eq!(pool.retained(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_requests_bypass_the_pool() {
+        let pool = BufferPool::new();
+        pool.put_vec::<u8>(Vec::with_capacity(64));
+        let vs = pool.take_vecs::<u8>(&[0, 0, 32]);
+        assert_eq!(vs.len(), 3);
+        assert_eq!(vs[0].capacity(), 0);
+        assert_eq!(vs[1].capacity(), 0);
+        assert!(vs[2].capacity() >= 32);
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses), (1, 0));
+    }
+
+    #[test]
+    fn capacityless_returns_are_dropped() {
+        let pool = BufferPool::new();
+        pool.put_vec::<u8>(Vec::new());
+        assert_eq!(pool.retained(), 0);
+        assert_eq!(pool.stats().returns, 0);
+    }
+
+    #[test]
+    fn undersized_recycled_buffer_is_grown() {
+        let pool = BufferPool::new();
+        pool.put_vec::<u64>(Vec::with_capacity(8));
+        let v = pool.take_vec::<u64>(1000);
+        assert!(v.capacity() >= 1000);
+        assert_eq!(pool.stats().hits, 1);
+    }
+
+    #[test]
+    fn clear_empties_the_shelves() {
+        let pool = BufferPool::new();
+        pool.put_vec::<u64>(Vec::with_capacity(8));
+        pool.put_vec::<u32>(Vec::with_capacity(8));
+        assert_eq!(pool.retained(), 2);
+        pool.clear();
+        assert_eq!(pool.retained(), 0);
+    }
+
+    #[test]
+    fn concurrent_checkouts_are_safe() {
+        use std::sync::Arc;
+        let pool = Arc::new(BufferPool::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        let mut v = pool.take_vec::<u64>(64);
+                        v.push(1);
+                        pool.put_vec(v);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+        let s = pool.stats();
+        assert_eq!(s.hits + s.misses, 800);
+        assert!(s.returns > 0);
+    }
+}

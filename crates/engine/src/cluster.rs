@@ -1,3 +1,4 @@
+use crate::bufpool::BufferPool;
 use crate::fault::{FaultContext, FaultPlan, JobError, RetryPolicy};
 use crate::metrics::ExecStats;
 use crate::pool::{run_tasks_ft, try_run_tasks_traced};
@@ -5,6 +6,29 @@ use asj_core::KernelCostModel;
 use asj_obs::Recorder;
 use std::ops::Deref;
 use std::sync::{Arc, OnceLock};
+
+/// Which shuffle materialization [`KeyedDataset::try_shuffle_stage`]
+/// (crate::KeyedDataset) uses on this cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShuffleMode {
+    /// Radix scatter through pooled per-target buckets with single-pass byte
+    /// metering — the default.
+    #[default]
+    Radix,
+    /// The original tuple-`Vec` materialization (fresh allocations, second
+    /// `encoded_size` walk on the reduce side). Kept reachable as the oracle
+    /// for equivalence tests and A/B perf runs.
+    Legacy,
+}
+
+impl ShuffleMode {
+    pub fn name(self) -> &'static str {
+        match self {
+            ShuffleMode::Radix => "radix",
+            ShuffleMode::Legacy => "legacy",
+        }
+    }
+}
 
 /// Shape of the simulated cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +81,11 @@ pub struct Cluster {
     /// join that needs them (see [`Cluster::kernel_cost_model`]) and shared
     /// by every clone of this cluster handle.
     cost_model: Arc<OnceLock<KernelCostModel>>,
+    /// Reusable shuffle buffers, shared by every clone of this handle so
+    /// buckets recycled after one stage serve the next.
+    buffers: Arc<BufferPool>,
+    /// Which shuffle materialization stages on this cluster use.
+    shuffle_mode: ShuffleMode,
 }
 
 impl Cluster {
@@ -71,7 +100,29 @@ impl Cluster {
             recorder: Recorder::noop(),
             faults: None,
             cost_model: Arc::new(OnceLock::new()),
+            buffers: Arc::new(BufferPool::new()),
+            shuffle_mode: ShuffleMode::default(),
         }
+    }
+
+    /// Selects the shuffle materialization for stages run on this handle.
+    /// [`ShuffleMode::Legacy`] pins the pre-radix tuple-`Vec` path — the
+    /// oracle side of A/B equivalence and perf comparisons.
+    pub fn with_shuffle_mode(mut self, mode: ShuffleMode) -> Self {
+        self.shuffle_mode = mode;
+        self
+    }
+
+    /// The active shuffle materialization.
+    #[inline]
+    pub fn shuffle_mode(&self) -> ShuffleMode {
+        self.shuffle_mode
+    }
+
+    /// The cluster-lifetime [`BufferPool`] radix shuffles draw from.
+    #[inline]
+    pub fn buffer_pool(&self) -> &BufferPool {
+        &self.buffers
     }
 
     /// The cluster's calibrated [`KernelCostModel`], running `calibrate` on

@@ -1,4 +1,4 @@
-use crate::cluster::Cluster;
+use crate::cluster::{Cluster, ShuffleMode};
 use crate::fault::JobError;
 use crate::metrics::{ExecStats, ShuffleStats};
 use crate::partitioner::Partitioner;
@@ -218,10 +218,12 @@ pub struct KeyedDataset<K, V> {
     parts: Vec<Vec<(K, V)>>,
 }
 
+// `'static` because shuffle buckets are recycled through the cluster's
+// type-erased `BufferPool`, which shelves buffers by `TypeId`.
 impl<K, V> KeyedDataset<K, V>
 where
-    K: Wire + Send + Sync + Copy,
-    V: Wire + Send + Sync + Clone,
+    K: Wire + Send + Sync + Copy + 'static,
+    V: Wire + Send + Sync + Clone + 'static,
 {
     pub fn from_partitions(parts: Vec<Vec<(K, V)>>) -> Self {
         assert!(!parts.is_empty(), "need at least one partition");
@@ -285,7 +287,137 @@ where
 
     /// Fallible [`KeyedDataset::shuffle_stage`]: task failures past the retry
     /// budget surface as a [`JobError`] instead of a panic.
+    ///
+    /// The materialization strategy is the cluster's [`ShuffleMode`]: the
+    /// radix scatter through pooled buckets by default, or the legacy
+    /// tuple-`Vec` path when pinned for A/B comparison. Both produce
+    /// byte-identical partitions and [`ShuffleStats`].
     pub fn try_shuffle_stage<P>(
+        self,
+        cluster: &Cluster,
+        partitioner: &P,
+        stage: &str,
+    ) -> Result<(KeyedDataset<K, V>, ShuffleStats, ExecStats), JobError>
+    where
+        P: Partitioner<K> + ?Sized,
+    {
+        match cluster.shuffle_mode() {
+            ShuffleMode::Radix => self.radix_shuffle_stage(cluster, partitioner, stage),
+            ShuffleMode::Legacy => self.legacy_shuffle_stage(cluster, partitioner, stage),
+        }
+    }
+
+    /// Radix materialization: each map task routes its partition in two
+    /// passes — pass 1 computes every record's target once, sizing it once
+    /// (`encoded_size`) for *both* the node-level remote/local split and the
+    /// per-target partition accounting, and builds a per-target histogram;
+    /// pass 2 scatters records into exactly-sized buckets checked out of the
+    /// cluster's [`BufferPool`](crate::BufferPool). The reduce side stitches
+    /// buckets with bulk `Vec::append` moves (no per-record work) and
+    /// recycles every emptied bucket into the pool for the next stage.
+    ///
+    /// Fault safety: buffers are checked out per task *attempt* and the
+    /// buckets travel inside the attempt's result, so a retried or
+    /// speculative attempt fills its own buffers; losers are dropped, never
+    /// returned, so no buffer is ever double-filled.
+    fn radix_shuffle_stage<P>(
+        self,
+        cluster: &Cluster,
+        partitioner: &P,
+        stage: &str,
+    ) -> Result<(KeyedDataset<K, V>, ShuffleStats, ExecStats), JobError>
+    where
+        P: Partitioner<K> + ?Sized,
+    {
+        let targets = partitioner.num_partitions();
+        let pool = cluster.buffer_pool();
+        let pool_before = pool.stats();
+        let (mut bucketed, stats) =
+            cluster.try_run_partitioned_stage(stage, self.parts, |src_idx, part| {
+                let src_node = cluster.node_of_partition(src_idx);
+                let mut shuffle = ShuffleStats {
+                    partition_bytes: vec![0u64; targets],
+                    ..ShuffleStats::default()
+                };
+                // Pass 1: route + meter. One partitioner probe and one
+                // encoded_size per record, reused for node and partition
+                // byte accounting.
+                let mut route: Vec<u32> = pool.take_vec(part.len());
+                let mut counts: Vec<usize> = vec![0; targets];
+                for (k, v) in &part {
+                    let t = partitioner.partition_of(k);
+                    debug_assert!(t < targets);
+                    let bytes = k.encoded_size() as u64 + v.encoded_size() as u64;
+                    if cluster.node_of_partition(t) == src_node {
+                        shuffle.local_bytes += bytes;
+                    } else {
+                        shuffle.remote_bytes += bytes;
+                    }
+                    shuffle.records += 1;
+                    shuffle.partition_bytes[t] += bytes;
+                    counts[t] += 1;
+                    route.push(t as u32);
+                }
+                // Pass 2: scatter into exactly-sized pooled buckets.
+                let mut buckets: Vec<Vec<(K, V)>> = pool.take_vecs(&counts);
+                for (rec, &t) in part.into_iter().zip(&route) {
+                    buckets[t as usize].push(rec);
+                }
+                // The routing scratch is attempt-local: filled and drained
+                // within this attempt, so returning it here cannot race a
+                // speculative twin (which checked out its own).
+                pool.put_vec(route);
+                (buckets, shuffle)
+            })?;
+        // Reduce side: per-task partition_bytes merge element-wise, so the
+        // driver-side total matches the legacy reduce-side walk exactly.
+        let mut shuffle = ShuffleStats::default();
+        for (_, s) in &bucketed {
+            shuffle.merge(s);
+        }
+        let mut parts: Vec<Vec<(K, V)>> = Vec::with_capacity(targets);
+        for t in 0..targets {
+            let total: usize = bucketed.iter().map(|(b, _)| b[t].len()).sum();
+            let mut dst: Vec<(K, V)> = pool.take_vec(total);
+            for (buckets, _) in &mut bucketed {
+                dst.append(&mut buckets[t]);
+            }
+            parts.push(dst);
+        }
+        // Commit point: the stage's results are final, hand the emptied
+        // buckets back for the next stage.
+        for (buckets, _) in bucketed {
+            pool.put_vecs(buckets);
+        }
+        let recorder = cluster.recorder();
+        if recorder.is_enabled() {
+            // Mirror the ShuffleStats fields into the metrics registry and
+            // attribute every target partition's bytes to its node's lane.
+            recorder.counter_add(stage, "remote_bytes", shuffle.remote_bytes);
+            recorder.counter_add(stage, "local_bytes", shuffle.local_bytes);
+            recorder.counter_add(stage, "records", shuffle.records);
+            let pool_delta = pool.stats().since(&pool_before);
+            recorder.counter_add(stage, "pool_hits", pool_delta.hits);
+            recorder.counter_add(stage, "pool_misses", pool_delta.misses);
+            recorder.counter_add(stage, "bytes_recycled", pool_delta.bytes_recycled);
+            for (t, &bytes) in shuffle.partition_bytes.iter().enumerate() {
+                recorder.histogram_record(stage, "partition_bytes", bytes as f64);
+                recorder.event(
+                    "shuffle.partition",
+                    Lane::Node(cluster.node_of_partition(t)),
+                    Some(t as u64),
+                    Attrs::new().bytes(bytes).records(parts[t].len() as u64),
+                );
+            }
+        }
+        Ok((KeyedDataset { parts }, shuffle, stats))
+    }
+
+    /// The pre-radix materialization, kept verbatim as the oracle for
+    /// equivalence tests and A/B perf runs: fresh `Vec` per (source ×
+    /// target) bucket, per-record `extend` on the reduce side, and a second
+    /// `encoded_size` walk for the partition byte accounting.
+    fn legacy_shuffle_stage<P>(
         self,
         cluster: &Cluster,
         partitioner: &P,
@@ -700,7 +832,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cluster::ClusterConfig;
+    use crate::cluster::{ClusterConfig, ShuffleMode};
     use crate::partitioner::HashPartitioner;
 
     fn cluster() -> Cluster {
@@ -799,6 +931,43 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn radix_and_legacy_shuffles_are_byte_identical() {
+        let parts: Vec<Vec<(u64, u64)>> = (0..6)
+            .map(|p| (0..200u64).map(|i| (i * 7 % 53, p * 1000 + i)).collect())
+            .collect();
+        let radix = cluster();
+        let legacy = cluster().with_shuffle_mode(ShuffleMode::Legacy);
+        let p = HashPartitioner::new(13);
+        let (dr, sr, _) = KeyedDataset::from_partitions(parts.clone()).shuffle(&radix, &p);
+        let (dl, sl, _) = KeyedDataset::from_partitions(parts).shuffle(&legacy, &p);
+        assert_eq!(sr, sl);
+        assert_eq!(dr.partitions(), dl.partitions(), "exact order must match");
+    }
+
+    #[test]
+    fn radix_shuffle_recycles_buckets_across_stages() {
+        let c = cluster();
+        let p = HashPartitioner::new(8);
+        let data: Vec<Vec<(u64, u64)>> = (0..4)
+            .map(|_| (0..500u64).map(|i| (i, i)).collect())
+            .collect();
+        let (shuffled, _, _) = KeyedDataset::from_partitions(data.clone()).shuffle(&c, &p);
+        drop(shuffled);
+        let after_first = c.buffer_pool().stats();
+        assert!(
+            after_first.returns > 0,
+            "buckets must come back to the pool"
+        );
+        let (_, _, _) = KeyedDataset::from_partitions(data).shuffle(&c, &p);
+        let after_second = c.buffer_pool().stats().since(&after_first);
+        assert!(
+            after_second.hits > 0,
+            "second stage must reuse recycled buckets: {after_second:?}"
+        );
+        assert!(after_second.bytes_recycled > 0);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! model. See `DESIGN.md` at the workspace root for the substitution
 //! argument.
 
+mod bufpool;
 mod cluster;
 mod dataset;
 mod fault;
@@ -35,7 +36,8 @@ mod partitioner;
 mod pool;
 mod wire;
 
-pub use cluster::{Broadcast, Cluster, ClusterConfig};
+pub use bufpool::{BufferPool, PoolStats};
+pub use cluster::{Broadcast, Cluster, ClusterConfig, ShuffleMode};
 pub use dataset::{Dataset, KeyedDataset};
 pub use fault::{FailPoint, FaultContext, FaultPlan, FaultState, JobError, RetryPolicy, TaskError};
 pub use lpt::{assignment_makespan, least_loaded, lpt_assign};

@@ -29,6 +29,7 @@
 //! nested loop where its count cannot exceed theirs (tiny groups, or groups
 //! whose extent fits in an ε × ε box so every pair passes the window).
 
+use crate::batch::PointsView;
 use asj_core::{KernelCostModel, KernelKind, LocalKernel};
 use asj_geom::{Point, Rect};
 use std::sync::OnceLock;
@@ -255,6 +256,170 @@ fn bucket_probe(
         }
     }
     stats
+}
+
+// ---------------------------------------------------------------------------
+// Columnar (SoA) kernel variants
+// ---------------------------------------------------------------------------
+//
+// Same predicates, same candidate semantics, different layout: the loops
+// below stream the flat `xs`/`ys` lanes of a [`PointsView`] (built once per
+// partition by [`PointBatch`](crate::PointBatch)) instead of walking
+// `(x, y, idx)` tuples. `on_pair` receives *view positions*; callers map
+// them through the batch's parallel id lane.
+
+/// Bounding extent `(width, height)` of the union of two views. Min/max
+/// folds are order-independent, so this matches [`union_extent`] bit-for-bit
+/// on the same point set — `Auto` resolves identically for either layout.
+fn view_extent(a: PointsView<'_>, b: PointsView<'_>) -> (f64, f64) {
+    let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &x in a.xs.iter().chain(b.xs) {
+        min_x = min_x.min(x);
+        max_x = max_x.max(x);
+    }
+    for &y in a.ys.iter().chain(b.ys) {
+        min_y = min_y.min(y);
+        max_y = max_y.max(y);
+    }
+    ((max_x - min_x).max(0.0), (max_y - min_y).max(0.0))
+}
+
+/// All-pairs kernel over SoA lanes.
+pub fn nested_loop_view(
+    a: PointsView<'_>,
+    b: PointsView<'_>,
+    eps: f64,
+    mut on_pair: impl FnMut(usize, usize),
+) -> KernelStats {
+    let e2 = eps * eps;
+    let mut stats = KernelStats::default();
+    for i in 0..a.len() {
+        let (ax, ay) = (a.xs[i], a.ys[i]);
+        for j in 0..b.len() {
+            stats.candidates += 1;
+            if Point::new(ax, ay).dist2(Point::new(b.xs[j], b.ys[j])) <= e2 {
+                stats.results += 1;
+                on_pair(i, j);
+            }
+        }
+    }
+    stats
+}
+
+/// Forward plane-sweep over SoA lanes. Both views must be in ascending-`x`
+/// order (the [`PointBatch`](crate::PointBatch) group invariant); the window
+/// scan then reads the `xs` lane sequentially — one cache line carries eight
+/// candidates.
+pub fn sweep_view(
+    a: PointsView<'_>,
+    b: PointsView<'_>,
+    eps: f64,
+    mut on_pair: impl FnMut(usize, usize),
+) -> KernelStats {
+    let e2 = eps * eps;
+    let mut stats = KernelStats::default();
+    let mut start_b = 0usize;
+    for i in 0..a.len() {
+        let (ax, ay) = (a.xs[i], a.ys[i]);
+        while start_b < b.len() && b.xs[start_b] < ax - eps {
+            start_b += 1;
+        }
+        for j in start_b..b.len() {
+            let bx = b.xs[j];
+            if bx > ax + eps {
+                break;
+            }
+            let by = b.ys[j];
+            if (by - ay).abs() > eps {
+                continue;
+            }
+            stats.candidates += 1;
+            if Point::new(ax, ay).dist2(Point::new(bx, by)) <= e2 {
+                stats.results += 1;
+                on_pair(i, j);
+            }
+        }
+    }
+    stats
+}
+
+fn bucketize_view(v: PointsView<'_>, ox: f64, oy: f64, eps: f64) -> Vec<Bucketed> {
+    let mut out: Vec<Bucketed> =
+        v.xs.iter()
+            .zip(v.ys)
+            .enumerate()
+            .map(|(i, (&x, &y))| (bucket_of(x, y, ox, oy, eps), (x, y, i as u32)))
+            .collect();
+    out.sort_unstable_by_key(|p| p.0);
+    out
+}
+
+/// ε-bucket probe over SoA lanes: `b` is bucketed once (carrying its
+/// coordinates into the bucket-sorted array, so probes stay contiguous),
+/// `a` streams its lanes and probes the 3×3 neighborhood.
+pub fn bucket_probe_view(
+    a: PointsView<'_>,
+    b: PointsView<'_>,
+    eps: f64,
+    mut on_pair: impl FnMut(usize, usize),
+) -> KernelStats {
+    let mut stats = KernelStats::default();
+    if a.is_empty() || b.is_empty() {
+        return stats;
+    }
+    let e2 = eps * eps;
+    let ox =
+        a.xs.iter()
+            .chain(b.xs)
+            .fold(f64::INFINITY, |m, &x| m.min(x));
+    let oy =
+        a.ys.iter()
+            .chain(b.ys)
+            .fold(f64::INFINITY, |m, &y| m.min(y));
+    let sb = bucketize_view(b, ox, oy, eps);
+    for i in 0..a.len() {
+        let (ax, ay) = (a.xs[i], a.ys[i]);
+        let (bx, by) = bucket_of(ax, ay, ox, oy, eps);
+        for dx in -1..=1i64 {
+            for &(_, (px, py, bi)) in bucket_range(&sb, bx + dx, by - 1, by + 1) {
+                if (px - ax).abs() > eps || (py - ay).abs() > eps {
+                    continue;
+                }
+                stats.candidates += 1;
+                if Point::new(ax, ay).dist2(Point::new(px, py)) <= e2 {
+                    stats.results += 1;
+                    on_pair(i, bi as usize);
+                }
+            }
+        }
+    }
+    stats
+}
+
+/// Columnar twin of [`local_join`]: resolves `requested` against the views'
+/// measured extent and runs the chosen SoA kernel. Both views must be in
+/// ascending-`x` order. `on_pair` receives view positions.
+///
+/// Resolution, candidate counts and result pairs are identical to
+/// [`local_join`] over the same point groups — only the memory layout (and
+/// hence the wall clock) differs.
+pub fn local_join_view(
+    requested: LocalKernel,
+    model: &KernelCostModel,
+    eps: f64,
+    a: PointsView<'_>,
+    b: PointsView<'_>,
+    on_pair: impl FnMut(usize, usize),
+) -> LocalJoinOutcome {
+    let (w, h) = view_extent(a, b);
+    let kind = model.resolve(requested, a.len() as u64, b.len() as u64, eps, w, h);
+    let stats = match kind {
+        KernelKind::NestedLoop => nested_loop_view(a, b, eps, on_pair),
+        KernelKind::PlaneSweep => sweep_view(a, b, eps, on_pair),
+        KernelKind::GridBucket => bucket_probe_view(a, b, eps, on_pair),
+    };
+    LocalJoinOutcome { kind, stats }
 }
 
 /// Shared adaptive entry point for the two-sided point join: resolves
@@ -929,6 +1094,120 @@ mod tests {
         assert!(o_ps.stats.candidates < o_nl.stats.candidates);
         assert_eq!(o_nl.stats.results, o_ps.stats.results);
         assert_ne!(o_auto.kind, KernelKind::NestedLoop);
+    }
+
+    fn soa_of(pts: &[Point]) -> (Vec<f64>, Vec<f64>) {
+        let mut sorted = pts.to_vec();
+        sorted.sort_unstable_by(|p, q| p.x.total_cmp(&q.x));
+        (
+            sorted.iter().map(|p| p.x).collect(),
+            sorted.iter().map(|p| p.y).collect(),
+        )
+    }
+
+    #[test]
+    fn view_kernels_match_tuple_kernels() {
+        for seed in 0..4 {
+            let a = random_points(250, 60 + seed, 9.0);
+            let b = random_points(250, 160 + seed, 9.0);
+            let eps = 0.6;
+            let (ax, ay) = soa_of(&a);
+            let (bx, by) = soa_of(&b);
+            let va = PointsView::new(&ax, &ay);
+            let vb = PointsView::new(&bx, &by);
+            // Result coordinates (layout-independent identity), sorted.
+            let gather = |pairs: &[(usize, usize)],
+                          pa: &dyn Fn(usize) -> Point,
+                          pb: &dyn Fn(usize) -> Point| {
+                let mut got: Vec<_> = pairs
+                    .iter()
+                    .map(|&(i, j)| {
+                        let (p, q) = (pa(i), pb(j));
+                        (p.x.to_bits(), p.y.to_bits(), q.x.to_bits(), q.y.to_bits())
+                    })
+                    .collect();
+                got.sort_unstable();
+                got
+            };
+            let tup_a = |i: usize| a[i];
+            let tup_b = |j: usize| b[j];
+            let view_a = |i: usize| Point::new(ax[i], ay[i]);
+            let view_b = |j: usize| Point::new(bx[j], by[j]);
+
+            let (pairs_nl, s_nl) = collect_pairs(nl, &a, &b, eps);
+            let mut out = Vec::new();
+            let sv = nested_loop_view(va, vb, eps, |i, j| out.push((i, j)));
+            assert_eq!(sv, s_nl, "NL stats, seed {seed}");
+            assert_eq!(
+                gather(&out, &view_a, &view_b),
+                gather(&pairs_nl, &tup_a, &tup_b)
+            );
+
+            let (pairs_ps, s_ps) = collect_pairs(ps, &a, &b, eps);
+            let mut out = Vec::new();
+            let sv = sweep_view(va, vb, eps, |i, j| out.push((i, j)));
+            assert_eq!(sv, s_ps, "PS stats, seed {seed}");
+            assert_eq!(
+                gather(&out, &view_a, &view_b),
+                gather(&pairs_ps, &tup_a, &tup_b)
+            );
+
+            let (pairs_gb, s_gb) = collect_pairs(gb, &a, &b, eps);
+            let mut out = Vec::new();
+            let sv = bucket_probe_view(va, vb, eps, |i, j| out.push((i, j)));
+            assert_eq!(sv, s_gb, "GB stats, seed {seed}");
+            assert_eq!(
+                gather(&out, &view_a, &view_b),
+                gather(&pairs_gb, &tup_a, &tup_b)
+            );
+        }
+    }
+
+    #[test]
+    fn local_join_view_resolves_like_local_join() {
+        let model = KernelCostModel::default();
+        for (n, extent, eps) in [(40, 0.3, 0.5), (250, 9.0, 0.6), (120, 40.0, 0.8)] {
+            let a = random_points(n, 71, extent);
+            let b = random_points(n, 72, extent);
+            let (ax, ay) = soa_of(&a);
+            let (bx, by) = soa_of(&b);
+            for requested in [
+                LocalKernel::NestedLoop,
+                LocalKernel::PlaneSweep,
+                LocalKernel::GridBucket,
+                LocalKernel::Auto,
+            ] {
+                let tuple = local_join(requested, &model, eps, false, &a, &b, id, id, |_, _| {});
+                let view = local_join_view(
+                    requested,
+                    &model,
+                    eps,
+                    PointsView::new(&ax, &ay),
+                    PointsView::new(&bx, &by),
+                    |_, _| {},
+                );
+                assert_eq!(view.kind, tuple.kind, "{requested:?} n={n}");
+                assert_eq!(view.stats, tuple.stats, "{requested:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn view_kernels_handle_empty_sides() {
+        let (xs, ys) = (vec![1.0, 2.0], vec![0.0, 0.0]);
+        let v = PointsView::new(&xs, &ys);
+        let e = PointsView::new(&[], &[]);
+        for (sa, sb) in [(e, v), (v, e), (e, e)] {
+            assert_eq!(
+                nested_loop_view(sa, sb, 1.0, |_, _| {}),
+                KernelStats::default()
+            );
+            assert_eq!(sweep_view(sa, sb, 1.0, |_, _| {}), KernelStats::default());
+            assert_eq!(
+                bucket_probe_view(sa, sb, 1.0, |_, _| {}),
+                KernelStats::default()
+            );
+        }
     }
 
     #[test]

@@ -19,11 +19,13 @@
 //!   a cost model whose constants a one-shot microbenchmark calibrates at
 //!   first use ([`kernels::calibrate_cost_model`]).
 
+pub mod batch;
 mod kdtree;
 pub mod kernels;
 mod quadtree;
 mod rtree;
 
+pub use batch::{PointBatch, PointsView};
 pub use kdtree::KdTree;
 pub use quadtree::QuadTreePartitioner;
 pub use rtree::RTree;

@@ -2,7 +2,7 @@ use crate::{JoinOutput, JoinSpec, Record};
 use asj_core::{AgreementPolicy, KernelKind};
 use asj_engine::{Cluster, Dataset, ExecStats, KeyedDataset, Partitioner, ShuffleStats};
 use asj_geom::Point;
-use asj_index::kernels;
+use asj_index::{kernels, PointBatch};
 
 /// Every join algorithm of the paper's evaluation, dispatchable by name —
 /// the benchmark harness iterates over these to produce each figure's
@@ -142,47 +142,69 @@ where
     let model = cluster.kernel_cost_model(kernels::calibrate_cost_model);
     // Candidate/result counts fold into a per-partition accumulator that is
     // committed with the task output: shared atomics here would be
-    // double-counted by retried or speculatively re-executed tasks. The
-    // secondary sort delivers every cell group in ascending-x order, so a
-    // plane sweep sorts once per partition instead of once per cell.
-    let (joined, tallies, join_exec) = recorder.phase("local_join", || {
-        keyed_r.cogroup_join_sorted_fold(
-            cluster,
-            keyed_s,
-            &placement,
-            |r: &Record| r.point.x,
-            |s: &Record| s.point.x,
-            |_cell,
-             rs: &[Record],
-             ss: &[Record],
-             out: &mut Vec<(u64, u64)>,
-             acc: &mut KernelTally| {
-                let outcome = kernels::local_join(
-                    kernel,
-                    &model,
-                    eps,
-                    true,
-                    rs,
-                    ss,
-                    |r| r.point,
-                    |s| s.point,
-                    |i, j| {
-                        if collect {
-                            out.push((rs[i].id, ss[j].id));
-                        }
-                    },
-                );
-                acc.record(outcome, rs.len() as u64 * ss.len() as u64);
-            },
-        )
+    // double-counted by retried or speculatively re-executed tasks.
+    //
+    // Each task converts its two shuffled partitions into columnar
+    // `PointBatch`es once — the permutation sort groups records by cell in
+    // ascending-x order and gathers `x`/`y`/`id` into flat lanes — then
+    // merges the ascending key lists and runs the SoA kernel per common
+    // cell, streaming contiguous memory instead of re-extracting positions
+    // per group.
+    assert_eq!(
+        keyed_r.num_partitions(),
+        keyed_s.num_partitions(),
+        "joined datasets must share the partitioner"
+    );
+    type CellGroup = Vec<(u64, Record)>;
+    let tasks: Vec<(CellGroup, CellGroup)> = keyed_r
+        .into_partitions()
+        .into_iter()
+        .zip(keyed_s.into_partitions())
+        .collect();
+    let (folded, join_exec) = recorder.phase("local_join", || {
+        cluster.run_placed_stage("cogroup_join", tasks, &placement, |_, (rs, ss)| {
+            let pos = |r: &Record| r.point;
+            let rid = |r: &Record| r.id;
+            let br = PointBatch::from_keyed(&rs, pos, rid);
+            let bs = PointBatch::from_keyed(&ss, pos, rid);
+            let mut out: Vec<(u64, u64)> = Vec::new();
+            let mut acc = KernelTally {
+                batches: 2,
+                batch_points: (br.num_points() + bs.num_points()) as u64,
+                ..KernelTally::default()
+            };
+            let (mut gi, mut gj) = (0usize, 0usize);
+            while gi < br.num_groups() && gj < bs.num_groups() {
+                match br.keys()[gi].cmp(&bs.keys()[gj]) {
+                    std::cmp::Ordering::Less => gi += 1,
+                    std::cmp::Ordering::Greater => gj += 1,
+                    std::cmp::Ordering::Equal => {
+                        let (va, vb) = (br.group(gi), bs.group(gj));
+                        let (ids_a, ids_b) = (br.group_ids(gi), bs.group_ids(gj));
+                        let outcome =
+                            kernels::local_join_view(kernel, &model, eps, va, vb, |i, j| {
+                                if collect {
+                                    out.push((ids_a[i], ids_b[j]));
+                                }
+                            });
+                        acc.record(outcome, va.len() as u64 * vb.len() as u64);
+                        gi += 1;
+                        gj += 1;
+                    }
+                }
+            }
+            (out, acc)
+        })
     });
     let mut tally = KernelTally::default();
-    for t in &tallies {
-        tally.merge(t);
+    let mut pairs = Vec::new();
+    for (part, t) in folded {
+        tally.merge(&t);
+        pairs.extend(part);
     }
     tally.publish(cluster, "local_join");
     JoinStageOutput {
-        pairs: joined.collect(),
+        pairs,
         result_count: tally.results,
         candidates: tally.candidates,
         shuffle,
@@ -203,6 +225,10 @@ pub(crate) struct KernelTally {
     pub picks_nl: u64,
     pub picks_ps: u64,
     pub picks_bucket: u64,
+    /// Columnar batches built at shuffle-receive time.
+    pub batches: u64,
+    /// Points gathered into those batches' SoA lanes.
+    pub batch_points: u64,
 }
 
 impl KernelTally {
@@ -224,6 +250,8 @@ impl KernelTally {
         self.picks_nl += other.picks_nl;
         self.picks_ps += other.picks_ps;
         self.picks_bucket += other.picks_bucket;
+        self.batches += other.batches;
+        self.batch_points += other.batch_points;
     }
 
     /// Publishes the tally as observability counters under `phase`.
@@ -234,6 +262,8 @@ impl KernelTally {
         recorder.counter_add(phase, "kernel_auto_nl", self.picks_nl);
         recorder.counter_add(phase, "kernel_auto_ps", self.picks_ps);
         recorder.counter_add(phase, "kernel_auto_bucket", self.picks_bucket);
+        recorder.counter_add(phase, "batches_built", self.batches);
+        recorder.counter_add(phase, "batch_points", self.batch_points);
         recorder.counter_add(
             phase,
             "candidates_pruned",
