@@ -9,6 +9,7 @@
 //! reduced `quick` configuration.
 
 pub mod experiments;
+pub mod memory;
 pub mod perf;
 mod runner;
 mod table;

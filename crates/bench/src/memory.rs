@@ -1,0 +1,305 @@
+//! `repro memory` — the memory-governor budget sweep behind the
+//! spill-to-disk shuffle work.
+//!
+//! One unbudgeted reference run of the [`perf`](crate::perf) shuffle
+//! workload establishes the **natural peak**: the largest number of bytes
+//! any simulated node holds resident at once when nothing is ever denied.
+//! The sweep then re-runs the identical workload under per-node budgets at
+//! shrinking fractions of that peak, forcing more and more shuffle buckets
+//! through disk spill segments, and asserts after every leg:
+//!
+//! * the shuffled partitions are **byte-identical** to the unbudgeted run
+//!   (full `Vec` equality plus the FNV-1a checksum CI gates on),
+//! * every [`ShuffleStats`] meter matches — spilling is invisible in stats,
+//! * `peak_memory_bytes <= budget` on every leg that has one,
+//! * legs budgeted meaningfully below the natural peak actually spill.
+//!
+//! A final leg injects a deterministic `oom:` fault on top of the tightest
+//! budget and demands the retry machinery recovers to the same bytes.
+//!
+//! Results land in `BENCH_memory.json` for the CI `perf-smoke` job;
+//! override the path with `ASJ_BENCH_MEMORY_OUT`.
+
+use crate::perf::{assignment, checksum_partitions, keyed_workload, PAYLOAD_BYTES};
+use crate::{ExpConfig, Table};
+use asj_engine::{
+    Cluster, ClusterConfig, ExplicitPartitioner, FaultPlan, KeyedDataset, RetryPolicy, ShuffleStats,
+};
+use asj_join::Record;
+use std::time::Instant;
+
+/// Budget fractions of the natural peak swept after the reference leg, in
+/// percent. 100% still admits everything (the peak *is* attainable); the
+/// tail forces the governor to spill most of the shuffle volume.
+const SWEEP_PCT: &[u64] = &[100, 50, 25, 10];
+
+/// One leg of the sweep, as serialized into `BENCH_memory.json`.
+#[derive(Debug, Clone)]
+pub struct MemLeg {
+    /// Per-node budget in bytes; `None` for the unbudgeted reference leg.
+    pub budget: Option<u64>,
+    /// Budget as a percentage of the natural peak (100 for the reference).
+    pub budget_pct: u64,
+    pub wall_seconds: f64,
+    /// Largest resident footprint any node reached during the leg.
+    pub peak_memory_bytes: u64,
+    /// Bytes routed through disk spill segments.
+    pub spilled_bytes: u64,
+    /// Admissions denied by the accountant (each denial spills one bucket).
+    pub budget_denials: u64,
+    /// Injected out-of-memory faults recovered by retry during the leg.
+    pub oom_events: u64,
+}
+
+/// The sweep's full result set (also serialized to JSON).
+#[derive(Debug, Clone)]
+pub struct MemReport {
+    pub records: usize,
+    pub sources: usize,
+    pub targets: usize,
+    pub nodes: usize,
+    /// Peak per-node resident bytes of the unbudgeted reference run.
+    pub natural_peak: u64,
+    /// FNV-1a of the shuffled output; identical for every leg by assertion.
+    pub checksum: u64,
+    pub legs: Vec<MemLeg>,
+}
+
+type Workload = Vec<Vec<(u64, Record)>>;
+
+/// Runs one leg and returns its row plus the shuffled output for the
+/// byte-identity gate.
+fn run_leg(
+    cfg: &ExpConfig,
+    parts: &Workload,
+    budget: Option<u64>,
+    budget_pct: u64,
+    faults: Option<(FaultPlan, RetryPolicy)>,
+) -> (MemLeg, Workload, ShuffleStats) {
+    let mut cluster = Cluster::new(ClusterConfig::new(cfg.nodes));
+    if let Some(b) = budget {
+        cluster = cluster.with_memory_budget(b);
+    }
+    if let Some((plan, policy)) = faults {
+        cluster = cluster.with_fault_policy(plan, policy);
+    }
+    let targets = cfg.partitions;
+    let partitioner = ExplicitPartitioner::new(assignment(targets), targets);
+    let input = parts.clone();
+    let start = Instant::now();
+    let (ds, stats, exec) = KeyedDataset::from_partitions(input).shuffle(&cluster, &partitioner);
+    let wall = start.elapsed().as_secs_f64();
+    let acct = cluster.memory_accountant();
+    let leg = MemLeg {
+        budget,
+        budget_pct,
+        wall_seconds: wall,
+        peak_memory_bytes: exec.peak_memory_bytes,
+        spilled_bytes: exec.spilled_bytes,
+        budget_denials: acct.budget_denials(),
+        oom_events: acct.oom_events(),
+    };
+    (leg, ds.into_partitions(), stats)
+}
+
+fn json_leg(leg: &MemLeg) -> String {
+    format!(
+        concat!(
+            "{{\"budget_bytes\":{},\"budget_pct\":{},\"wall_seconds\":{:.6},",
+            "\"peak_memory_bytes\":{},\"spilled_bytes\":{},",
+            "\"budget_denials\":{},\"oom_events\":{},",
+            "\"within_budget\":{},\"byte_identical\":true}}"
+        ),
+        leg.budget
+            .map_or_else(|| "null".to_string(), |b| b.to_string()),
+        leg.budget_pct,
+        leg.wall_seconds,
+        leg.peak_memory_bytes,
+        leg.spilled_bytes,
+        leg.budget_denials,
+        leg.oom_events,
+        leg.budget.is_none_or(|b| leg.peak_memory_bytes <= b),
+    )
+}
+
+/// Hand-rolled JSON, same conventions as `BENCH_shuffle.json`: flat-ish
+/// object, stable key order, digits-only numerics.
+fn render_json(rep: &MemReport) -> String {
+    let legs: Vec<String> = rep.legs.iter().map(json_leg).collect();
+    format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"memory_sweep\",\n",
+            "  \"records\": {},\n",
+            "  \"payload_bytes\": {},\n",
+            "  \"sources\": {},\n",
+            "  \"targets\": {},\n",
+            "  \"nodes\": {},\n",
+            "  \"natural_peak_bytes\": {},\n",
+            "  \"checksum\": \"{:016x}\",\n",
+            "  \"checksum_matches\": true,\n",
+            "  \"legs\": [{}]\n",
+            "}}\n"
+        ),
+        rep.records,
+        PAYLOAD_BYTES,
+        rep.sources,
+        rep.targets,
+        rep.nodes,
+        rep.natural_peak,
+        rep.checksum,
+        legs.join(","),
+    )
+}
+
+/// The `repro memory` entry point. Runs the budget sweep, asserts the
+/// byte-identity and `peak <= budget` gates, prints the comparison table
+/// and writes `BENCH_memory.json`.
+pub fn memory_sweep(cfg: &ExpConfig) -> MemReport {
+    let records = cfg.base * 2;
+    let sources = cfg.partitions;
+    let targets = cfg.partitions;
+    let parts = keyed_workload(records, sources);
+
+    // Reference leg: no budget. The accountant still meters every admission,
+    // so its peak is the natural footprint the sweep is scaled against.
+    let (reference, base_parts, base_stats) = run_leg(cfg, &parts, None, 100, None);
+    assert_eq!(
+        reference.spilled_bytes, 0,
+        "an unbudgeted run must never spill"
+    );
+    let natural_peak = reference.peak_memory_bytes;
+    let checksum = checksum_partitions(&base_parts);
+    let mut legs = vec![reference];
+
+    for &pct in SWEEP_PCT {
+        let budget = (natural_peak * pct / 100).max(1);
+        let (leg, out, stats) = run_leg(cfg, &parts, Some(budget), pct, None);
+        assert_eq!(
+            stats, base_stats,
+            "budget {pct}%: ShuffleStats drifted under spilling"
+        );
+        assert_eq!(
+            out, base_parts,
+            "budget {pct}%: spilling changed the shuffled bytes"
+        );
+        assert_eq!(checksum_partitions(&out), checksum);
+        assert!(
+            leg.peak_memory_bytes <= budget,
+            "budget {pct}%: peak {} exceeds budget {budget}",
+            leg.peak_memory_bytes
+        );
+        if pct <= 50 {
+            assert!(
+                leg.spilled_bytes > 0,
+                "budget {pct}% of natural peak must force spilling"
+            );
+        }
+        legs.push(leg);
+    }
+
+    // OOM-injection leg: tightest budget plus a deterministic `oom:` fault on
+    // the first shuffle task's first attempt — the retry machinery must
+    // recover to the exact same bytes, and the accountant must log the event.
+    let tight = (natural_peak * SWEEP_PCT[SWEEP_PCT.len() - 1] / 100).max(1);
+    let plan = FaultPlan::parse("oom:shuffle:0@1", 7).expect("static fault spec");
+    let policy = RetryPolicy::default().with_max_attempts(4);
+    let (oom_leg, out, stats) = run_leg(cfg, &parts, Some(tight), 0, Some((plan, policy)));
+    assert_eq!(stats, base_stats, "oom leg: ShuffleStats drifted");
+    assert_eq!(out, base_parts, "oom leg: recovery changed the bytes");
+    assert!(oom_leg.oom_events >= 1, "the injected oom must register");
+    assert!(oom_leg.peak_memory_bytes <= tight);
+    legs.push(oom_leg);
+
+    let report = MemReport {
+        records,
+        sources,
+        targets,
+        nodes: cfg.nodes,
+        natural_peak,
+        checksum,
+        legs,
+    };
+
+    let mut table = Table::new(vec![
+        "budget",
+        "budget KiB",
+        "peak KiB",
+        "spilled KiB",
+        "denials",
+        "oom",
+        "wall (ms)",
+    ]);
+    for leg in &report.legs {
+        let label = match (leg.budget, leg.budget_pct) {
+            (None, _) => "unbounded".to_string(),
+            (Some(_), 0) => "10% + oom".to_string(),
+            (Some(_), pct) => format!("{pct}%"),
+        };
+        table.row(vec![
+            label,
+            leg.budget
+                .map_or_else(|| "-".to_string(), |b| (b / 1024).to_string()),
+            (leg.peak_memory_bytes / 1024).to_string(),
+            (leg.spilled_bytes / 1024).to_string(),
+            leg.budget_denials.to_string(),
+            leg.oom_events.to_string(),
+            format!("{:.2}", leg.wall_seconds * 1e3),
+        ]);
+    }
+    table.print(&format!(
+        "memory budget sweep — {} records × {} B payload, natural peak {} KiB, {} nodes",
+        report.records,
+        PAYLOAD_BYTES,
+        report.natural_peak / 1024,
+        report.nodes
+    ));
+    println!(
+        "byte-identity held on every leg   checksum {:016x}",
+        report.checksum
+    );
+
+    let out =
+        std::env::var("ASJ_BENCH_MEMORY_OUT").unwrap_or_else(|_| "BENCH_memory.json".to_string());
+    match std::fs::write(&out, render_json(&report)) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => eprintln!("warning: could not write {out}: {e}"),
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sweep_runs_at_tiny_scale() {
+        let cfg = ExpConfig::quick().with_base(1500);
+        let dir = std::env::temp_dir().join("asj-mem-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        std::env::set_var("ASJ_BENCH_MEMORY_OUT", dir.join("BENCH_memory.json"));
+        let report = memory_sweep(&cfg);
+        std::env::remove_var("ASJ_BENCH_MEMORY_OUT");
+
+        // Reference + one leg per sweep point + the oom leg.
+        assert_eq!(report.legs.len(), SWEEP_PCT.len() + 2);
+        assert!(report.natural_peak > 0, "the accountant meters peak");
+        assert_eq!(report.legs[0].budget, None);
+        assert_eq!(report.legs[0].spilled_bytes, 0);
+        for leg in &report.legs[1..] {
+            let budget = leg.budget.expect("swept legs have budgets");
+            assert!(leg.peak_memory_bytes <= budget);
+        }
+        let tightest = &report.legs[SWEEP_PCT.len()];
+        assert!(tightest.spilled_bytes > 0, "10% budget must spill");
+        assert!(tightest.budget_denials > 0);
+        let oom = report.legs.last().expect("oom leg present");
+        assert!(oom.oom_events >= 1);
+
+        let json = std::fs::read_to_string(dir.join("BENCH_memory.json")).expect("json written");
+        assert!(json.contains("\"experiment\": \"memory_sweep\""));
+        assert!(json.contains("\"checksum_matches\": true"));
+        assert!(json.contains("\"within_budget\":true"));
+        assert!(!json.contains("\"within_budget\":false"));
+    }
+}

@@ -37,7 +37,7 @@ use std::time::Instant;
 /// Opaque payload carried by every benchmark record: large enough that the
 /// shuffle moves real bytes (the paper's tuples carry geometry + attributes),
 /// small enough that a quick CI run stays in memory comfortably.
-const PAYLOAD_BYTES: usize = 64;
+pub(crate) const PAYLOAD_BYTES: usize = 64;
 
 /// Cells per axis of the routing grid. 64×64 = 4096 contiguous cell keys —
 /// the contiguous-id case the dense partitioner table exists for.
@@ -80,7 +80,7 @@ pub struct PerfReport {
 /// FNV-1a 64-bit, folded over the shuffled partitions in order. Covers the
 /// partition boundaries, every key, record id, coordinate bit pattern and
 /// payload byte — any reordering or corruption moves the digest.
-fn checksum_partitions(parts: &[Vec<(u64, Record)>]) -> u64 {
+pub(crate) fn checksum_partitions(parts: &[Vec<(u64, Record)>]) -> u64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
     fn byte(h: &mut u64, b: u8) {
@@ -109,7 +109,7 @@ fn checksum_partitions(parts: &[Vec<(u64, Record)>]) -> u64 {
 /// The shuffle-heavy workload: `n` uniform points with opaque payloads,
 /// keyed by routing-grid cell, split round-robin into `sources` map-side
 /// partitions (round-robin input maximizes cross-partition traffic).
-fn keyed_workload(n: usize, sources: usize) -> Vec<Vec<(u64, Record)>> {
+pub(crate) fn keyed_workload(n: usize, sources: usize) -> Vec<Vec<(u64, Record)>> {
     let points = DatasetSpec {
         name: "perf",
         kind: GenKind::Uniform,
@@ -134,7 +134,7 @@ fn keyed_workload(n: usize, sources: usize) -> Vec<Vec<(u64, Record)>> {
 
 /// LPT-flavored cell→partition assignment shared by both legs (the adaptive
 /// join routes through exactly this kind of explicit map).
-fn assignment(targets: usize) -> HashMap<u64, usize> {
+pub(crate) fn assignment(targets: usize) -> HashMap<u64, usize> {
     (0..GRID_CELLS * GRID_CELLS)
         .map(|cell| (cell, (cell as usize).wrapping_mul(7) % targets))
         .collect()

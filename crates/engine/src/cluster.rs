@@ -1,5 +1,6 @@
 use crate::bufpool::BufferPool;
 use crate::fault::{FaultContext, FaultPlan, JobError, RetryPolicy};
+use crate::memory::MemoryAccountant;
 use crate::metrics::ExecStats;
 use crate::pool::{run_tasks_ft, try_run_tasks_traced};
 use asj_core::KernelCostModel;
@@ -39,6 +40,10 @@ pub struct ClusterConfig {
     /// available parallelism; decoupled from `nodes` so that a 12-node
     /// cluster can be simulated faithfully on any machine.
     pub threads: usize,
+    /// Per-node memory budget in bytes. `None` (the default) meters peak
+    /// usage without enforcing; `Some(b)` makes shuffles spill buckets to
+    /// disk instead of letting any node's resident bytes cross `b`.
+    pub memory_budget: Option<u64>,
 }
 
 impl ClusterConfig {
@@ -63,7 +68,23 @@ impl ClusterConfig {
     pub fn with_threads(nodes: usize, threads: usize) -> Self {
         assert!(nodes > 0, "cluster needs at least one node");
         assert!(threads > 0, "cluster needs at least one worker thread");
-        ClusterConfig { nodes, threads }
+        ClusterConfig {
+            nodes,
+            threads,
+            memory_budget: None,
+        }
+    }
+
+    /// Enforces a per-node memory budget: once a node's charged bytes would
+    /// cross `per_node_bytes`, shuffles spill overflow buckets to disk
+    /// instead of materialising them.
+    ///
+    /// # Panics
+    /// Panics if `per_node_bytes == 0` (a zero budget could admit nothing).
+    pub fn with_memory_budget(mut self, per_node_bytes: u64) -> Self {
+        assert!(per_node_bytes > 0, "memory budget must be positive");
+        self.memory_budget = Some(per_node_bytes);
+        self
     }
 }
 
@@ -84,6 +105,9 @@ pub struct Cluster {
     /// Reusable shuffle buffers, shared by every clone of this handle so
     /// buckets recycled after one stage serve the next.
     buffers: Arc<BufferPool>,
+    /// Per-node memory accountant (always present; meter-only when the
+    /// config carries no budget), shared by every clone of this handle.
+    memory: Arc<MemoryAccountant>,
     /// Which shuffle materialization stages on this cluster use.
     shuffle_mode: ShuffleMode,
 }
@@ -96,13 +120,52 @@ impl Cluster {
             "cluster needs at least one worker thread"
         );
         Cluster {
-            config,
             recorder: Recorder::noop(),
             faults: None,
             cost_model: Arc::new(OnceLock::new()),
             buffers: Arc::new(BufferPool::new()),
+            memory: Arc::new(MemoryAccountant::new(config.nodes, config.memory_budget)),
             shuffle_mode: ShuffleMode::default(),
+            config,
         }
+    }
+
+    /// Enforces a per-node memory budget on this handle (resets the
+    /// accountant, and — like [`Cluster::with_fault_policy`] — any attached
+    /// fault context's cluster-lifetime state, so the two compose in either
+    /// order). Equivalent to constructing from
+    /// [`ClusterConfig::with_memory_budget`].
+    ///
+    /// # Panics
+    /// Panics if `per_node_bytes == 0`.
+    pub fn with_memory_budget(mut self, per_node_bytes: u64) -> Self {
+        self.config = self.config.with_memory_budget(per_node_bytes);
+        self.memory = Arc::new(MemoryAccountant::new(
+            self.config.nodes,
+            self.config.memory_budget,
+        ));
+        if let Some(ctx) = self.faults.take() {
+            return self.with_fault_policy(ctx.plan.clone(), ctx.policy);
+        }
+        self
+    }
+
+    /// The cluster-lifetime [`MemoryAccountant`] shuffles charge buffers to.
+    #[inline]
+    pub fn memory_accountant(&self) -> &MemoryAccountant {
+        &self.memory
+    }
+
+    /// Shared handle to the accountant, for task closures whose charges must
+    /// outlive the borrow of `self` (released when the task result commits).
+    pub(crate) fn memory_arc(&self) -> Arc<MemoryAccountant> {
+        Arc::clone(&self.memory)
+    }
+
+    /// The enforced per-node memory budget, if any.
+    #[inline]
+    pub fn memory_budget(&self) -> Option<u64> {
+        self.config.memory_budget
     }
 
     /// Selects the shuffle materialization for stages run on this handle.
@@ -170,7 +233,10 @@ impl Cluster {
     /// cluster-lifetime fault state (attempt counters, blacklist, fired
     /// losses).
     pub fn with_fault_policy(mut self, plan: FaultPlan, policy: RetryPolicy) -> Self {
-        self.faults = Some(Arc::new(FaultContext::new(plan, policy, self.config.nodes)));
+        self.faults = Some(Arc::new(
+            FaultContext::new(plan, policy, self.config.nodes)
+                .with_memory(Arc::clone(&self.memory)),
+        ));
         self
     }
 

@@ -1,5 +1,6 @@
 use crate::cluster::{Cluster, ShuffleMode};
 use crate::fault::JobError;
+use crate::memory::{ChargeGuard, SpillSegment, SpillWriter};
 use crate::metrics::{ExecStats, ShuffleStats};
 use crate::partitioner::Partitioner;
 use crate::wire::Wire;
@@ -212,6 +213,21 @@ impl<T: Send + Sync + Clone> Dataset<T> {
 /// The zipped per-partition inputs of a co-grouped join.
 type CogroupTasks<K, V, V2> = Vec<(Vec<(K, V)>, Vec<(K, V2)>)>;
 
+/// One radix map task's attempt-local output: in-memory buckets, byte
+/// metering, the attempt's spill segment (if any target was denied memory)
+/// and the charge ledger the driver settles at commit. Everything here is
+/// owned per *attempt* — dropping a loser releases its charges and deletes
+/// its spill file.
+struct RadixMapOut<K, V> {
+    buckets: Vec<Vec<(K, V)>>,
+    shuffle: ShuffleStats,
+    spill: Option<SpillSegment>,
+    spilled_bytes: u64,
+    /// Held for its Drop: the attempt's admitted charges release when the
+    /// committed result (or a discarded loser) is dropped.
+    _charges: ChargeGuard,
+}
+
 /// A partitioned collection of key–value pairs (Spark `PairRDD`).
 #[derive(Debug, Clone)]
 pub struct KeyedDataset<K, V> {
@@ -316,10 +332,20 @@ where
     /// buckets with bulk `Vec::append` moves (no per-record work) and
     /// recycles every emptied bucket into the pool for the next stage.
     ///
-    /// Fault safety: buffers are checked out per task *attempt* and the
-    /// buckets travel inside the attempt's result, so a retried or
-    /// speculative attempt fills its own buffers; losers are dropped, never
-    /// returned, so no buffer is ever double-filled.
+    /// Memory governance: between the passes every non-empty target is
+    /// admitted against the [`MemoryAccountant`](crate::MemoryAccountant) —
+    /// the map-side bucket charged to the source node and the post-shuffle
+    /// partition charged to the target's node, both at wire size. A denied
+    /// target *spills*: pass 2 encodes its records straight to a disk
+    /// segment instead of a bucket, and the reduce side re-reads the chunk
+    /// in the exact slot the bucket would have occupied, so spilled and
+    /// in-memory runs produce byte-identical partitions. Without a budget
+    /// the charges always succeed and only meter the natural peak.
+    ///
+    /// Fault safety: buffers, charges and spill files are all owned per task
+    /// *attempt* and travel inside the attempt's result; a loser's
+    /// [`ChargeGuard`] releases on drop and its [`SpillSegment`] deletes its
+    /// file on drop, so retries and speculation leak nothing.
     fn radix_shuffle_stage<P>(
         self,
         cluster: &Cluster,
@@ -332,16 +358,23 @@ where
         let targets = partitioner.num_partitions();
         let pool = cluster.buffer_pool();
         let pool_before = pool.stats();
-        let (mut bucketed, stats) =
+        let memory = cluster.memory_accountant();
+        let denials_before = memory.budget_denials();
+        let (mut bucketed, mut stats) =
             cluster.try_run_partitioned_stage(stage, self.parts, |src_idx, part| {
                 let src_node = cluster.node_of_partition(src_idx);
+                let mut charges = ChargeGuard::new(cluster.memory_arc());
                 let mut shuffle = ShuffleStats {
                     partition_bytes: vec![0u64; targets],
                     ..ShuffleStats::default()
                 };
                 // Pass 1: route + meter. One partitioner probe and one
                 // encoded_size per record, reused for node and partition
-                // byte accounting.
+                // byte accounting. The routing scratch is a pool lease like
+                // any other, so it is charged too; scratch cannot spill, so
+                // a denial here only counts against the budget-denial
+                // telemetry while the buckets below remain the real lever.
+                charges.try_charge(src_node, (part.len() * std::mem::size_of::<u32>()) as u64);
                 let mut route: Vec<u32> = pool.take_vec(part.len());
                 let mut counts: Vec<usize> = vec![0; targets];
                 for (k, v) in &part {
@@ -358,44 +391,159 @@ where
                     counts[t] += 1;
                     route.push(t as u32);
                 }
-                // Pass 2: scatter into exactly-sized pooled buckets.
+                // Admission: charge each non-empty target twice — bucket on
+                // the source node, post-shuffle partition on the target's
+                // node. Either denial spills the whole target (rolling back
+                // the half already admitted) so no node is ever driven past
+                // its budget; spilling is the escape hatch, never an abort.
+                let mut spill_targets: Vec<(usize, usize)> = Vec::new();
+                for (t, count) in counts.iter_mut().enumerate() {
+                    if *count == 0 {
+                        continue;
+                    }
+                    let wire_bytes = shuffle.partition_bytes[t];
+                    let dst_node = cluster.node_of_partition(t);
+                    let admitted = charges.try_charge(src_node, wire_bytes) && {
+                        charges.try_charge(dst_node, wire_bytes) || {
+                            charges.uncharge(src_node, wire_bytes);
+                            false
+                        }
+                    };
+                    if !admitted {
+                        spill_targets.push((t, *count));
+                        // Zero the histogram slot: `take_vecs` serves the
+                        // entry as a capacity-less `Vec` without touching
+                        // the pool, so a spilled bucket costs nothing.
+                        *count = 0;
+                    }
+                }
+                // Pass 2: scatter into exactly-sized pooled buckets; spilled
+                // targets encode straight into their wire buffer instead, so
+                // the records never materialise in memory twice.
+                let mut spill_bufs: Vec<Vec<u8>> = Vec::new();
+                let mut spill_of: Vec<usize> = Vec::new();
+                if !spill_targets.is_empty() {
+                    spill_bufs = spill_targets.iter().map(|_| Vec::new()).collect();
+                    spill_of = vec![usize::MAX; targets];
+                    for (slot, &(t, _)) in spill_targets.iter().enumerate() {
+                        spill_of[t] = slot;
+                    }
+                }
                 let mut buckets: Vec<Vec<(K, V)>> = pool.take_vecs(&counts);
-                for (rec, &t) in part.into_iter().zip(&route) {
-                    buckets[t as usize].push(rec);
+                for ((k, v), &t) in part.into_iter().zip(&route) {
+                    let t = t as usize;
+                    match spill_of.get(t) {
+                        Some(&slot) if slot != usize::MAX => {
+                            k.encode(&mut spill_bufs[slot]);
+                            v.encode(&mut spill_bufs[slot]);
+                        }
+                        _ => buckets[t].push((k, v)),
+                    }
                 }
                 // The routing scratch is attempt-local: filled and drained
                 // within this attempt, so returning it here cannot race a
                 // speculative twin (which checked out its own).
                 pool.put_vec(route);
-                (buckets, shuffle)
+                // Seal this attempt's spill file. I/O failure on the temp
+                // file panics the attempt; the fault-tolerant harness turns
+                // that into a retriable task error like any other crash.
+                let spill = if spill_targets.is_empty() {
+                    None
+                } else {
+                    let mut writer = SpillWriter::create().expect("spill: create temp file");
+                    for (slot, &(t, count)) in spill_targets.iter().enumerate() {
+                        writer
+                            .write_chunk(t, &spill_bufs[slot], count as u64)
+                            .expect("spill: write chunk");
+                    }
+                    writer.finish().expect("spill: seal segment")
+                };
+                let spilled_bytes = spill.as_ref().map_or(0, SpillSegment::total_bytes);
+                RadixMapOut {
+                    buckets,
+                    shuffle,
+                    spill,
+                    spilled_bytes,
+                    _charges: charges,
+                }
             })?;
         // Reduce side: per-task partition_bytes merge element-wise, so the
         // driver-side total matches the legacy reduce-side walk exactly.
         let mut shuffle = ShuffleStats::default();
-        for (_, s) in &bucketed {
-            shuffle.merge(s);
+        for out in &bucketed {
+            shuffle.merge(&out.shuffle);
         }
         let mut parts: Vec<Vec<(K, V)>> = Vec::with_capacity(targets);
         for t in 0..targets {
-            let total: usize = bucketed.iter().map(|(b, _)| b[t].len()).sum();
+            let total: usize = bucketed
+                .iter()
+                .map(|out| {
+                    out.buckets[t].len()
+                        + out
+                            .spill
+                            .as_ref()
+                            .and_then(|seg| seg.chunk_for(t))
+                            .map_or(0, |c| c.records as usize)
+                })
+                .sum();
             let mut dst: Vec<(K, V)> = pool.take_vec(total);
-            for (buckets, _) in &mut bucketed {
-                dst.append(&mut buckets[t]);
+            // Walk source tasks in order, taking each task's contribution
+            // from its bucket or its spill chunk — the records land in the
+            // same slots either way, which is what keeps budgeted runs
+            // byte-identical to unbudgeted ones.
+            for out in &mut bucketed {
+                if !out.buckets[t].is_empty() {
+                    dst.append(&mut out.buckets[t]);
+                } else if let Some(seg) = &out.spill {
+                    if let Some(recs) = seg
+                        .read_records::<K, V>(t)
+                        .expect("spill: re-read committed segment")
+                    {
+                        dst.extend(recs);
+                    }
+                }
             }
             parts.push(dst);
         }
-        // Commit point: the stage's results are final, hand the emptied
-        // buckets back for the next stage.
-        for (buckets, _) in bucketed {
-            pool.put_vecs(buckets);
-        }
+        // Commit point: the stage's results are final. Emit one `spill`
+        // event per chunk while the segments are still alive, then hand the
+        // emptied buckets back, release every task's memory charges
+        // (ChargeGuard drop) and delete the spill files (SpillSegment drop).
         let recorder = cluster.recorder();
+        let mut spilled_bytes = 0u64;
+        for out in bucketed {
+            spilled_bytes += out.spilled_bytes;
+            if recorder.is_enabled() {
+                if let Some(seg) = &out.spill {
+                    for chunk in seg.chunks() {
+                        recorder.event(
+                            "spill",
+                            Lane::Node(cluster.node_of_partition(chunk.target)),
+                            Some(chunk.target as u64),
+                            Attrs::new().bytes(chunk.len).records(chunk.records),
+                        );
+                    }
+                }
+            }
+            pool.put_vecs(out.buckets);
+        }
+        if spilled_bytes > 0 {
+            memory.note_spill(spilled_bytes);
+        }
+        stats.spilled_bytes = spilled_bytes;
+        stats.peak_memory_bytes = memory.peak_bytes();
         if recorder.is_enabled() {
             // Mirror the ShuffleStats fields into the metrics registry and
             // attribute every target partition's bytes to its node's lane.
             recorder.counter_add(stage, "remote_bytes", shuffle.remote_bytes);
             recorder.counter_add(stage, "local_bytes", shuffle.local_bytes);
             recorder.counter_add(stage, "records", shuffle.records);
+            recorder.counter_add(stage, "spill_bytes", spilled_bytes);
+            recorder.counter_add(
+                stage,
+                "budget_denials",
+                memory.budget_denials().saturating_sub(denials_before),
+            );
             let pool_delta = pool.stats().since(&pool_before);
             recorder.counter_add(stage, "pool_hits", pool_delta.hits);
             recorder.counter_add(stage, "pool_misses", pool_delta.misses);
@@ -945,6 +1093,153 @@ mod tests {
         let (dl, sl, _) = KeyedDataset::from_partitions(parts).shuffle(&legacy, &p);
         assert_eq!(sr, sl);
         assert_eq!(dr.partitions(), dl.partitions(), "exact order must match");
+    }
+
+    /// Fixture for the memory-governor tests: a skewed keyed workload large
+    /// enough that a sub-peak budget must force spilling.
+    fn skewed_parts() -> Vec<Vec<(u64, u64)>> {
+        (0..6)
+            .map(|p| (0..200u64).map(|i| (i * 11 % 31, p * 1000 + i)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn budgeted_shuffle_spills_and_stays_byte_identical() {
+        let parts = skewed_parts();
+        let p = HashPartitioner::new(8);
+        let free = cluster();
+        let (df, sf, ef) = KeyedDataset::from_partitions(parts.clone()).shuffle(&free, &p);
+        assert_eq!(ef.spilled_bytes, 0, "no budget, nothing spills");
+        assert!(
+            ef.peak_memory_bytes > 0,
+            "meter-only runs still record the natural peak"
+        );
+
+        // A budget well below the natural peak: the shuffle must finish by
+        // spilling, never by aborting, and the results must not change.
+        let budget = (ef.peak_memory_bytes / 8).max(64);
+        let tight = cluster().with_memory_budget(budget);
+        let (dt, st, et) = KeyedDataset::from_partitions(parts).shuffle(&tight, &p);
+        assert_eq!(st, sf, "ShuffleStats are spill-agnostic");
+        assert_eq!(
+            dt.partitions(),
+            df.partitions(),
+            "spilled run is byte-identical"
+        );
+        assert!(
+            et.spilled_bytes > 0,
+            "a sub-peak budget must force spilling"
+        );
+        assert!(
+            et.peak_memory_bytes <= budget,
+            "peak {} exceeds budget {budget}",
+            et.peak_memory_bytes
+        );
+        let snap = tight.memory_accountant().snapshot();
+        assert!(snap.budget_denials > 0);
+        assert_eq!(snap.spilled_bytes, et.spilled_bytes);
+        assert!(snap.per_node_peak.iter().all(|&pk| pk <= budget));
+        for node in 0..tight.nodes() {
+            assert_eq!(
+                tight.memory_accountant().resident_bytes(node),
+                0,
+                "all charges release at commit"
+            );
+        }
+    }
+
+    #[test]
+    fn budgeted_shuffle_survives_injected_failures() {
+        use crate::fault::{FaultPlan, RetryPolicy};
+        let parts = skewed_parts();
+        let p = HashPartitioner::new(8);
+        let free = cluster();
+        let (df, _, ef) = KeyedDataset::from_partitions(parts.clone()).shuffle(&free, &p);
+
+        // First attempts of two tasks die after their charges and spill file
+        // exist; the retried attempts must start from a clean ledger.
+        let budget = (ef.peak_memory_bytes / 8).max(64);
+        let tight = cluster().with_memory_budget(budget).with_fault_policy(
+            FaultPlan::none()
+                .with_fail_point("shuffle", 0, 1)
+                .with_fail_point("shuffle", 3, 1),
+            RetryPolicy::default().with_max_attempts(4),
+        );
+        let (dt, _, et) = KeyedDataset::from_partitions(parts).shuffle(&tight, &p);
+        assert_eq!(dt.partitions(), df.partitions());
+        assert!(et.retries >= 2, "both fail points must have retried");
+        assert!(et.spilled_bytes > 0);
+        assert!(et.peak_memory_bytes <= budget);
+        for node in 0..tight.nodes() {
+            assert_eq!(
+                tight.memory_accountant().resident_bytes(node),
+                0,
+                "failed attempts' charges must not leak"
+            );
+        }
+    }
+
+    #[test]
+    fn budgeted_shuffle_records_spill_telemetry() {
+        use asj_obs::Recorder;
+        let parts = skewed_parts();
+        let p = HashPartitioner::new(8);
+        let free = cluster();
+        let (_, _, ef) = KeyedDataset::from_partitions(parts.clone()).shuffle(&free, &p);
+
+        let r = Recorder::for_nodes(3);
+        let tight = cluster()
+            .with_memory_budget((ef.peak_memory_bytes / 8).max(64))
+            .with_recorder(r.clone());
+        let (_, _, et) = KeyedDataset::from_partitions(parts).shuffle(&tight, &p);
+        assert_eq!(
+            r.counter_value("shuffle", "spill_bytes"),
+            Some(et.spilled_bytes),
+            "spill volume mirrors into the metrics registry"
+        );
+        assert!(
+            r.counter_value("shuffle", "budget_denials")
+                .expect("counter")
+                > 0
+        );
+        let trace = r.snapshot();
+        let spills: Vec<_> = trace.events.iter().filter(|e| e.name == "spill").collect();
+        assert!(!spills.is_empty(), "each spilled chunk emits a spill event");
+        assert_eq!(
+            spills
+                .iter()
+                .map(|e| e.attrs.bytes.expect("bytes"))
+                .sum::<u64>(),
+            et.spilled_bytes,
+            "spill events account for every spilled byte"
+        );
+        for e in spills {
+            let t = e.partition.expect("spill events carry the target") as usize;
+            assert_eq!(e.lane, Lane::Node(tight.node_of_partition(t)));
+        }
+    }
+
+    #[test]
+    fn tiny_budget_spills_everything_and_completes() {
+        // A budget smaller than any single bucket: every target spills and
+        // the job still completes with the right answer.
+        let parts = skewed_parts();
+        let p = HashPartitioner::new(8);
+        let free = cluster();
+        let (df, _, _) = KeyedDataset::from_partitions(parts.clone()).shuffle(&free, &p);
+        let tight = cluster().with_memory_budget(1);
+        let (dt, _, et) = KeyedDataset::from_partitions(parts).shuffle(&tight, &p);
+        assert_eq!(dt.partitions(), df.partitions());
+        assert_eq!(et.peak_memory_bytes, 0, "nothing was ever admitted");
+        assert_eq!(
+            et.spilled_bytes,
+            dt.partitions()
+                .iter()
+                .flatten()
+                .map(|(k, v)| k.encoded_size() as u64 + v.encoded_size() as u64)
+                .sum::<u64>(),
+            "every byte of the shuffle went through disk"
+        );
     }
 
     #[test]

@@ -28,6 +28,10 @@ pub enum TaskError {
     Panic(String),
     /// A [`FaultPlan`] injected this failure (probabilistic or explicit).
     Injected { attempt: usize },
+    /// A [`FaultPlan`] injected memory-budget exhaustion for this attempt
+    /// (the `oom:` clause): the task's node had no headroom left, the
+    /// analog of an executor dying with `OutOfMemoryError`.
+    OutOfMemory { attempt: usize },
     /// The attempt ran on a node that the plan declared lost.
     NodeLost { node: usize },
     /// An application-level error (e.g. a wire-format decode failure)
@@ -41,6 +45,12 @@ impl fmt::Display for TaskError {
             TaskError::Panic(msg) => write!(f, "task panicked: {msg}"),
             TaskError::Injected { attempt } => {
                 write!(f, "injected fault (attempt {attempt})")
+            }
+            TaskError::OutOfMemory { attempt } => {
+                write!(
+                    f,
+                    "injected out-of-memory: budget exhausted (attempt {attempt})"
+                )
             }
             TaskError::NodeLost { node } => write!(f, "node {node} lost"),
             TaskError::App(msg) => write!(f, "task failed: {msg}"),
@@ -103,6 +113,10 @@ pub struct FaultPlan {
     pub stage_fail_prob: Vec<(String, f64)>,
     /// Explicit `(stage, task, attempt)` fail points.
     pub fail_points: Vec<FailPoint>,
+    /// Explicit `(stage, task, attempt)` out-of-memory points: the attempt
+    /// fails with [`TaskError::OutOfMemory`], exercising the same
+    /// retry/blacklist recovery as a real budget exhaustion would.
+    pub oom_points: Vec<FailPoint>,
     /// `(node, multiplier)` — the node runs that many times slower than its
     /// peers (a straggler). Entries for nodes outside the cluster are inert.
     pub node_slowdown: Vec<(usize, f64)>,
@@ -140,6 +154,7 @@ impl FaultPlan {
         self.default_fail_prob > 0.0
             || !self.stage_fail_prob.is_empty()
             || !self.fail_points.is_empty()
+            || !self.oom_points.is_empty()
             || !self.node_slowdown.is_empty()
             || !self.lost_nodes.is_empty()
     }
@@ -167,6 +182,17 @@ impl FaultPlan {
     /// Adds an explicit fail point.
     pub fn with_fail_point(mut self, stage: &str, task: usize, attempt: usize) -> Self {
         self.fail_points.push(FailPoint {
+            stage: stage.to_string(),
+            task,
+            attempt,
+        });
+        self
+    }
+
+    /// Adds an explicit out-of-memory point: attempt `attempt` of task
+    /// `task` in stage `stage` fails with budget exhaustion.
+    pub fn with_oom_point(mut self, stage: &str, task: usize, attempt: usize) -> Self {
+        self.oom_points.push(FailPoint {
             stage: stage.to_string(),
             task,
             attempt,
@@ -222,6 +248,8 @@ impl FaultPlan {
     /// slow:1=3.0               node 1 runs 3x slower
     /// lose:2@5                 node 2 is lost after starting 5 attempts
     /// fail:marking:3@1         attempt 1 of task 3 in stage 'marking' fails
+    /// oom:shuffle.R:0@1        attempt 1 of task 0 in stage 'shuffle.R'
+    ///                          fails with injected budget exhaustion
     /// ```
     ///
     /// e.g. `p=0.02,slow:1=4.0,lose:2@5`.
@@ -272,16 +300,22 @@ impl FaultPlan {
                         .map_err(|_| format!("invalid attempt count '{value}'"))?;
                     plan.lost_nodes.push((node, after));
                 }
-                ["fail", stage, task] => {
+                ["fail", stage, task] | ["oom", stage, task] => {
+                    let is_oom = key.starts_with("oom");
                     let task: usize = task.parse().map_err(|_| format!("invalid task '{task}'"))?;
                     let attempt: usize = value
                         .parse()
                         .map_err(|_| format!("invalid attempt '{value}'"))?;
-                    plan.fail_points.push(FailPoint {
+                    let point = FailPoint {
                         stage: stage.to_string(),
                         task,
                         attempt,
-                    });
+                    };
+                    if is_oom {
+                        plan.oom_points.push(point);
+                    } else {
+                        plan.fail_points.push(point);
+                    }
                 }
                 _ => return Err(format!("unknown fault clause '{clause}'")),
             }
@@ -324,6 +358,15 @@ impl FaultPlan {
         // Map the hash to [0,1) and compare; deterministic and unbiased
         // enough for failure injection.
         ((h >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+
+    /// Deterministic out-of-memory injection decision for one attempt
+    /// (explicit `oom:` points only — OOM has no probabilistic form, since a
+    /// real exhaustion depends on workload, not chance).
+    pub fn injects_oom(&self, stage: &str, task: usize, attempt: usize) -> bool {
+        self.oom_points
+            .iter()
+            .any(|fp| fp.stage == stage && fp.task == task && fp.attempt == attempt)
     }
 
     /// Slowdown multiplier of `node` (1.0 when not a straggler).
@@ -479,6 +522,10 @@ pub struct FaultContext {
     pub plan: FaultPlan,
     pub policy: RetryPolicy,
     pub state: FaultState,
+    /// The cluster's memory accountant, when attached: injected `oom:`
+    /// faults notify it so OOM events surface in memory snapshots alongside
+    /// real budget activity.
+    pub memory: Option<std::sync::Arc<crate::memory::MemoryAccountant>>,
 }
 
 impl FaultContext {
@@ -487,7 +534,14 @@ impl FaultContext {
             plan,
             policy,
             state: FaultState::new(nodes),
+            memory: None,
         }
+    }
+
+    /// Attaches the cluster's memory accountant.
+    pub fn with_memory(mut self, memory: std::sync::Arc<crate::memory::MemoryAccountant>) -> Self {
+        self.memory = Some(memory);
+        self
     }
 }
 
@@ -586,6 +640,16 @@ mod tests {
         let fp = FaultPlan::parse("fail:marking:3@2", 0).expect("fail point parses");
         assert!(fp.injects("marking", 3, 2));
         assert!(!fp.injects("marking", 3, 1));
+        let oom = FaultPlan::parse("oom:shuffle.R:0@1", 0).expect("oom point parses");
+        assert!(oom.injects_oom("shuffle.R", 0, 1));
+        assert!(!oom.injects_oom("shuffle.R", 0, 2));
+        assert!(!oom.injects_oom("shuffle.S", 0, 1));
+        assert!(
+            !oom.injects("shuffle.R", 0, 1),
+            "oom is not a plain failure"
+        );
+        assert!(oom.is_active());
+        assert_eq!(oom, FaultPlan::none().with_oom_point("shuffle.R", 0, 1));
         assert_eq!(
             FaultPlan::parse("chaos", 5).expect("chaos parses"),
             FaultPlan::chaos(5)
@@ -602,6 +666,8 @@ mod tests {
             "lose:1=x",
             "what:3=1",
             "fail:stage:x@1",
+            "oom:stage:x@1",
+            "oom:stage:1@y",
         ] {
             assert!(
                 FaultPlan::parse(bad, 0).is_err(),

@@ -31,6 +31,7 @@ mod cluster;
 mod dataset;
 mod fault;
 mod lpt;
+mod memory;
 mod metrics;
 mod partitioner;
 mod pool;
@@ -41,6 +42,10 @@ pub use cluster::{Broadcast, Cluster, ClusterConfig, ShuffleMode};
 pub use dataset::{Dataset, KeyedDataset};
 pub use fault::{FailPoint, FaultContext, FaultPlan, FaultState, JobError, RetryPolicy, TaskError};
 pub use lpt::{assignment_makespan, least_loaded, lpt_assign};
+pub use memory::{
+    decode_records, encode_records, ChargeGuard, MemoryAccountant, MemorySnapshot, SpillChunk,
+    SpillSegment, SpillWriter,
+};
 pub use metrics::{ExecStats, JobMetrics, ShuffleStats};
 pub use partitioner::{
     ExplicitPartitioner, HashPartitioner, Partitioner, Placement, RoundRobinPartitioner,

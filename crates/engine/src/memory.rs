@@ -1,0 +1,576 @@
+//! Per-node memory accounting and disk spill segments.
+//!
+//! The paper's headline failure mode is memory, not time: universal ε-grid
+//! replication runs out of memory at scale, and adaptive replication exists
+//! to keep the post-shuffle footprint bounded. The engine has always
+//! *measured* that footprint (`ShuffleStats::partition_bytes`); this module
+//! is the layer that *enforces* it. A [`MemoryAccountant`] tracks the bytes
+//! resident on every simulated node; callers ask permission before
+//! materialising a buffer ([`MemoryAccountant::try_charge`]) and release the
+//! charge once the buffer is drained. When a node's budget would be
+//! exceeded, the caller degrades instead of aborting — the radix shuffle
+//! writes the denied bucket to a [`SpillSegment`] on disk (encoded with the
+//! existing [`Wire`](crate::wire::Wire) codec) and re-reads it at reduce
+//! time, so results stay byte-identical while the in-memory peak stays under
+//! the budget.
+//!
+//! Without a budget the accountant still meters (so `peak_memory_bytes` is
+//! populated on every run) but never denies; enforcement is strictly opt-in
+//! via [`ClusterConfig::with_memory_budget`](crate::ClusterConfig::with_memory_budget).
+
+use crate::wire::{Wire, WireError};
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Point-in-time view of one accountant (for reports and assertions).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemorySnapshot {
+    /// The per-node budget, if one is enforced.
+    pub budget: Option<u64>,
+    /// Highest concurrent charge observed on any node.
+    pub peak_bytes: u64,
+    /// Highest concurrent charge per node.
+    pub per_node_peak: Vec<u64>,
+    /// Bytes written to disk spill segments.
+    pub spilled_bytes: u64,
+    /// Charges rejected because they would have crossed the budget.
+    pub budget_denials: u64,
+    /// Injected out-of-memory faults observed.
+    pub oom_events: u64,
+}
+
+/// Charges live buffer bytes to simulated nodes and enforces an optional
+/// per-node budget. Shared (via `Arc`) by every clone of a
+/// [`Cluster`](crate::Cluster) handle, like the [`BufferPool`](crate::BufferPool).
+#[derive(Debug)]
+pub struct MemoryAccountant {
+    budget: Option<u64>,
+    resident: Vec<AtomicU64>,
+    peak: Vec<AtomicU64>,
+    spilled: AtomicU64,
+    denials: AtomicU64,
+    oom_events: AtomicU64,
+}
+
+impl MemoryAccountant {
+    /// An accountant for `nodes` simulated nodes. `budget == None` means
+    /// meter-only: charges are tracked but never denied.
+    pub fn new(nodes: usize, budget: Option<u64>) -> Self {
+        let nodes = nodes.max(1);
+        MemoryAccountant {
+            budget,
+            resident: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
+            peak: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
+            spilled: AtomicU64::new(0),
+            denials: AtomicU64::new(0),
+            oom_events: AtomicU64::new(0),
+        }
+    }
+
+    /// The enforced per-node budget, if any.
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    fn slot(&self, node: usize) -> usize {
+        node % self.resident.len()
+    }
+
+    /// Tries to charge `bytes` to `node`. Returns `false` (and counts a
+    /// denial) when the node's resident total would cross the budget; the
+    /// caller must then spill or shrink instead of materialising. On success
+    /// the node's peak is updated, so `peak ≤ budget` holds by construction
+    /// whenever a budget is set.
+    pub fn try_charge(&self, node: usize, bytes: u64) -> bool {
+        if bytes == 0 {
+            return true;
+        }
+        let slot = self.slot(node);
+        let cell = &self.resident[slot];
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(bytes);
+            if self.budget.is_some_and(|b| next > b) {
+                self.denials.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => {
+                    self.peak[slot].fetch_max(next, Ordering::Relaxed);
+                    return true;
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Releases a previous charge (saturating: over-release clamps at zero
+    /// rather than wrapping).
+    pub fn release(&self, node: usize, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        let cell = &self.resident[self.slot(node)];
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(bytes);
+            match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Records `bytes` written to a disk spill segment.
+    pub fn note_spill(&self, bytes: u64) {
+        self.spilled.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one injected out-of-memory fault.
+    pub fn note_oom(&self) {
+        self.oom_events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bytes currently charged to `node`.
+    pub fn resident_bytes(&self, node: usize) -> u64 {
+        self.resident[self.slot(node)].load(Ordering::Relaxed)
+    }
+
+    /// Highest concurrent charge observed on `node`.
+    pub fn peak_of_node(&self, node: usize) -> u64 {
+        self.peak[self.slot(node)].load(Ordering::Relaxed)
+    }
+
+    /// Highest concurrent charge observed on any node.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak
+            .iter()
+            .map(|p| p.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total bytes spilled to disk so far.
+    pub fn spilled_bytes(&self) -> u64 {
+        self.spilled.load(Ordering::Relaxed)
+    }
+
+    /// Charges denied so far.
+    pub fn budget_denials(&self) -> u64 {
+        self.denials.load(Ordering::Relaxed)
+    }
+
+    /// Injected OOM faults observed so far.
+    pub fn oom_events(&self) -> u64 {
+        self.oom_events.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of every counter.
+    pub fn snapshot(&self) -> MemorySnapshot {
+        MemorySnapshot {
+            budget: self.budget,
+            peak_bytes: self.peak_bytes(),
+            per_node_peak: self
+                .peak
+                .iter()
+                .map(|p| p.load(Ordering::Relaxed))
+                .collect(),
+            spilled_bytes: self.spilled_bytes(),
+            budget_denials: self.budget_denials(),
+            oom_events: self.oom_events(),
+        }
+    }
+}
+
+/// RAII ledger of admitted charges. Everything still held is released when
+/// the guard drops, so a failed or speculative task attempt — whose guard
+/// travels inside the discarded result — can never leak resident bytes,
+/// mirroring how the [`BufferPool`](crate::BufferPool) drops a loser's
+/// buffers instead of double-filling them.
+#[derive(Debug)]
+pub struct ChargeGuard {
+    accountant: Arc<MemoryAccountant>,
+    /// Per-node bytes currently held (small: one entry per node touched).
+    held: Vec<(usize, u64)>,
+}
+
+impl ChargeGuard {
+    pub fn new(accountant: Arc<MemoryAccountant>) -> Self {
+        ChargeGuard {
+            accountant,
+            held: Vec::new(),
+        }
+    }
+
+    /// [`MemoryAccountant::try_charge`], recorded in the ledger on success.
+    pub fn try_charge(&mut self, node: usize, bytes: u64) -> bool {
+        if bytes == 0 {
+            return true;
+        }
+        if !self.accountant.try_charge(node, bytes) {
+            return false;
+        }
+        match self.held.iter_mut().find(|(n, _)| *n == node) {
+            Some((_, held)) => *held += bytes,
+            None => self.held.push((node, bytes)),
+        }
+        true
+    }
+
+    /// Releases part of a held charge immediately (e.g. rolling back the
+    /// first half of a two-sided admission).
+    pub fn uncharge(&mut self, node: usize, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        self.accountant.release(node, bytes);
+        if let Some((_, held)) = self.held.iter_mut().find(|(n, _)| *n == node) {
+            *held = held.saturating_sub(bytes);
+        }
+    }
+
+    /// Total bytes currently held across all nodes.
+    pub fn held_bytes(&self) -> u64 {
+        self.held.iter().map(|(_, b)| b).sum()
+    }
+}
+
+impl Drop for ChargeGuard {
+    fn drop(&mut self) {
+        for &(node, bytes) in &self.held {
+            self.accountant.release(node, bytes);
+        }
+    }
+}
+
+/// Encodes keyed records back-to-back with the [`Wire`] codec (the same
+/// framing the byte meters already measure, so spill volume and
+/// `partition_bytes` speak the same unit).
+pub fn encode_records<K: Wire, V: Wire>(recs: &[(K, V)]) -> Vec<u8> {
+    let total: usize = recs
+        .iter()
+        .map(|(k, v)| k.encoded_size() + v.encoded_size())
+        .sum();
+    let mut buf = Vec::with_capacity(total);
+    for (k, v) in recs {
+        k.encode(&mut buf);
+        v.encode(&mut buf);
+    }
+    buf
+}
+
+/// Decodes exactly `records` keyed records from `bytes` (the inverse of
+/// [`encode_records`]). Trailing bytes are an error — a spill chunk must
+/// round-trip exactly.
+pub fn decode_records<K: Wire, V: Wire>(
+    bytes: &[u8],
+    records: u64,
+) -> Result<Vec<(K, V)>, WireError> {
+    let mut cursor: &[u8] = bytes;
+    let mut out = Vec::with_capacity(records as usize);
+    for _ in 0..records {
+        let k = K::try_decode(&mut cursor)?;
+        let v = V::try_decode(&mut cursor)?;
+        out.push((k, v));
+    }
+    if !cursor.is_empty() {
+        return Err(WireError::Malformed(format!(
+            "spill chunk has {} trailing byte(s)",
+            cursor.len()
+        )));
+    }
+    Ok(out)
+}
+
+/// Location of one target partition's records inside a [`SpillSegment`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpillChunk {
+    /// Target partition the chunk's records belong to.
+    pub target: usize,
+    /// Records encoded in the chunk.
+    pub records: u64,
+    /// Encoded length in bytes.
+    pub len: u64,
+    offset: u64,
+}
+
+/// Append-only writer for one map task's spilled buckets. `finish` seals it
+/// into a readable [`SpillSegment`].
+#[derive(Debug)]
+pub struct SpillWriter {
+    file: File,
+    path: PathBuf,
+    chunks: Vec<SpillChunk>,
+    offset: u64,
+}
+
+/// Monotonic discriminator so concurrent tasks never collide on a path.
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl SpillWriter {
+    /// Creates a fresh spill file in the OS temp directory.
+    pub fn create() -> std::io::Result<SpillWriter> {
+        let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("asj-spill-{}-{}.bin", std::process::id(), seq));
+        let file = File::options()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&path)?;
+        Ok(SpillWriter {
+            file,
+            path,
+            chunks: Vec::new(),
+            offset: 0,
+        })
+    }
+
+    /// Appends one target's encoded records as a chunk.
+    pub fn write_chunk(
+        &mut self,
+        target: usize,
+        bytes: &[u8],
+        records: u64,
+    ) -> std::io::Result<()> {
+        self.file.write_all(bytes)?;
+        self.chunks.push(SpillChunk {
+            target,
+            records,
+            len: bytes.len() as u64,
+            offset: self.offset,
+        });
+        self.offset += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Bytes written so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.offset
+    }
+
+    /// Seals the writer. Returns `None` when nothing was spilled (the empty
+    /// file is deleted immediately).
+    pub fn finish(mut self) -> std::io::Result<Option<SpillSegment>> {
+        if self.chunks.is_empty() {
+            drop(self.file);
+            let _ = std::fs::remove_file(&self.path);
+            return Ok(None);
+        }
+        self.file.flush()?;
+        Ok(Some(SpillSegment {
+            file: Mutex::new(self.file),
+            path: self.path,
+            chunks: self.chunks,
+        }))
+    }
+}
+
+/// One sealed on-disk spill file plus its chunk index. Dropping the segment
+/// deletes the file, so a failed or speculative task attempt cleans up after
+/// itself automatically.
+#[derive(Debug)]
+pub struct SpillSegment {
+    file: Mutex<File>,
+    path: PathBuf,
+    chunks: Vec<SpillChunk>,
+}
+
+impl SpillSegment {
+    /// The chunk index, in write order.
+    pub fn chunks(&self) -> &[SpillChunk] {
+        &self.chunks
+    }
+
+    /// Total encoded bytes across all chunks.
+    pub fn total_bytes(&self) -> u64 {
+        self.chunks.iter().map(|c| c.len).sum()
+    }
+
+    /// The chunk spilled for `target`, if that target overflowed.
+    pub fn chunk_for(&self, target: usize) -> Option<&SpillChunk> {
+        self.chunks.iter().find(|c| c.target == target)
+    }
+
+    /// Reads one chunk's raw encoded bytes back from disk.
+    pub fn read_chunk(&self, chunk: &SpillChunk) -> std::io::Result<Vec<u8>> {
+        let mut file = self.file.lock().expect("spill segment poisoned");
+        file.seek(SeekFrom::Start(chunk.offset))?;
+        let mut buf = vec![0u8; chunk.len as usize];
+        file.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Reads and decodes the records spilled for `target`; `None` when that
+    /// target never overflowed in this segment.
+    pub fn read_records<K: Wire, V: Wire>(
+        &self,
+        target: usize,
+    ) -> std::io::Result<Option<Vec<(K, V)>>> {
+        let Some(chunk) = self.chunk_for(target) else {
+            return Ok(None);
+        };
+        let chunk = *chunk;
+        let bytes = self.read_chunk(&chunk)?;
+        decode_records::<K, V>(&bytes, chunk.records)
+            .map(Some)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+impl Drop for SpillSegment {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_only_accountant_never_denies() {
+        let m = MemoryAccountant::new(3, None);
+        assert!(m.try_charge(0, u64::MAX / 2));
+        assert!(m.try_charge(0, u64::MAX / 2));
+        assert_eq!(m.budget_denials(), 0);
+        assert!(m.peak_bytes() > 0);
+    }
+
+    #[test]
+    fn budget_denies_and_counts() {
+        let m = MemoryAccountant::new(2, Some(100));
+        assert!(m.try_charge(0, 60));
+        assert!(m.try_charge(0, 40));
+        assert!(!m.try_charge(0, 1), "101st byte must be denied");
+        assert_eq!(m.budget_denials(), 1);
+        // The other node has its own budget.
+        assert!(m.try_charge(1, 100));
+        m.release(0, 50);
+        assert!(m.try_charge(0, 50));
+        assert_eq!(m.peak_of_node(0), 100);
+        assert_eq!(m.peak_bytes(), 100);
+        assert!(m.peak_bytes() <= 100, "peak can never exceed the budget");
+    }
+
+    #[test]
+    fn release_saturates_at_zero() {
+        let m = MemoryAccountant::new(1, Some(10));
+        m.try_charge(0, 5);
+        m.release(0, 50);
+        assert_eq!(m.resident_bytes(0), 0);
+        assert!(m.try_charge(0, 10));
+    }
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let m = MemoryAccountant::new(2, Some(64));
+        assert!(m.try_charge(1, 64));
+        assert!(!m.try_charge(1, 1));
+        m.note_spill(4096);
+        m.note_oom();
+        let s = m.snapshot();
+        assert_eq!(s.budget, Some(64));
+        assert_eq!(s.peak_bytes, 64);
+        assert_eq!(s.per_node_peak, vec![0, 64]);
+        assert_eq!(s.spilled_bytes, 4096);
+        assert_eq!(s.budget_denials, 1);
+        assert_eq!(s.oom_events, 1);
+    }
+
+    #[test]
+    fn records_roundtrip_through_codec() {
+        let recs: Vec<(u64, (u64, Vec<u8>))> = (0..17)
+            .map(|i| (i, (i * 3, vec![i as u8; (i % 5) as usize])))
+            .collect();
+        let bytes = encode_records(&recs);
+        let expect: usize = recs
+            .iter()
+            .map(|(k, v)| k.encoded_size() + v.encoded_size())
+            .sum();
+        assert_eq!(bytes.len(), expect);
+        let back = decode_records::<u64, (u64, Vec<u8>)>(&bytes, recs.len() as u64)
+            .expect("decode must succeed");
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes() {
+        let recs: Vec<(u64, u64)> = vec![(1, 2), (3, 4)];
+        let mut bytes = encode_records(&recs);
+        bytes.push(0xFF);
+        assert!(decode_records::<u64, u64>(&bytes, 2).is_err());
+    }
+
+    #[test]
+    fn spill_segment_roundtrips_and_cleans_up() {
+        let a: Vec<(u64, Vec<u8>)> = vec![(7, vec![1, 2, 3]), (9, Vec::new())];
+        let b: Vec<(u64, Vec<u8>)> = vec![(11, vec![42; 8])];
+        let mut w = SpillWriter::create().expect("temp dir must be writable");
+        let enc_a = encode_records(&a);
+        let enc_b = encode_records(&b);
+        w.write_chunk(3, &enc_a, a.len() as u64)
+            .expect("write chunk");
+        w.write_chunk(8, &enc_b, b.len() as u64)
+            .expect("write chunk");
+        assert_eq!(w.bytes_written(), (enc_a.len() + enc_b.len()) as u64);
+        let seg = w.finish().expect("finish").expect("non-empty segment");
+        let path = seg.path.clone();
+        assert!(path.exists());
+        assert_eq!(seg.chunks().len(), 2);
+        assert_eq!(seg.total_bytes(), (enc_a.len() + enc_b.len()) as u64);
+        // Read out of write order — the index seeks correctly.
+        let got_b: Vec<(u64, Vec<u8>)> = seg
+            .read_records(8)
+            .expect("read chunk 8")
+            .expect("target 8 present");
+        assert_eq!(got_b, b);
+        let got_a: Vec<(u64, Vec<u8>)> = seg
+            .read_records(3)
+            .expect("read chunk 3")
+            .expect("target 3 present");
+        assert_eq!(got_a, a);
+        assert!(seg
+            .read_records::<u64, Vec<u8>>(5)
+            .expect("read absent target")
+            .is_none());
+        drop(seg);
+        assert!(!path.exists(), "dropping the segment deletes the file");
+    }
+
+    #[test]
+    fn empty_writer_finishes_to_none() {
+        let w = SpillWriter::create().expect("temp dir must be writable");
+        let path = w.path.clone();
+        assert!(w.finish().expect("finish").is_none());
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn concurrent_charges_respect_the_budget() {
+        use std::sync::Arc;
+        let m = Arc::new(MemoryAccountant::new(1, Some(1000)));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    let mut granted = 0u64;
+                    for _ in 0..200 {
+                        if m.try_charge(0, 7) {
+                            granted += 7;
+                        }
+                    }
+                    m.release(0, granted);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+        assert!(m.peak_bytes() <= 1000);
+        assert_eq!(m.resident_bytes(0), 0);
+    }
+}

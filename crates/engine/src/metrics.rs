@@ -20,6 +20,14 @@ pub struct ExecStats {
     /// Nodes blacklisted by the end of the stage (cluster-lifetime view:
     /// accumulation takes the max, not the sum).
     pub blacklisted_nodes: u64,
+    /// Bytes this stage wrote to disk spill segments because a node's memory
+    /// budget would have been exceeded (0 on unbudgeted runs).
+    pub spilled_bytes: u64,
+    /// Highest concurrent memory charge observed on any node by the end of
+    /// the stage — cluster-lifetime watermark like the blacklist, so
+    /// accumulation takes the max. When a budget is enforced this never
+    /// exceeds it, by construction.
+    pub peak_memory_bytes: u64,
 }
 
 impl ExecStats {
@@ -66,6 +74,9 @@ impl ExecStats {
         // The blacklist is cluster-lifetime state observed per stage, not a
         // per-stage increment: the later stage's view supersedes.
         self.blacklisted_nodes = self.blacklisted_nodes.max(other.blacklisted_nodes);
+        self.spilled_bytes += other.spilled_bytes;
+        // The memory peak is a watermark like the blacklist.
+        self.peak_memory_bytes = self.peak_memory_bytes.max(other.peak_memory_bytes);
     }
 }
 
@@ -140,6 +151,20 @@ impl JobMetrics {
     pub fn wall_time(&self) -> Duration {
         self.driver + self.construction.wall + self.join.wall
     }
+
+    /// Bytes spilled to disk across both phases (0 unless a memory budget
+    /// forced shuffles out of core).
+    pub fn spilled_bytes(&self) -> u64 {
+        self.construction.spilled_bytes + self.join.spilled_bytes
+    }
+
+    /// Highest concurrent per-node memory charge observed across both
+    /// phases. When a budget is enforced this never exceeds it.
+    pub fn peak_memory_bytes(&self) -> u64 {
+        self.construction
+            .peak_memory_bytes
+            .max(self.join.peak_memory_bytes)
+    }
 }
 
 #[cfg(test)]
@@ -179,6 +204,8 @@ mod tests {
             failed_attempts: 1,
             speculative_wins: 0,
             blacklisted_nodes: 1,
+            spilled_bytes: 100,
+            peak_memory_bytes: 700,
         };
         let b = ExecStats {
             per_node_busy: vec![ms(1), ms(2), ms(3)],
@@ -188,6 +215,8 @@ mod tests {
             failed_attempts: 0,
             speculative_wins: 2,
             blacklisted_nodes: 0,
+            spilled_bytes: 50,
+            peak_memory_bytes: 400,
         };
         a.accumulate(&b);
         assert_eq!(a.per_node_busy, vec![ms(6), ms(12), ms(3)]);
@@ -197,6 +226,8 @@ mod tests {
         assert_eq!(a.failed_attempts, 1);
         assert_eq!(a.speculative_wins, 2);
         assert_eq!(a.blacklisted_nodes, 1, "blacklist accumulates as max");
+        assert_eq!(a.spilled_bytes, 150, "spill volume accumulates as sum");
+        assert_eq!(a.peak_memory_bytes, 700, "memory peak accumulates as max");
     }
 
     #[test]
@@ -245,5 +276,16 @@ mod tests {
         };
         assert_eq!(m.simulated_time(), ms(3 + 20 + 40));
         assert_eq!(m.wall_time(), ms(3 + 25 + 42));
+    }
+
+    #[test]
+    fn job_metrics_compose_memory() {
+        let mut m = JobMetrics::default();
+        m.construction.spilled_bytes = 300;
+        m.construction.peak_memory_bytes = 900;
+        m.join.spilled_bytes = 200;
+        m.join.peak_memory_bytes = 1200;
+        assert_eq!(m.spilled_bytes(), 500, "phases' spill volumes add");
+        assert_eq!(m.peak_memory_bytes(), 1200, "peak is the max watermark");
     }
 }

@@ -391,13 +391,14 @@ where
             return Err(TaskError::NodeLost { node });
         }
         let will_fail = plan.injects(stage, idx, attempt);
+        let will_oom = plan.injects_oom(stage, idx, attempt);
         running_node[idx].store(node, Ordering::Relaxed);
         running_since[idx].store(now_ns() + 1, Ordering::Relaxed);
         let start = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| f(idx, tasks[idx].clone())));
         let d0 = start.elapsed();
         let mult = plan.slowdown(node);
-        if mult > 1.0 && outcome.is_ok() && !will_fail {
+        if mult > 1.0 && outcome.is_ok() && !will_fail && !will_oom {
             // A straggler node really is slower: stretch the attempt in wall
             // time (in interruptible slices) so a speculative copy elsewhere
             // can genuinely overtake it.
@@ -440,6 +441,28 @@ where
                 );
                 running_since[idx].store(0, Ordering::Relaxed);
                 Err(TaskError::Injected { attempt })
+            }
+            Ok(_) if will_oom => {
+                // Injected budget exhaustion: the attempt's work is discarded
+                // like a real OOM-killed executor's would be, the burned time
+                // is billed, and the retry machinery takes over.
+                let charged = scale_dur(d0, mult);
+                charge(node, charged);
+                recorder.task_span_sim(
+                    &failed_stage,
+                    node,
+                    Some(idx as u64),
+                    d0,
+                    charged,
+                    Attrs::new(),
+                );
+                recorder.counter_add(stage, "oom_events", 1);
+                recorder.event("oom", Lane::Node(node), Some(idx as u64), Attrs::new());
+                if let Some(memory) = &ctx.memory {
+                    memory.note_oom();
+                }
+                running_since[idx].store(0, Ordering::Relaxed);
+                Err(TaskError::OutOfMemory { attempt })
             }
             Ok(r) => {
                 if done[idx]
@@ -633,6 +656,8 @@ where
             failed_attempts: n_failed.load(Ordering::Relaxed),
             speculative_wins: n_spec_wins.load(Ordering::Relaxed),
             blacklisted_nodes: state.blacklisted_count(),
+            spilled_bytes: 0,
+            peak_memory_bytes: 0,
         },
     ))
 }
@@ -821,6 +846,35 @@ mod tests {
         assert_eq!(stats.retries, 8);
         assert_eq!(stats.failed_attempts, 8);
         assert!(stats.attempts > 8, "recovery must show up in the stats");
+    }
+
+    #[test]
+    fn ft_retries_injected_oom_and_recovers() {
+        // Attempt 1 of task 2 dies of injected budget exhaustion; the retry
+        // lands elsewhere and succeeds, exactly like any other failure.
+        let plan = FaultPlan::none().with_oom_point("unit", 2, 1);
+        let memory = std::sync::Arc::new(crate::memory::MemoryAccountant::new(2, Some(1 << 20)));
+        let ctx = FaultContext::new(plan, RetryPolicy::default(), 2)
+            .with_memory(std::sync::Arc::clone(&memory));
+        let tasks: Vec<u32> = (0..4).collect();
+        let placement: Vec<usize> = (0..4).map(|i| i % 2).collect();
+        let recorder = Recorder::for_nodes(2);
+        let (out, stats) =
+            run_tasks_ft(2, 2, tasks, &placement, &recorder, "unit", &ctx, |_, t| {
+                t + 10
+            })
+            .expect("oom retry must recover");
+        assert_eq!(out, (0..4).map(|t| t + 10).collect::<Vec<_>>());
+        assert_eq!(stats.attempts, 5, "one oom retry on top of four tasks");
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.failed_attempts, 1);
+        assert_eq!(memory.oom_events(), 1, "the accountant sees the injection");
+        assert_eq!(recorder.counter_value("unit", "oom_events"), Some(1));
+        let trace = recorder.snapshot();
+        assert!(
+            trace.events.iter().any(|e| e.name == "oom"),
+            "the oom event must land in the trace"
+        );
     }
 
     #[test]

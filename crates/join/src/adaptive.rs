@@ -1,12 +1,18 @@
 use crate::pipeline::{join_stage, map_stage};
-use crate::{JoinOutput, JoinSpec, Record};
+use crate::{JoinError, JoinOutput, JoinSpec, Record};
 use asj_core::{cell_costs, AgreementGraph, AgreementPolicy, GridSample, SetLabel};
 use asj_engine::{
     Cluster, Dataset, ExplicitPartitioner, HashPartitioner, JobMetrics, Partitioner, Placement,
 };
 use asj_grid::{Grid, GridSpec};
 use asj_index::kernels;
+use asj_obs::{Attrs, Lane};
 use std::time::Instant;
+
+/// Smallest grid factor the agreement construction supports: cell sides must
+/// exceed `2ε` so a record's neighborhood spans at most the 3×3 block that
+/// Algorithms 2–4 reason about.
+const MIN_AGREEMENT_FACTOR: f64 = 2.0;
 
 /// The paper's Algorithm 5: parallel ε-distance join with **adaptive
 /// replication** (LPiB or DIFF instantiation of the graph of agreements).
@@ -31,10 +37,56 @@ pub fn adaptive_join(
     s: Vec<Record>,
 ) -> JoinOutput {
     let grid = Grid::new(GridSpec::with_factor(spec.bbox, spec.eps, spec.grid_factor));
-    assert!(
-        grid.supports_agreements(),
-        "adaptive replication requires cell side > 2*eps (grid_factor >= 2)"
-    );
+    let grid = if grid.supports_agreements() {
+        grid
+    } else {
+        // A too-fine grid is a recoverable configuration problem, not a
+        // crash: coarsen to the minimum supported factor, leave a warning
+        // event on the driver lane, and run. Callers that would rather
+        // decide themselves use `try_adaptive_join`.
+        cluster.recorder().event(
+            "grid.coarsened",
+            Lane::Driver,
+            None,
+            Attrs::new().cells(grid.num_cells() as u64),
+        );
+        Grid::new(GridSpec::with_factor(
+            spec.bbox,
+            spec.eps,
+            MIN_AGREEMENT_FACTOR,
+        ))
+    };
+    adaptive_join_on_grid(cluster, spec, policy, grid, r, s)
+}
+
+/// Fallible [`adaptive_join`]: a `grid_factor` below the supported minimum
+/// surfaces as [`JoinError::GridTooFine`] instead of silently coarsening.
+pub fn try_adaptive_join(
+    cluster: &Cluster,
+    spec: &JoinSpec,
+    policy: AgreementPolicy,
+    r: Vec<Record>,
+    s: Vec<Record>,
+) -> Result<JoinOutput, JoinError> {
+    let grid = Grid::new(GridSpec::with_factor(spec.bbox, spec.eps, spec.grid_factor));
+    if !grid.supports_agreements() {
+        return Err(JoinError::GridTooFine {
+            grid_factor: spec.grid_factor,
+            min_factor: MIN_AGREEMENT_FACTOR,
+        });
+    }
+    Ok(adaptive_join_on_grid(cluster, spec, policy, grid, r, s))
+}
+
+fn adaptive_join_on_grid(
+    cluster: &Cluster,
+    spec: &JoinSpec,
+    policy: AgreementPolicy,
+    grid: Grid,
+    r: Vec<Record>,
+    s: Vec<Record>,
+) -> JoinOutput {
+    debug_assert!(grid.supports_agreements());
     let rdd_r = Dataset::from_vec(r, spec.input_partitions);
     let rdd_s = Dataset::from_vec(s, spec.input_partitions);
 
@@ -208,6 +260,50 @@ mod tests {
         let out = adaptive_join(&c, &spec, AgreementPolicy::Lpib, r, s);
         assert!(out.pairs.is_empty());
         assert_eq!(out.result_count as usize, expected.len());
+    }
+
+    #[test]
+    fn too_fine_grid_errors_typed_or_coarsens() {
+        let c = cluster();
+        // grid_factor 1.0 puts cell sides below 2*eps — the config the old
+        // assert used to panic on.
+        let spec = JoinSpec::new(Rect::new(0.0, 0.0, 20.0, 20.0), 1.0)
+            .with_partitions(8)
+            .with_grid_factor(1.0);
+        let r = random_records(250, 9, 20.0);
+        let s = random_records(250, 10, 20.0);
+        let expected = crate::oracle::brute_force_pairs(&r, &s, spec.eps);
+        for policy in [AgreementPolicy::Lpib, AgreementPolicy::Diff] {
+            // Fallible entry point: a typed error, not a panic.
+            let err = crate::try_adaptive_join(&c, &spec, policy, r.clone(), s.clone())
+                .expect_err("grid_factor 1.0 must be rejected");
+            assert_eq!(
+                err,
+                crate::JoinError::GridTooFine {
+                    grid_factor: 1.0,
+                    min_factor: 2.0
+                },
+                "{}",
+                policy.name()
+            );
+            assert!(err.to_string().contains("grid_factor 1"));
+
+            // Infallible entry point: auto-coarsen and still be correct.
+            let out = adaptive_join(&c, &spec, policy, r.clone(), s.clone());
+            let mut got = out.pairs.clone();
+            got.sort_unstable();
+            assert_eq!(got, expected, "{} after coarsening", policy.name());
+        }
+        // A supported factor passes through the fallible path untouched.
+        let ok = crate::try_adaptive_join(
+            &c,
+            &spec.clone().with_grid_factor(2.0),
+            AgreementPolicy::Lpib,
+            r,
+            s,
+        )
+        .expect("grid_factor 2.0 is supported");
+        assert_eq!(ok.pairs.len(), expected.len());
     }
 
     #[test]

@@ -41,6 +41,22 @@ pub fn knn_join(
     r: Vec<Record>,
     s: Vec<Record>,
 ) -> KnnOutput {
+    knn_join_probe(cluster, spec, k, r, s, true)
+}
+
+/// [`knn_join`] with the probe strategy explicit. `annulus_only = true` (the
+/// public behavior) routes each pending query only to the cells of the
+/// current round's annulus `prev_radius < MINDIST ≤ radius`; `false` is the
+/// naive full-disk re-probe (every cell within the radius, every round),
+/// kept as the oracle the regression test measures shuffle savings against.
+fn knn_join_probe(
+    cluster: &Cluster,
+    spec: &JoinSpec,
+    k: usize,
+    r: Vec<Record>,
+    s: Vec<Record>,
+    annulus_only: bool,
+) -> KnnOutput {
     assert!(k > 0, "k must be positive");
     let grid = Grid::new(GridSpec::with_factor(spec.bbox, spec.eps, spec.grid_factor));
     let s_total = s.len();
@@ -76,11 +92,19 @@ pub fn knn_join(
     let mut radius = lx.max(ly);
     let world = (grid_b.bbox().width().powi(2) + grid_b.bbox().height().powi(2)).sqrt();
     let mut rounds = 0usize;
+    // Squared radius already probed by every still-pending query (the
+    // pending set only shrinks, so all of them share it). Starts below any
+    // real MINDIST² so round 1 includes the query's own cell.
+    let mut probed2 = -1.0f64;
 
     while !pending.is_empty() {
         rounds += 1;
-        // Route every pending query to all cells within the current radius.
+        // Route every pending query to the cells of this round's annulus:
+        // prev_radius < MINDIST <= radius. Everything inside prev_radius was
+        // already probed in earlier rounds — re-sending the query there only
+        // manufactures duplicate candidates for the driver-side dedup.
         let rad = radius;
+        let prev2 = if annulus_only { probed2 } else { -1.0 };
         let grid_q = grid_b.clone();
         let rdd_q = Dataset::from_vec(pending.clone(), spec.input_partitions);
         let (q_parts, ex) = cluster.run_partitioned(rdd_q.into_partitions(), |_, part| {
@@ -88,17 +112,13 @@ pub fn knn_join(
             let mut cells: Vec<CellCoord> = Vec::new();
             for rec in part {
                 cells.clear();
-                cells.push(grid_q.cell_of(rec.point));
-                let save_eps = rad;
-                // All cells with MINDIST <= radius.
-                let lo = grid_q.cell_of(Point::new(rec.point.x - save_eps, rec.point.y - save_eps));
-                let hi = grid_q.cell_of(Point::new(rec.point.x + save_eps, rec.point.y + save_eps));
+                let lo = grid_q.cell_of(Point::new(rec.point.x - rad, rec.point.y - rad));
+                let hi = grid_q.cell_of(Point::new(rec.point.x + rad, rec.point.y + rad));
                 for cy in lo.y..=hi.y {
                     for cx in lo.x..=hi.x {
                         let c = CellCoord { x: cx, y: cy };
-                        if c != cells[0]
-                            && grid_q.cell_rect(c).mindist2(rec.point) <= save_eps * save_eps
-                        {
+                        let m2 = grid_q.cell_rect(c).mindist2(rec.point);
+                        if m2 > prev2 && m2 <= rad * rad {
                             cells.push(c);
                         }
                     }
@@ -177,6 +197,7 @@ pub fn knn_join(
                 .unwrap_or(false);
             !(complete && (safe || radius >= world))
         });
+        probed2 = radius * radius;
         if radius >= world {
             break;
         }
@@ -280,6 +301,47 @@ mod tests {
             .map(|(q, ns)| (*q, ns.iter().map(|(id, _)| *id).collect()))
             .collect();
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn annulus_probing_ships_strictly_less_than_full_disk() {
+        let c = cluster();
+        let spec = JoinSpec::new(Rect::new(0.0, 0.0, 40.0, 40.0), 1.0).with_partitions(8);
+        // Queries spread out, S clustered: several expansion rounds, so the
+        // full-disk baseline re-probes ever-larger disks it already covered.
+        let r = to_records(
+            &[
+                Point::new(1.0, 1.0),
+                Point::new(20.0, 3.0),
+                Point::new(3.0, 22.0),
+            ],
+            0,
+        );
+        let mut rng = StdRng::seed_from_u64(93);
+        let s_pts: Vec<Point> = (0..60)
+            .map(|_| {
+                Point::new(
+                    33.0 + rng.gen_range(0.0..6.0),
+                    33.0 + rng.gen_range(0.0..6.0),
+                )
+            })
+            .collect();
+        let s = to_records(&s_pts, 0);
+        let full = knn_join_probe(&c, &spec, 5, r.clone(), s.clone(), false);
+        let annulus = knn_join_probe(&c, &spec, 5, r, s, true);
+        assert!(full.rounds > 1, "scenario must need ring expansion");
+        assert_eq!(annulus.rounds, full.rounds, "same rounds, smaller probes");
+        assert_eq!(
+            annulus.neighbors, full.neighbors,
+            "probe strategy must not change the answer"
+        );
+        assert!(
+            annulus.shuffle.records < full.shuffle.records,
+            "annulus probing must ship strictly fewer records: {} vs {}",
+            annulus.shuffle.records,
+            full.shuffle.records
+        );
+        assert!(annulus.shuffle.total_bytes() < full.shuffle.total_bytes());
     }
 
     #[test]

@@ -53,7 +53,7 @@ mod sedona;
 mod selfjoin;
 mod spec;
 
-pub use adaptive::adaptive_join;
+pub use adaptive::{adaptive_join, try_adaptive_join};
 pub use dedup::adaptive_join_dedup;
 pub use extent::{brute_force_extent_pairs, extent_join, ExtentRecord};
 pub use knn::{brute_force_knn, knn_join, KnnOutput};
@@ -65,7 +65,7 @@ pub use record::{to_records, Record};
 pub use refpoint::pbsm_refpoint_join;
 pub use sedona::sedona_like_join;
 pub use selfjoin::{brute_force_self_pairs, self_join};
-pub use spec::{JoinOutput, JoinSpec, LocalKernel};
+pub use spec::{JoinError, JoinOutput, JoinSpec, LocalKernel};
 
 #[cfg(test)]
 mod empty_input_tests {

@@ -1,6 +1,6 @@
 use crate::{adaptive_join, JoinOutput, JoinSpec, Record};
 use asj_core::AgreementPolicy;
-use asj_engine::{Cluster, HashPartitioner, KeyedDataset};
+use asj_engine::{Cluster, Dataset, HashPartitioner, KeyedDataset};
 
 /// The Table-5 alternative for carrying non-spatial attributes: the spatial
 /// join runs on **stripped tuples** (id + coordinates only), and the extra
@@ -33,13 +33,16 @@ pub fn adaptive_join_post_fetch(
         .map(|p| cluster.node_of_partition(p))
         .collect();
 
-    // Join 1: pairs (keyed by r.id) ⋈ R attributes.
-    let pairs_by_rid = KeyedDataset::from_partitions(vec![out
-        .pairs
-        .iter()
-        .map(|&(rid, sid)| (rid, sid))
-        .collect::<Vec<(u64, u64)>>()]);
-    let r_table = KeyedDataset::from_partitions(vec![r_attrs]);
+    // Join 1: pairs (keyed by r.id) ⋈ R attributes. Both id-join inputs are
+    // split across the spec's input partitions — a single-partition dataset
+    // would put every map task of the extra shuffles on node 0 and serialize
+    // exactly the post-processing the paper measures.
+    let pairs_by_rid = KeyedDataset::from_partitions(
+        Dataset::from_vec(out.pairs.clone(), spec.input_partitions).into_partitions(),
+    );
+    let r_table = KeyedDataset::from_partitions(
+        Dataset::from_vec(r_attrs, spec.input_partitions).into_partitions(),
+    );
     let (pairs_by_rid, sh, ex) = pairs_by_rid.shuffle(cluster, &partitioner);
     out.metrics.shuffle.merge(&sh);
     out.metrics.join.accumulate(&ex);
@@ -62,7 +65,9 @@ pub fn adaptive_join_post_fetch(
 
     // Join 2: half-enriched rows (keyed by s.id) ⋈ S attributes.
     let half = KeyedDataset::from_partitions(half.into_partitions());
-    let s_table = KeyedDataset::from_partitions(vec![s_attrs]);
+    let s_table = KeyedDataset::from_partitions(
+        Dataset::from_vec(s_attrs, spec.input_partitions).into_partitions(),
+    );
     let (half, sh, ex) = half.shuffle(cluster, &partitioner);
     out.metrics.shuffle.merge(&sh);
     out.metrics.join.accumulate(&ex);
@@ -112,7 +117,8 @@ mod tests {
 
     #[test]
     fn post_fetch_enriches_every_pair() {
-        let c = Cluster::new(ClusterConfig::with_threads(4, 2));
+        let recorder = asj_obs::Recorder::for_nodes(4);
+        let c = Cluster::new(ClusterConfig::with_threads(4, 2)).with_recorder(recorder.clone());
         let spec = JoinSpec::new(Rect::new(0.0, 0.0, 20.0, 20.0), 1.0)
             .with_partitions(8)
             .with_sample_fraction(0.4);
@@ -133,5 +139,28 @@ mod tests {
         // The post-processing joins shuffle extra data on top of the spatial
         // join's own shuffle.
         assert!(fetched.metrics.shuffle.total_bytes() > inline.metrics.shuffle.total_bytes());
+        // The id-join inputs are split across input partitions, so their map
+        // tasks (the only stages named plain "shuffle") must land on more
+        // than one simulated node — the old single-partition inputs pinned
+        // all of them to node 0.
+        let trace = recorder.snapshot();
+        let id_join_nodes: std::collections::BTreeSet<_> = trace
+            .spans
+            .iter()
+            .filter(|sp| sp.stage == "shuffle")
+            .map(|sp| sp.lane)
+            .collect();
+        assert!(
+            id_join_nodes.len() >= 2,
+            "id-join map tasks must run on multiple nodes, saw {id_join_nodes:?}"
+        );
+        let busy_nodes = fetched
+            .metrics
+            .join
+            .per_node_busy
+            .iter()
+            .filter(|d| !d.is_zero())
+            .count();
+        assert!(busy_nodes >= 2, "join phase busy on {busy_nodes} node(s)");
     }
 }

@@ -88,6 +88,39 @@ impl JoinSpec {
     }
 }
 
+/// Typed failure of a fallible join entry point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JoinError {
+    /// The requested grid resolution leaves cell sides below `2ε`, so the
+    /// agreement construction (Algorithms 2–4) cannot be made
+    /// duplicate-free. Raise [`JoinSpec::with_grid_factor`] to at least
+    /// `min_factor`, or use [`adaptive_join`](crate::adaptive_join), which
+    /// auto-coarsens with a warning instead of failing.
+    GridTooFine {
+        /// The factor the spec asked for.
+        grid_factor: f64,
+        /// The smallest factor the agreement construction supports.
+        min_factor: f64,
+    },
+}
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JoinError::GridTooFine {
+                grid_factor,
+                min_factor,
+            } => write!(
+                f,
+                "grid too fine for adaptive replication: grid_factor {grid_factor} \
+                 puts cell sides below 2*eps (need grid_factor >= {min_factor})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
 /// Everything one join run produced — results plus the paper's metrics.
 #[derive(Debug, Clone)]
 pub struct JoinOutput {

@@ -43,9 +43,11 @@ usage:
                 [--partitions P] [--grid-factor F] [--kernel K] [--out FILE]
                 [--trace FILE] [--trace-format chrome|jsonl]
                 [--faults SPEC] [--seed S] [--max-attempts N] [--speculation]
+                [--memory-budget B]
   asj self-join --input FILE --eps E [--nodes N] [--partitions P] [--kernel K]
                 [--trace FILE] [--trace-format chrome|jsonl]
                 [--faults SPEC] [--seed S] [--max-attempts N] [--speculation]
+                [--memory-budget B]
   asj knn       --r FILE --s FILE --k K --eps E [--nodes N] [--partitions P]
   asj range     --input FILE --rect x0,y0,x1,y1 --eps E [--nodes N]
   asj heatmap   --input FILE [--width W] [--height H]
@@ -59,7 +61,10 @@ Perfetto (https://ui.perfetto.dev) or chrome://tracing.
 --faults injects deterministic failures, e.g. 'chaos' or
 'p=0.02,slow:1=3.0,lose:2@5' (seeded by --seed); the env vars ASJ_FAULTS /
 ASJ_FAULT_SEED do the same without flags. --speculation re-executes
-straggler tasks on another node.";
+straggler tasks on another node. --memory-budget caps simulated per-node
+memory (bytes; k/m/g binary suffixes accepted) — shuffle buckets that would
+exceed it spill to temporary files and are re-read at reduce time, leaving
+results byte-identical.";
 
 /// Flags that take no value: their presence means "on".
 const BOOL_FLAGS: &[&str] = &["speculation"];
@@ -96,6 +101,21 @@ fn required<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str
 
 fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("invalid {what}: '{s}'"))
+}
+
+/// Byte count with an optional binary suffix: `65536`, `64k`, `16m`, `1g`
+/// (case-insensitive, powers of 1024).
+fn parse_bytes(s: &str) -> Result<u64, String> {
+    let lower = s.trim().to_ascii_lowercase();
+    let (digits, mult) = match lower.as_bytes().last() {
+        Some(b'k') => (&lower[..lower.len() - 1], 1u64 << 10),
+        Some(b'm') => (&lower[..lower.len() - 1], 1 << 20),
+        Some(b'g') => (&lower[..lower.len() - 1], 1 << 30),
+        _ => (lower.as_str(), 1),
+    };
+    let n: u64 = parse(digits, "--memory-budget")?;
+    n.checked_mul(mult)
+        .ok_or_else(|| format!("memory budget overflows u64: '{s}'"))
 }
 
 fn algorithm_by_name(name: &str) -> Result<Algorithm, String> {
@@ -237,6 +257,9 @@ fn build_spec(
         .map_or(Ok(LocalKernel::Auto), |s| s.parse())?;
     let trace = TraceSink::from_flags(flags, nodes)?;
     let mut cluster = Cluster::new(ClusterConfig::new(nodes)).with_recorder(trace.recorder.clone());
+    if let Some(budget) = flags.get("memory-budget") {
+        cluster = cluster.with_memory_budget(parse_bytes(budget)?);
+    }
     if let Some((plan, policy)) = fault_setup(flags)? {
         cluster = cluster.with_fault_policy(plan, policy);
     }
@@ -307,6 +330,17 @@ fn report(out: &JoinOutput) {
         "wall time            : {:.3} s",
         out.metrics.wall_time().as_secs_f64()
     );
+    println!(
+        "peak memory          : {} KiB",
+        out.metrics.peak_memory_bytes() / 1024
+    );
+    // Only interesting when the memory governor actually forced data to disk.
+    if out.metrics.spilled_bytes() > 0 {
+        println!(
+            "spilled to disk      : {} KiB",
+            out.metrics.spilled_bytes() / 1024
+        );
+    }
     let mut exec = ExecStats::default();
     exec.accumulate(&out.metrics.construction);
     exec.accumulate(&out.metrics.join);
@@ -582,6 +616,32 @@ mod tests {
     }
 
     #[test]
+    fn memory_budget_flag_parses_and_caps_the_cluster() {
+        assert_eq!(parse_bytes("65536").unwrap(), 65536);
+        assert_eq!(parse_bytes("64k").unwrap(), 64 << 10);
+        assert_eq!(parse_bytes("2M").unwrap(), 2 << 20);
+        assert_eq!(parse_bytes("1g").unwrap(), 1 << 30);
+        assert!(parse_bytes("lots").is_err());
+        assert!(parse_bytes("").is_err());
+
+        let bbox = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let base: HashMap<String, String> = [("eps".to_string(), "0.5".to_string())].into();
+        let (cluster, _, _) = build_spec(&base, bbox).unwrap();
+        assert_eq!(
+            cluster.memory_accountant().budget(),
+            None,
+            "no flag leaves the accountant meter-only"
+        );
+        let mut flags = base.clone();
+        flags.insert("memory-budget".to_string(), "64k".to_string());
+        let (cluster, _, _) = build_spec(&flags, bbox).unwrap();
+        assert_eq!(cluster.memory_accountant().budget(), Some(64 << 10));
+        let mut bad = base;
+        bad.insert("memory-budget".to_string(), "plenty".to_string());
+        assert!(build_spec(&bad, bbox).is_err());
+    }
+
+    #[test]
     fn generator_names_resolve() {
         assert_eq!(
             gen_kind_by_name("gaussian").unwrap(),
@@ -639,6 +699,8 @@ mod tests {
             arg("4"),
             arg("--partitions"),
             arg("8"),
+            arg("--memory-budget"),
+            arg("4k"),
             arg("--out"),
             arg(out_path.to_str().unwrap()),
         ])

@@ -1,0 +1,248 @@
+//! Property tests for memory-governed execution: a per-node budget may force
+//! shuffle buckets through disk spill segments, but it must never change a
+//! single byte of any result — partitions, their order, and every
+//! `ShuffleStats` field stay identical to an unbudgeted run — while the
+//! enforced invariant `peak_memory_bytes <= budget` holds on every node.
+//! Alongside, the `partition_bytes` histogram is pinned to ground truth: each
+//! entry equals the summed encoded size of the records that actually landed
+//! in that partition, for every algorithm and under seeded fault retries.
+
+use adaptive_spatial_join::engine::{
+    Cluster, ClusterConfig, FaultPlan, HashPartitioner, KeyedDataset, RetryPolicy, ShuffleMode,
+    ShuffleStats, Wire,
+};
+use adaptive_spatial_join::join::{to_records, Algorithm, JoinSpec, Record};
+use adaptive_spatial_join::prelude::*;
+use proptest::prelude::*;
+
+/// Records are `(key, (tag, payload))`: a variable-length payload exercises
+/// the byte metering and the spill codec beyond fixed-size records.
+type Rec = (u64, (u64, Vec<u8>));
+
+fn records(max_key: u64) -> impl Strategy<Value = Vec<Rec>> {
+    prop::collection::vec(
+        (
+            0..max_key,
+            any::<u64>(),
+            prop::collection::vec(any::<u8>(), 0..24),
+        )
+            .prop_map(|(k, tag, payload)| (k, (tag, payload))),
+        0..400,
+    )
+}
+
+/// Splits records into `parts` chunks round-robin (deterministic, uneven).
+fn into_partitions(recs: Vec<Rec>, parts: usize) -> Vec<Vec<Rec>> {
+    let mut out: Vec<Vec<Rec>> = (0..parts).map(|_| Vec::new()).collect();
+    for (i, r) in recs.into_iter().enumerate() {
+        out[i % parts].push(r);
+    }
+    out
+}
+
+/// Ground truth for one shuffled partition: the summed wire size of the
+/// records that actually landed there.
+fn landed_bytes(part: &[Rec]) -> u64 {
+    part.iter()
+        .map(|(k, v)| k.encoded_size() as u64 + v.encoded_size() as u64)
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Budgeted execution is invisible in the results: whatever fraction of
+    /// the natural peak the budget allows, the shuffle produces the same
+    /// partitions in the same order with the same stats — spilling more and
+    /// more of the data through disk as the budget shrinks — and no node's
+    /// peak ever exceeds the budget.
+    #[test]
+    fn budgeted_shuffle_is_byte_identical(
+        recs in records(64),
+        sources in 1usize..7,
+        targets in 1usize..25,
+        nodes in 1usize..6,
+        budget_pct in 1u64..120,
+    ) {
+        let parts = into_partitions(recs, sources);
+        let p = HashPartitioner::new(targets);
+        let free = Cluster::new(ClusterConfig::with_threads(nodes, 2));
+        let (df, sf, ef) = KeyedDataset::from_partitions(parts.clone())
+            .shuffle(&free, &p);
+        prop_assert_eq!(ef.spilled_bytes, 0, "no budget, nothing spills");
+
+        let budget = (ef.peak_memory_bytes * budget_pct / 100).max(1);
+        let tight = Cluster::new(ClusterConfig::with_threads(nodes, 2))
+            .with_memory_budget(budget);
+        let (dt, st, et) = KeyedDataset::from_partitions(parts).shuffle(&tight, &p);
+        prop_assert_eq!(&st, &sf, "ShuffleStats are spill-agnostic");
+        prop_assert_eq!(
+            dt.into_partitions(),
+            df.into_partitions(),
+            "spilling must not change results"
+        );
+        prop_assert!(
+            et.peak_memory_bytes <= budget,
+            "peak {} exceeds budget {}", et.peak_memory_bytes, budget
+        );
+        let acct = tight.memory_accountant();
+        for node in 0..nodes {
+            prop_assert!(acct.peak_of_node(node) <= budget);
+            prop_assert_eq!(acct.resident_bytes(node), 0, "charges release at commit");
+        }
+        // A budget meaningfully below the natural peak must actually deny
+        // something (and therefore spill) whenever any bytes moved at all.
+        if budget_pct <= 50 && ef.peak_memory_bytes > 1 && sf.total_bytes() > 0 {
+            prop_assert!(
+                et.spilled_bytes > 0,
+                "budget {} under natural peak {} must spill",
+                budget, ef.peak_memory_bytes
+            );
+        }
+    }
+
+    /// Spilling composes with fault recovery: failed attempts abandon their
+    /// charges and spill files, retried attempts redo both, and the output
+    /// still matches an undisturbed legacy run byte for byte.
+    #[test]
+    fn budgeted_shuffle_survives_injected_faults(
+        recs in records(48),
+        sources in 2usize..6,
+        targets in 1usize..13,
+        nodes in 2usize..5,
+        seed in any::<u64>(),
+        fail_task in 0usize..6,
+        budget_pct in 5u64..60,
+    ) {
+        let parts = into_partitions(recs, sources);
+        let p = HashPartitioner::new(targets);
+        let free = Cluster::new(ClusterConfig::with_threads(nodes, 2));
+        let (_, _, ef) = KeyedDataset::from_partitions(parts.clone()).shuffle(&free, &p);
+        let budget = (ef.peak_memory_bytes * budget_pct / 100).max(1);
+
+        let plan = FaultPlan::none()
+            .with_seed(seed)
+            .with_stage_fail_prob("shuffle", 0.2)
+            .with_fail_point("shuffle", fail_task % sources, 1);
+        let faulty = Cluster::new(ClusterConfig::with_threads(nodes, 2))
+            .with_memory_budget(budget)
+            .with_fault_policy(plan, RetryPolicy::default().with_max_attempts(8));
+        let clean = Cluster::new(ClusterConfig::with_threads(nodes, 2))
+            .with_shuffle_mode(ShuffleMode::Legacy);
+        let (df, sf, ex) = KeyedDataset::from_partitions(parts.clone()).shuffle(&faulty, &p);
+        let (dc, sc, _) = KeyedDataset::from_partitions(parts).shuffle(&clean, &p);
+        prop_assert_eq!(sf, sc);
+        prop_assert_eq!(df.into_partitions(), dc.into_partitions());
+        prop_assert!(ex.peak_memory_bytes <= budget);
+        for node in 0..nodes {
+            prop_assert_eq!(
+                faulty.memory_accountant().resident_bytes(node),
+                0,
+                "loser attempts' charges must not leak"
+            );
+        }
+    }
+
+    /// `partition_bytes` is ground truth, not an estimate: every entry equals
+    /// the summed encoded size of the records that landed in that partition —
+    /// with and without a budget, and under seeded fault retries.
+    #[test]
+    fn partition_bytes_match_landed_records(
+        recs in records(32),
+        sources in 1usize..6,
+        targets in 1usize..17,
+        nodes in 1usize..5,
+        seed in any::<u64>(),
+        budgeted in any::<bool>(),
+    ) {
+        let parts = into_partitions(recs, sources);
+        let p = HashPartitioner::new(targets);
+        let mut cluster = Cluster::new(ClusterConfig::with_threads(nodes, 2))
+            .with_fault_policy(
+                FaultPlan::none().with_seed(seed).with_stage_fail_prob("shuffle", 0.15),
+                RetryPolicy::default().with_max_attempts(8),
+            );
+        if budgeted {
+            cluster = cluster.with_memory_budget(64);
+        }
+        let (ds, stats, _) = KeyedDataset::from_partitions(parts).shuffle(&cluster, &p);
+        let shuffled = ds.into_partitions();
+        prop_assert_eq!(shuffled.len(), targets);
+        prop_assert_eq!(stats.partition_bytes.len(), targets);
+        for (t, part) in shuffled.iter().enumerate() {
+            prop_assert_eq!(
+                stats.partition_bytes[t],
+                landed_bytes(part),
+                "partition {} bytes must equal its landed records", t
+            );
+        }
+        prop_assert_eq!(
+            stats.partition_bytes.iter().sum::<u64>(),
+            stats.total_bytes(),
+            "histogram sums to the total shuffle volume"
+        );
+    }
+}
+
+/// Join-algorithm level: the full pipelines report the same results and the
+/// same `partition_bytes` histogram whether shuffles run radix (with seeded
+/// fault retries and a sub-peak memory budget) or legacy (which re-encodes
+/// the records that actually landed in each partition — the ground truth the
+/// histogram is being checked against).
+fn uniform_records(n: usize, seed: u64, extent: f64, payload: usize) -> Vec<Record> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pts: Vec<Point> = (0..n)
+        .map(|_| Point::new(rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)))
+        .collect();
+    to_records(&pts, payload)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn algorithms_report_ground_truth_partition_bytes(
+        seed in 0u64..1000,
+        algo_idx in 0usize..6,
+    ) {
+        let algo = Algorithm::ALL[algo_idx];
+        let spec = JoinSpec::new(Rect::new(0.0, 0.0, 12.0, 12.0), 0.8)
+            .with_partitions(8)
+            .with_sample_fraction(0.3)
+            .with_seed(seed);
+        let r = uniform_records(120, seed.wrapping_mul(3), 12.0, 8);
+        let s = uniform_records(120, seed.wrapping_mul(5).wrapping_add(1), 12.0, 8);
+
+        let plan = FaultPlan::none()
+            .with_seed(seed)
+            .with_stage_fail_prob("shuffle.R", 0.2)
+            .with_fail_point("shuffle.S", 0, 1);
+        let radix = Cluster::new(ClusterConfig::with_threads(3, 2))
+            .with_memory_budget(4 * 1024)
+            .with_fault_policy(plan, RetryPolicy::default().with_max_attempts(8));
+        let legacy = Cluster::new(ClusterConfig::with_threads(3, 2))
+            .with_shuffle_mode(ShuffleMode::Legacy);
+
+        let out_r = algo.run(&radix, &spec, r.clone(), s.clone());
+        let out_l = algo.run(&legacy, &spec, r, s);
+        prop_assert_eq!(out_r.result_count, out_l.result_count, "{}", algo.name());
+        let mut pr = out_r.pairs.clone();
+        let mut pl = out_l.pairs.clone();
+        pr.sort_unstable();
+        pl.sort_unstable();
+        prop_assert_eq!(pr, pl);
+        // The legacy reduce side computes partition_bytes by re-encoding the
+        // records that landed in each partition; matching it entry-by-entry
+        // pins the radix map-side metering to that ground truth.
+        prop_assert_eq!(
+            &out_r.metrics.shuffle.partition_bytes,
+            &out_l.metrics.shuffle.partition_bytes,
+            "{}", algo.name()
+        );
+        let sh: &ShuffleStats = &out_r.metrics.shuffle;
+        prop_assert_eq!(sh.partition_bytes.iter().sum::<u64>(), sh.total_bytes());
+        prop_assert!(out_r.metrics.peak_memory_bytes() <= 4 * 1024);
+    }
+}
