@@ -10,6 +10,7 @@
 
 pub mod experiments;
 pub mod memory;
+pub mod multitenant;
 pub mod perf;
 mod runner;
 mod table;

@@ -45,6 +45,17 @@ impl PoolStats {
             bytes_recycled: self.bytes_recycled - earlier.bytes_recycled,
         }
     }
+
+    /// Counter-wise `self += other`. The job server accumulates each job's
+    /// per-quantum deltas with this, so `pool_hits`/`bytes_recycled` in a
+    /// job's report are attributable to that job alone (the deltas of all
+    /// jobs sum to the cumulative pool counters).
+    pub fn merge(&mut self, other: &PoolStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.returns += other.returns;
+        self.bytes_recycled += other.bytes_recycled;
+    }
 }
 
 /// Per-type cap on retained buffers: beyond this, returns are dropped so one

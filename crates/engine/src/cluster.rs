@@ -1,5 +1,6 @@
 use crate::bufpool::BufferPool;
 use crate::fault::{FaultContext, FaultPlan, JobError, RetryPolicy};
+use crate::jobs::JobGate;
 use crate::memory::MemoryAccountant;
 use crate::metrics::ExecStats;
 use crate::pool::{run_tasks_ft, try_run_tasks_traced};
@@ -110,6 +111,11 @@ pub struct Cluster {
     memory: Arc<MemoryAccountant>,
     /// Which shuffle materialization stages on this cluster use.
     shuffle_mode: ShuffleMode,
+    /// Lockstep stage gate, set only on per-job handles created by the
+    /// [`JobServer`](crate::JobServer): every stage entry parks until the
+    /// scheduler grants this job a quantum, and completed stages are billed
+    /// back to the job. `None` — the default — runs stages ungated.
+    gate: Option<Arc<JobGate>>,
 }
 
 impl Cluster {
@@ -126,8 +132,17 @@ impl Cluster {
             buffers: Arc::new(BufferPool::new()),
             memory: Arc::new(MemoryAccountant::new(config.nodes, config.memory_budget)),
             shuffle_mode: ShuffleMode::default(),
+            gate: None,
             config,
         }
+    }
+
+    /// Attaches the job server's stage gate to this handle (see the `gate`
+    /// field). Only [`JobServer::run`](crate::JobServer::run) calls this, on
+    /// the per-job clone it hands to the job body.
+    pub(crate) fn with_stage_gate(mut self, gate: Arc<JobGate>) -> Self {
+        self.gate = Some(gate);
+        self
     }
 
     /// Enforces a per-node memory budget on this handle (resets the
@@ -257,6 +272,14 @@ impl Cluster {
     #[inline]
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    /// The cluster's shape (nodes, threads, budget) — lets callers build a
+    /// fresh cluster of the same configuration (e.g. a solo-run isolation
+    /// oracle with its own accountant and buffer pool).
+    #[inline]
+    pub fn config(&self) -> ClusterConfig {
+        self.config
     }
 
     #[inline]
@@ -395,7 +418,13 @@ impl Cluster {
         R: Send,
         F: Fn(usize, T) -> R + Sync,
     {
-        match &self.faults {
+        // Stage boundary: under a job server, park here until this job is
+        // granted its quantum; the grant covers this one stage plus the
+        // driver work that follows it.
+        if let Some(gate) = &self.gate {
+            gate.pause();
+        }
+        let result = match &self.faults {
             Some(ctx) => run_tasks_ft(
                 self.config.threads,
                 self.config.nodes,
@@ -415,7 +444,11 @@ impl Cluster {
                 stage,
                 f,
             ),
+        };
+        if let (Some(gate), Ok((_, stats))) = (&self.gate, &result) {
+            gate.note_stage(stats);
         }
+        result
     }
 
     /// Makes a value available to every task, like Spark's broadcast

@@ -1,0 +1,979 @@
+//! Multi-tenant job server: admission control, deterministic fair-share
+//! scheduling and per-job isolation on one simulated cluster.
+//!
+//! The engine governs a *single* ε-join end-to-end; this module runs **many**
+//! of them on the same nodes, the way a production deployment would. Three
+//! mechanisms, layered on what the engine already has:
+//!
+//! * **Admission control** — every [`JobSpec`] carries an estimated per-node
+//!   working set. A job is admitted only when that estimate fits the
+//!   remaining per-node budget (`budget − Σ reserved`); an estimate that can
+//!   *never* fit is rejected at submit time with a typed
+//!   [`SubmitError::RejectedMemory`] instead of a panic. Admission is
+//!   capacity *planning*; the [`MemoryAccountant`](crate::MemoryAccountant)
+//!   stays the hard enforcement (a mis-estimate degrades to spill, never to
+//!   an OOM), which is exactly the replication-vs-reducer-memory trade-off of
+//!   Afrati & Ullman applied at the cluster door.
+//!
+//! * **Deterministic fair-share scheduling** — admitted jobs run their bodies
+//!   on their own threads, but in *lockstep*: a shared stage gate parks every
+//!   job at each stage boundary, and the scheduler grants exactly one job one
+//!   quantum (driver work plus at most one parallel stage) at a time. Because
+//!   at most one job is ever mid-quantum, results, per-job accounting and the
+//!   grant order are all reproducible. Fair share is weighted round-robin on
+//!   *quantum counts* (`vruntime = quanta × 10⁶ / weight`, ties broken by job
+//!   id) — deliberately not on measured durations, which would be noisy.
+//!   [`SchedPolicy::Fifo`] (always the lowest admitted id) is kept as the A/B
+//!   baseline.
+//!
+//! * **Per-job isolation** — each job gets its own clone of the cluster
+//!   handle carrying (a) a [`Recorder`](crate::Recorder) view prefixed
+//!   `job:<id>:` so spans, events and counters land in per-tenant lanes,
+//!   (b) its **own** fault context (plan, retry policy, attempt counters,
+//!   blacklist) so one tenant's chaos plan cannot blacklist nodes for
+//!   another, and (c) exclusive quanta, which make `BufferPool` deltas and
+//!   the completion-time memory **leak audit** (resident bytes must be 0
+//!   when a job finishes — every `ChargeGuard` settles at its stage's commit
+//!   point) exact rather than approximate. Panicking bodies are caught and
+//!   reported per job; the other tenants keep running.
+
+use crate::bufpool::PoolStats;
+use crate::cluster::Cluster;
+use crate::fault::{FaultPlan, RetryPolicy};
+use crate::metrics::ExecStats;
+use asj_obs::{Attrs, Lane};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Identifies a submitted job; assigned densely in submit order.
+pub type JobId = usize;
+
+/// How the server picks the next parked job to grant a quantum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedPolicy {
+    /// Weighted round-robin by quantum count, tie-broken by job id. Every
+    /// admitted job is served within each round, so queue waits stay bounded
+    /// by the round length instead of the whole backlog.
+    #[default]
+    FairShare,
+    /// Strictly lowest admitted job id until it finishes — run-to-completion
+    /// in submit order. The baseline fair share is measured against.
+    Fifo,
+}
+
+impl SchedPolicy {
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedPolicy::FairShare => "fair-share",
+            SchedPolicy::Fifo => "fifo",
+        }
+    }
+
+    /// Parses `"fair-share"` / `"fifo"` (as the CLI and bench spell them).
+    pub fn parse(s: &str) -> Option<SchedPolicy> {
+        match s {
+            "fair-share" | "fairshare" | "fair" => Some(SchedPolicy::FairShare),
+            "fifo" => Some(SchedPolicy::Fifo),
+            _ => None,
+        }
+    }
+}
+
+/// Why a submission was refused. Typed, so drivers can queue elsewhere or
+/// shed load instead of unwinding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The job's estimated per-node working set exceeds the per-node budget
+    /// outright — it could never be admitted, even on an idle cluster.
+    RejectedMemory {
+        /// The job's estimated per-node working set.
+        estimate_bytes: u64,
+        /// The cluster's per-node budget.
+        budget_bytes: u64,
+    },
+    /// The submission queue is at capacity.
+    QueueFull {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::RejectedMemory {
+                estimate_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "estimated working set of {estimate_bytes} B/node exceeds the \
+                 per-node budget of {budget_bytes} B"
+            ),
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "submission queue is full ({capacity} jobs)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+type JobBody<R> = Box<dyn FnOnce(&Cluster) -> R + Send + 'static>;
+
+/// One tenant's job: a name, scheduling weight, admission estimate, optional
+/// private fault plan, and the body that runs it on a (gated, prefixed,
+/// per-job) cluster handle.
+pub struct JobSpec<R> {
+    name: String,
+    weight: u32,
+    estimate_bytes: u64,
+    faults: Option<(FaultPlan, RetryPolicy)>,
+    body: JobBody<R>,
+}
+
+impl<R> std::fmt::Debug for JobSpec<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobSpec")
+            .field("name", &self.name)
+            .field("weight", &self.weight)
+            .field("estimate_bytes", &self.estimate_bytes)
+            .field("faults", &self.faults.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<R> JobSpec<R> {
+    /// A job with weight 1 and a zero (always-admissible) memory estimate.
+    pub fn new(name: impl Into<String>, body: impl FnOnce(&Cluster) -> R + Send + 'static) -> Self {
+        JobSpec {
+            name: name.into(),
+            weight: 1,
+            estimate_bytes: 0,
+            faults: None,
+            body: Box::new(body),
+        }
+    }
+
+    /// Fair-share weight: a weight-2 job receives twice the quanta of a
+    /// weight-1 job while both are runnable.
+    ///
+    /// # Panics
+    /// Panics if `weight == 0` (it would never be scheduled).
+    pub fn with_weight(mut self, weight: u32) -> Self {
+        assert!(weight > 0, "job weight must be positive");
+        self.weight = weight;
+        self
+    }
+
+    /// Estimated per-node working set, checked against the cluster budget at
+    /// submit and admission time. Zero means "admit whenever a slot is free".
+    pub fn with_estimate(mut self, bytes: u64) -> Self {
+        self.estimate_bytes = bytes;
+        self
+    }
+
+    /// A private fault plan and retry policy for this job. Fault state
+    /// (attempt counters, blacklist) is created fresh per job, so injected
+    /// chaos here never leaks into another tenant's retries.
+    pub fn with_faults(mut self, plan: FaultPlan, policy: RetryPolicy) -> Self {
+        self.faults = Some((plan, policy));
+        self
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn estimate_bytes(&self) -> u64 {
+        self.estimate_bytes
+    }
+}
+
+/// Everything the server measured about one finished job.
+#[derive(Debug)]
+pub struct JobReport<R> {
+    pub id: JobId,
+    pub name: String,
+    pub weight: u32,
+    pub estimate_bytes: u64,
+    /// The body's return value, or the panic message if the body crashed.
+    /// A crash fails only this job; other tenants keep running.
+    pub result: Result<R, String>,
+    /// This job's stages accumulated (attempts, retries, spill, per-node
+    /// busy). Isolated: no other tenant's stages are mixed in.
+    pub stats: ExecStats,
+    /// `BufferPool` activity attributable to this job — exact, because pool
+    /// deltas are snapshotted around the job's exclusive quanta.
+    pub pool: PoolStats,
+    /// Parallel stages the job ran.
+    pub stages: u64,
+    /// Scheduling quanta the job consumed (stages + driver-only windows).
+    pub quanta: u64,
+    /// Server clock when the job was admitted (reservation taken).
+    pub admitted_at: Duration,
+    /// Server clock at the job's first granted quantum.
+    pub first_service_at: Duration,
+    /// Server clock when the job finished.
+    pub finished_at: Duration,
+    /// Bytes still resident across all nodes when the job completed — the
+    /// leak audit. Always 0 unless a `ChargeGuard` failed to settle.
+    pub residual_bytes: u64,
+}
+
+impl<R> JobReport<R> {
+    /// Time from submit (server clock 0) to first granted quantum — how long
+    /// the tenant waited before any of its work ran.
+    pub fn queue_wait(&self) -> Duration {
+        self.first_service_at
+    }
+
+    /// Time from submit (server clock 0) to completion.
+    pub fn turnaround(&self) -> Duration {
+        self.finished_at
+    }
+
+    /// Simulated makespan of this job's own stages (max per-node busy).
+    pub fn makespan(&self) -> Duration {
+        self.stats.makespan()
+    }
+}
+
+/// Outcome of [`JobServer::run`]: per-job reports (in submit order) plus the
+/// server-level schedule.
+#[derive(Debug)]
+pub struct ServerRun<R> {
+    pub policy: SchedPolicy,
+    pub reports: Vec<JobReport<R>>,
+    /// The quantum grant log, in order. Depends only on weights, stage
+    /// counts, estimates and ids — never on measured durations — so it is
+    /// byte-identical across runs of the same queue.
+    pub grants: Vec<JobId>,
+    /// Final server clock: submit-to-last-completion in serialized simulated
+    /// time (each quantum advances the clock by its stage's makespan).
+    pub clock: Duration,
+}
+
+/// Per-job slot in the shared gate.
+#[derive(Debug, Default)]
+struct JobState {
+    /// The scheduler granted a quantum that the job has not consumed yet.
+    granted: bool,
+    /// The job thread is parked at a stage boundary, waiting for a grant.
+    parked: bool,
+    /// The job body returned (or panicked); the thread is done.
+    finished: bool,
+    /// Stage stats accumulated by `note_stage`, isolated to this job.
+    stats: ExecStats,
+    stages: u64,
+    quanta: u64,
+    /// Simulated cost of the quantum in flight (its stage's makespan);
+    /// drained into the server clock when the quantum ends.
+    window_cost: Duration,
+}
+
+#[derive(Debug, Default)]
+struct GateCore {
+    state: Mutex<Vec<JobState>>,
+    cv: Condvar,
+}
+
+/// Handle a job's cluster clone uses to participate in lockstep scheduling.
+/// [`JobGate::pause`] parks at a stage boundary until granted;
+/// [`JobGate::note_stage`] bills a completed stage to the job.
+#[derive(Debug)]
+pub(crate) struct JobGate {
+    core: Arc<GateCore>,
+    job: JobId,
+}
+
+impl JobGate {
+    /// Parks the calling job thread until the scheduler grants it a quantum.
+    /// Called by [`Cluster::try_run_placed_stage`] before dispatching, and by
+    /// the server once before the body starts (so pre-stage driver work is
+    /// gated too).
+    pub(crate) fn pause(&self) {
+        let mut st = self.core.state.lock().expect("job gate poisoned");
+        st[self.job].parked = true;
+        self.core.cv.notify_all();
+        while !st[self.job].granted {
+            st = self.core.cv.wait(st).expect("job gate poisoned");
+        }
+        st[self.job].granted = false;
+        st[self.job].parked = false;
+    }
+
+    /// Bills a completed stage to the job: accumulates its stats and charges
+    /// the quantum in flight with the stage's simulated makespan.
+    pub(crate) fn note_stage(&self, stats: &ExecStats) {
+        let mut st = self.core.state.lock().expect("job gate poisoned");
+        let s = &mut st[self.job];
+        s.stats.accumulate(stats);
+        s.stages += 1;
+        s.window_cost += stats.makespan();
+    }
+
+    /// Marks the job finished and wakes the scheduler. Called exactly once
+    /// per job, after the body returned or panicked.
+    fn finish(&self) {
+        let mut st = self.core.state.lock().expect("job gate poisoned");
+        st[self.job].finished = true;
+        self.core.cv.notify_all();
+    }
+}
+
+/// A submitted-but-not-yet-admitted job.
+struct Queued<R> {
+    id: JobId,
+    spec: JobSpec<R>,
+}
+
+/// One admitted job's runtime bookkeeping.
+struct Admitted<R> {
+    id: JobId,
+    name: String,
+    weight: u32,
+    estimate_bytes: u64,
+    /// Taken (and joined) exactly once, at reap time.
+    handle: Option<std::thread::JoinHandle<Result<R, String>>>,
+    admitted_at: Duration,
+    first_service_at: Option<Duration>,
+    pool: PoolStats,
+}
+
+/// The multi-tenant job server. Submit jobs, then [`JobServer::run`] the
+/// queue to completion; see the module docs for the scheduling and isolation
+/// model.
+pub struct JobServer<R> {
+    cluster: Cluster,
+    policy: SchedPolicy,
+    capacity: usize,
+    queue: Vec<JobSpec<R>>,
+}
+
+impl<R> std::fmt::Debug for JobServer<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobServer")
+            .field("policy", &self.policy)
+            .field("capacity", &self.capacity)
+            .field("queued", &self.queue.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Scale factor for quantum-count vruntime, so integer division by small
+/// weights keeps full resolution.
+const VRUNTIME_SCALE: u64 = 1_000_000;
+
+impl<R: Send + 'static> JobServer<R> {
+    /// A server over `cluster` with the default policy ([`SchedPolicy::FairShare`])
+    /// and a queue capacity of 64. The cluster's memory budget (if any) is
+    /// the admission budget.
+    pub fn new(cluster: Cluster) -> Self {
+        JobServer {
+            cluster,
+            policy: SchedPolicy::default(),
+            capacity: 64,
+            queue: Vec::new(),
+        }
+    }
+
+    pub fn with_policy(mut self, policy: SchedPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Bounds the submission queue; a submit past it returns
+    /// [`SubmitError::QueueFull`].
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        self.capacity = capacity;
+        self
+    }
+
+    pub fn policy(&self) -> SchedPolicy {
+        self.policy
+    }
+
+    /// Jobs currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Submits a job. Admission control runs here for the *never-fits* case:
+    /// an estimate above the per-node budget is rejected before any task —
+    /// or even the job's thread — exists. Jobs that fit eventually are queued
+    /// and admitted in submit order as reservations free up.
+    pub fn submit(&mut self, spec: JobSpec<R>) -> Result<JobId, SubmitError> {
+        if let Some(budget) = self.cluster.memory_budget() {
+            if spec.estimate_bytes > budget {
+                return Err(SubmitError::RejectedMemory {
+                    estimate_bytes: spec.estimate_bytes,
+                    budget_bytes: budget,
+                });
+            }
+        }
+        if self.queue.len() >= self.capacity {
+            return Err(SubmitError::QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        let id = self.queue.len();
+        self.queue.push(spec);
+        Ok(id)
+    }
+
+    /// Runs the queue to completion and reports per job. See the module docs
+    /// for the quantum protocol; the short version: admit in submit order
+    /// under the memory budget, then repeatedly pick one parked job by
+    /// policy, grant it one quantum, and wait for it to park again or finish.
+    pub fn run(self) -> ServerRun<R> {
+        let JobServer {
+            cluster,
+            policy,
+            capacity: _,
+            queue,
+        } = self;
+        let n = queue.len();
+        let core = Arc::new(GateCore {
+            state: Mutex::new((0..n).map(|_| JobState::default()).collect()),
+            cv: Condvar::new(),
+        });
+        let recorder = cluster.recorder().clone();
+        let budget = cluster.memory_budget();
+        let memory = cluster.memory_accountant();
+        let nodes = cluster.nodes();
+        let pool = cluster.buffer_pool();
+
+        let mut pending: VecDeque<Queued<R>> = queue
+            .into_iter()
+            .enumerate()
+            .map(|(id, spec)| Queued { id, spec })
+            .collect();
+        let mut admitted: Vec<Admitted<R>> = Vec::with_capacity(n);
+        let mut running: Vec<usize> = Vec::new(); // indices into `admitted`
+        let mut reserved: u64 = 0;
+        let mut clock = Duration::ZERO;
+        let mut grants: Vec<JobId> = Vec::new();
+        let mut reports: Vec<Option<JobReport<R>>> = (0..n).map(|_| None).collect();
+        // The quantum in flight: (admitted slot, pool stats at grant time).
+        let mut in_flight: Option<(usize, PoolStats)> = None;
+
+        // Admits queued jobs, in submit order, while the front fits the
+        // remaining budget. Strictly in order — no head-of-line bypass — so
+        // a large tenant cannot be starved by a stream of small ones. At
+        // admission decisions every running job is parked at a stage
+        // boundary with its charges settled, so `budget − reserved` is the
+        // true remaining capacity.
+        let admit = |pending: &mut VecDeque<Queued<R>>,
+                     admitted: &mut Vec<Admitted<R>>,
+                     running: &mut Vec<usize>,
+                     reserved: &mut u64,
+                     clock: Duration| {
+            while let Some(front) = pending.front() {
+                let est = front.spec.estimate_bytes;
+                if budget.is_some_and(|b| est > b.saturating_sub(*reserved)) {
+                    break;
+                }
+                let Queued { id, spec } = pending.pop_front().expect("front exists");
+                *reserved += est;
+                let gate = Arc::new(JobGate {
+                    core: Arc::clone(&core),
+                    job: id,
+                });
+                // The job's isolated cluster view: per-job obs lanes and
+                // per-job fault state over the shared nodes, pool,
+                // accountant and cost model. A job without its own plan
+                // inherits the base plan but still gets fresh state, so
+                // tenants never share a blacklist.
+                let mut jc = cluster
+                    .clone()
+                    .with_recorder(recorder.with_stage_prefix(format!("job:{id}:")));
+                jc = match (&spec.faults, cluster.fault_context()) {
+                    (Some((plan, pol)), _) => jc.with_fault_policy(plan.clone(), *pol),
+                    (None, Some(ctx)) => jc.with_fault_policy(ctx.plan.clone(), ctx.policy),
+                    (None, None) => jc,
+                };
+                let jc = jc.with_stage_gate(Arc::clone(&gate));
+                let body = spec.body;
+                let handle = std::thread::Builder::new()
+                    .name(format!("asj-job-{id}"))
+                    .spawn(move || {
+                        // Initial park: nothing — not even pre-stage driver
+                        // work — runs before the first grant.
+                        gate.pause();
+                        let out = catch_unwind(AssertUnwindSafe(|| body(&jc)))
+                            .map_err(|payload| panic_message(payload.as_ref()));
+                        gate.finish();
+                        out
+                    })
+                    .expect("spawn job thread");
+                recorder.event(
+                    "job-admit",
+                    Lane::Driver,
+                    Some(id as u64),
+                    Attrs::new().bytes(est),
+                );
+                recorder.counter_add("jobs", "admitted", 1);
+                running.push(admitted.len());
+                admitted.push(Admitted {
+                    id,
+                    name: spec.name,
+                    weight: spec.weight,
+                    estimate_bytes: est,
+                    handle: Some(handle),
+                    admitted_at: clock,
+                    first_service_at: None,
+                    pool: PoolStats::default(),
+                });
+            }
+        };
+
+        admit(
+            &mut pending,
+            &mut admitted,
+            &mut running,
+            &mut reserved,
+            clock,
+        );
+
+        loop {
+            // Wait for quiescence: every running job parked or finished (at
+            // most one can be mid-quantum — the one granted last).
+            let (finished_now, window_cost) = {
+                let mut st = core.state.lock().expect("job gate poisoned");
+                loop {
+                    let busy = running.iter().any(|&slot| {
+                        let s = &st[admitted[slot].id];
+                        (s.granted || !s.parked) && !s.finished
+                    });
+                    if !busy {
+                        break;
+                    }
+                    st = core.cv.wait(st).expect("job gate poisoned");
+                }
+                let finished_now: Vec<usize> = running
+                    .iter()
+                    .copied()
+                    .filter(|&slot| st[admitted[slot].id].finished)
+                    .collect();
+                let window_cost = match in_flight {
+                    Some((slot, _)) => std::mem::take(&mut st[admitted[slot].id].window_cost),
+                    None => Duration::ZERO,
+                };
+                (finished_now, window_cost)
+            };
+            // The quantum advances the server clock by its stage's simulated
+            // makespan (serialized time-sharing: quanta never overlap).
+            clock += window_cost;
+            // Settle the quantum's pool delta; quanta are exclusive, so the
+            // delta is exactly that job's allocator activity.
+            if let Some((slot, before)) = in_flight.take() {
+                admitted[slot].pool.merge(&pool.stats().since(&before));
+            }
+
+            // Reap completions: harvest results, release reservations, audit
+            // for leaked resident bytes. All other jobs are parked at stage
+            // boundaries where every ChargeGuard has settled, so a non-zero
+            // residual is a real leak, not another tenant's footprint.
+            for &slot in &finished_now {
+                running.retain(|&r| r != slot);
+                let outcome = admitted[slot]
+                    .handle
+                    .take()
+                    .expect("job joined once")
+                    .join()
+                    .unwrap_or_else(|payload| Err(panic_message(payload.as_ref())));
+                let job = &admitted[slot];
+                let residual_bytes: u64 = (0..nodes).map(|node| memory.resident_bytes(node)).sum();
+                recorder.counter_add("jobs", "residual_bytes", residual_bytes);
+                recorder.counter_add("jobs", "completed", 1);
+                recorder.event(
+                    "job-finish",
+                    Lane::Driver,
+                    Some(job.id as u64),
+                    Attrs::new().bytes(residual_bytes),
+                );
+                debug_assert_eq!(
+                    residual_bytes, 0,
+                    "job {} ({}) completed with {} leaked resident bytes",
+                    job.id, job.name, residual_bytes
+                );
+                reserved = reserved.saturating_sub(job.estimate_bytes);
+                let (stats, stages, quanta) = {
+                    let mut st = core.state.lock().expect("job gate poisoned");
+                    let s = &mut st[job.id];
+                    (std::mem::take(&mut s.stats), s.stages, s.quanta)
+                };
+                reports[job.id] = Some(JobReport {
+                    id: job.id,
+                    name: job.name.clone(),
+                    weight: job.weight,
+                    estimate_bytes: job.estimate_bytes,
+                    result: outcome,
+                    stats,
+                    pool: job.pool,
+                    stages,
+                    quanta,
+                    admitted_at: job.admitted_at,
+                    first_service_at: job.first_service_at.unwrap_or(clock),
+                    finished_at: clock,
+                    residual_bytes,
+                });
+            }
+            if !finished_now.is_empty() {
+                // Freed reservations may let queued jobs in.
+                admit(
+                    &mut pending,
+                    &mut admitted,
+                    &mut running,
+                    &mut reserved,
+                    clock,
+                );
+            }
+
+            if running.is_empty() && pending.is_empty() {
+                break;
+            }
+
+            // Pick the next parked job by policy and grant it a quantum.
+            let pick = {
+                let st = core.state.lock().expect("job gate poisoned");
+                running
+                    .iter()
+                    .copied()
+                    .filter(|&slot| {
+                        let s = &st[admitted[slot].id];
+                        s.parked && !s.finished
+                    })
+                    .min_by_key(|&slot| {
+                        let job = &admitted[slot];
+                        let s = &st[job.id];
+                        match policy {
+                            SchedPolicy::Fifo => (0u64, job.id),
+                            SchedPolicy::FairShare => {
+                                (s.quanta * VRUNTIME_SCALE / u64::from(job.weight), job.id)
+                            }
+                        }
+                    })
+            };
+            let Some(slot) = pick else {
+                // Freshly admitted threads have not reached their initial
+                // park yet — loop back into the quiescence wait for them.
+                continue;
+            };
+            let job_id = admitted[slot].id;
+            if admitted[slot].first_service_at.is_none() {
+                admitted[slot].first_service_at = Some(clock);
+            }
+            grants.push(job_id);
+            in_flight = Some((slot, pool.stats()));
+            let mut st = core.state.lock().expect("job gate poisoned");
+            let s = &mut st[job_id];
+            s.granted = true;
+            s.quanta += 1;
+            core.cv.notify_all();
+        }
+
+        let reports: Vec<JobReport<R>> = reports
+            .into_iter()
+            .map(|r| r.expect("every submitted job reports"))
+            .collect();
+        ServerRun {
+            policy,
+            reports,
+            grants,
+            clock,
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "job body panicked".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Cluster, ClusterConfig};
+    use crate::dataset::KeyedDataset;
+    use crate::partitioner::HashPartitioner;
+    use asj_obs::Recorder;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterConfig::with_threads(2, 2))
+    }
+
+    /// A body that runs `stages` parallel stages and folds their outputs
+    /// into a deterministic u64.
+    fn staged(stages: usize, tag: u64) -> impl FnOnce(&Cluster) -> u64 + Send + 'static {
+        move |c: &Cluster| {
+            let mut acc = tag;
+            for s in 0..stages {
+                let (out, _) = c.run_partitioned_stage("work", vec![1u64, 2, 3, 4], |i, t| {
+                    t * (i as u64 + 1) + acc
+                });
+                acc = out.iter().sum::<u64>() + s as u64;
+            }
+            acc
+        }
+    }
+
+    /// A body that shuffles keyed records (exercising the buffer pool and
+    /// memory accountant) and returns the shuffled partitions.
+    fn shuffling(keys: u64) -> impl FnOnce(&Cluster) -> Vec<Vec<(u64, u64)>> + Send + 'static {
+        move |c: &Cluster| {
+            let recs: Vec<(u64, u64)> = (0..keys).map(|k| (k * 7 % keys, k)).collect();
+            let parts = vec![recs.clone(), recs];
+            let ds = KeyedDataset::from_partitions(parts);
+            let (shuffled, _, _) = ds.shuffle_stage(c, &HashPartitioner::new(4), "shuffle");
+            shuffled.into_partitions()
+        }
+    }
+
+    #[test]
+    fn fair_share_alternates_equal_weight_jobs() {
+        let mut srv = JobServer::new(cluster());
+        srv.submit(JobSpec::new("a", staged(2, 1))).expect("submit");
+        srv.submit(JobSpec::new("b", staged(2, 2))).expect("submit");
+        let run = srv.run();
+        // 2 stages each → 3 quanta each (initial park + one per stage);
+        // equal weights round-robin with id tiebreak.
+        assert_eq!(run.grants, vec![0, 1, 0, 1, 0, 1]);
+        assert_eq!(run.reports.len(), 2);
+        assert!(run.reports.iter().all(|r| r.result.is_ok()));
+        assert_eq!(run.reports[0].stages, 2);
+        assert_eq!(run.reports[0].quanta, 3);
+    }
+
+    #[test]
+    fn fifo_runs_jobs_to_completion_in_submit_order() {
+        let mut srv = JobServer::new(cluster()).with_policy(SchedPolicy::Fifo);
+        srv.submit(JobSpec::new("a", staged(2, 1))).expect("submit");
+        srv.submit(JobSpec::new("b", staged(2, 2))).expect("submit");
+        let run = srv.run();
+        assert_eq!(run.grants, vec![0, 0, 0, 1, 1, 1]);
+        // FIFO makes the second tenant wait out the whole first job.
+        assert!(run.reports[1].queue_wait() >= run.reports[0].finished_at);
+    }
+
+    #[test]
+    fn weighted_fair_share_grants_proportionally() {
+        let mut srv = JobServer::new(cluster());
+        srv.submit(JobSpec::new("heavy", staged(3, 1)).with_weight(2))
+            .expect("submit");
+        srv.submit(JobSpec::new("light", staged(3, 2)).with_weight(1))
+            .expect("submit");
+        let run = srv.run();
+        // vruntime = quanta × 10⁶ / weight, ties to the lower id: the
+        // weight-2 job draws twice the quanta while both are runnable.
+        assert_eq!(run.grants, vec![0, 1, 0, 0, 1, 0, 1, 1]);
+    }
+
+    #[test]
+    fn results_match_solo_runs_and_are_isolated() {
+        let solo_a = staged(3, 10)(&cluster());
+        let solo_b = staged(2, 20)(&cluster());
+        let mut srv = JobServer::new(cluster());
+        srv.submit(JobSpec::new("a", staged(3, 10)))
+            .expect("submit");
+        srv.submit(JobSpec::new("b", staged(2, 20)))
+            .expect("submit");
+        let run = srv.run();
+        assert_eq!(run.reports[0].result, Ok(solo_a));
+        assert_eq!(run.reports[1].result, Ok(solo_b));
+    }
+
+    #[test]
+    fn oversized_estimate_rejected_before_any_task_runs() {
+        let ran = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&ran);
+        let c = cluster().with_memory_budget(1000);
+        let mut srv = JobServer::new(c);
+        let err = srv
+            .submit(
+                JobSpec::new("giant", move |c: &Cluster| {
+                    flag.store(true, Ordering::Relaxed);
+                    staged(1, 0)(c)
+                })
+                .with_estimate(2000),
+            )
+            .expect_err("estimate above the budget must be rejected");
+        assert_eq!(
+            err,
+            SubmitError::RejectedMemory {
+                estimate_bytes: 2000,
+                budget_bytes: 1000
+            }
+        );
+        assert!(err.to_string().contains("2000"));
+        // The queue still runs fine without the rejected job — and the
+        // rejected body never executed.
+        srv.submit(JobSpec::new("ok", staged(1, 3)).with_estimate(500))
+            .expect("fits");
+        let run = srv.run();
+        assert_eq!(run.reports.len(), 1);
+        assert!(run.reports[0].result.is_ok());
+        assert!(!ran.load(Ordering::Relaxed), "rejected body must never run");
+    }
+
+    #[test]
+    fn queue_capacity_is_enforced() {
+        let mut srv = JobServer::new(cluster()).with_queue_capacity(1);
+        srv.submit(JobSpec::new("a", staged(1, 1))).expect("fits");
+        let err = srv
+            .submit(JobSpec::new("b", staged(1, 2)))
+            .expect_err("queue is full");
+        assert_eq!(err, SubmitError::QueueFull { capacity: 1 });
+    }
+
+    #[test]
+    fn admission_defers_jobs_past_the_reservation_budget() {
+        let c = cluster().with_memory_budget(1000);
+        let mut srv = JobServer::new(c);
+        srv.submit(JobSpec::new("a", staged(2, 1)).with_estimate(600))
+            .expect("submit");
+        srv.submit(JobSpec::new("b", staged(2, 2)).with_estimate(600))
+            .expect("submit");
+        let run = srv.run();
+        // Both fit the budget alone but not together: the second job waits
+        // for the first's reservation even under fair share.
+        assert_eq!(run.grants, vec![0, 0, 0, 1, 1, 1]);
+        assert!(run.reports[1].admitted_at >= run.reports[0].finished_at);
+        assert!(run.reports.iter().all(|r| r.result.is_ok()));
+    }
+
+    #[test]
+    fn a_crashing_job_fails_alone() {
+        let mut srv = JobServer::new(cluster());
+        srv.submit(JobSpec::new("doomed", |_c: &Cluster| -> u64 {
+            panic!("tenant bug");
+        }))
+        .expect("submit");
+        srv.submit(JobSpec::new("fine", staged(2, 5)))
+            .expect("submit");
+        let run = srv.run();
+        let err = run.reports[0].result.as_ref().expect_err("job panicked");
+        assert!(err.contains("tenant bug"), "got: {err}");
+        assert!(run.reports[1].result.is_ok());
+    }
+
+    #[test]
+    fn fault_state_is_isolated_per_job() {
+        let plan = FaultPlan::none().with_fail_point("work", 0, 1);
+        let mut srv = JobServer::new(cluster());
+        srv.submit(JobSpec::new("chaos", staged(1, 1)).with_faults(plan, RetryPolicy::default()))
+            .expect("submit");
+        srv.submit(JobSpec::new("calm", staged(1, 1)))
+            .expect("submit");
+        let run = srv.run();
+        assert!(
+            run.reports[0].stats.retries >= 1,
+            "injected failure retried"
+        );
+        assert_eq!(run.reports[1].stats.retries, 0, "no cross-tenant faults");
+        // Both recover to the same answer a fault-free solo run produces.
+        let solo = staged(1, 1)(&cluster());
+        assert_eq!(run.reports[0].result, Ok(solo));
+        assert_eq!(run.reports[1].result, Ok(solo));
+    }
+
+    #[test]
+    fn leak_audit_sees_zero_residual_and_pool_deltas_sum() {
+        let r = Recorder::for_nodes(2);
+        let c = cluster()
+            .with_recorder(r.clone())
+            .with_memory_budget(1 << 20);
+        let pool_before = c.buffer_pool().stats();
+        let mut srv = JobServer::new(c.clone());
+        srv.submit(JobSpec::new("a", shuffling(64)).with_estimate(4096))
+            .expect("submit");
+        srv.submit(JobSpec::new("b", shuffling(48)).with_estimate(4096))
+            .expect("submit");
+        let run = srv.run();
+        for rep in &run.reports {
+            assert!(rep.result.is_ok());
+            assert_eq!(rep.residual_bytes, 0, "job {} leaked", rep.id);
+        }
+        // The audit counter exists and stayed at zero.
+        assert_eq!(r.counter_value("jobs", "residual_bytes"), Some(0));
+        assert_eq!(r.counter_value("jobs", "admitted"), Some(2));
+        assert_eq!(r.counter_value("jobs", "completed"), Some(2));
+        assert_eq!(c.memory_accountant().resident_total(), 0);
+        // Per-job pool deltas account for exactly the pool activity the
+        // queue generated: the per-job slices sum to the cumulative delta.
+        let total = c.buffer_pool().stats().since(&pool_before);
+        let mut summed = PoolStats::default();
+        for rep in &run.reports {
+            summed.merge(&rep.pool);
+        }
+        assert_eq!(summed, total);
+        assert!(total.hits + total.misses > 0, "shuffles used the pool");
+    }
+
+    #[test]
+    fn per_job_obs_lanes_are_prefixed() {
+        let r = Recorder::for_nodes(2);
+        let c = cluster().with_recorder(r.clone());
+        let mut srv = JobServer::new(c);
+        srv.submit(JobSpec::new("a", staged(1, 1))).expect("submit");
+        srv.submit(JobSpec::new("b", staged(1, 2))).expect("submit");
+        let run = srv.run();
+        assert!(run.reports.iter().all(|rep| rep.result.is_ok()));
+        let trace = r.snapshot();
+        assert!(trace.spans.iter().any(|s| s.stage == "job:0:work"));
+        assert!(trace.spans.iter().any(|s| s.stage == "job:1:work"));
+        assert!(trace.events.iter().any(|e| e.name == "job-admit"));
+        assert!(trace.events.iter().any(|e| e.name == "job-finish"));
+    }
+
+    #[test]
+    fn shuffle_results_match_solo_under_interleaving() {
+        let solo_a = shuffling(96)(&cluster());
+        let solo_b = shuffling(32)(&cluster());
+        let mut srv = JobServer::new(cluster());
+        srv.submit(JobSpec::new("a", shuffling(96)))
+            .expect("submit");
+        srv.submit(JobSpec::new("b", shuffling(32)))
+            .expect("submit");
+        let run = srv.run();
+        assert_eq!(run.reports[0].result.as_ref().expect("ok"), &solo_a);
+        assert_eq!(run.reports[1].result.as_ref().expect("ok"), &solo_b);
+    }
+
+    #[test]
+    fn policy_parse_round_trips() {
+        assert_eq!(
+            SchedPolicy::parse("fair-share"),
+            Some(SchedPolicy::FairShare)
+        );
+        assert_eq!(SchedPolicy::parse("fifo"), Some(SchedPolicy::Fifo));
+        assert_eq!(SchedPolicy::parse("nope"), None);
+        assert_eq!(SchedPolicy::FairShare.name(), "fair-share");
+    }
+
+    #[test]
+    fn empty_queue_runs_to_an_empty_report() {
+        let srv: JobServer<u64> = JobServer::new(cluster());
+        let run = srv.run();
+        assert!(run.reports.is_empty());
+        assert!(run.grants.is_empty());
+        assert_eq!(run.clock, Duration::ZERO);
+    }
+}

@@ -30,6 +30,7 @@ mod bufpool;
 mod cluster;
 mod dataset;
 mod fault;
+mod jobs;
 mod lpt;
 mod memory;
 mod metrics;
@@ -41,12 +42,13 @@ pub use bufpool::{BufferPool, PoolStats};
 pub use cluster::{Broadcast, Cluster, ClusterConfig, ShuffleMode};
 pub use dataset::{Dataset, KeyedDataset};
 pub use fault::{FailPoint, FaultContext, FaultPlan, FaultState, JobError, RetryPolicy, TaskError};
+pub use jobs::{JobId, JobReport, JobServer, JobSpec, SchedPolicy, ServerRun, SubmitError};
 pub use lpt::{assignment_makespan, least_loaded, lpt_assign};
 pub use memory::{
     decode_records, encode_records, ChargeGuard, MemoryAccountant, MemorySnapshot, SpillChunk,
     SpillSegment, SpillWriter,
 };
-pub use metrics::{ExecStats, JobMetrics, ShuffleStats};
+pub use metrics::{DurationSummary, ExecStats, JobMetrics, ShuffleStats};
 pub use partitioner::{
     ExplicitPartitioner, HashPartitioner, Partitioner, Placement, RoundRobinPartitioner,
 };

@@ -139,6 +139,21 @@ impl MemoryAccountant {
         self.resident[self.slot(node)].load(Ordering::Relaxed)
     }
 
+    /// Simulated nodes this accountant tracks.
+    pub fn nodes(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Bytes currently charged across all nodes. Zero at every stage
+    /// boundary (charges settle at stage commit points), which is what makes
+    /// the job server's completion-time leak audit exact.
+    pub fn resident_total(&self) -> u64 {
+        self.resident
+            .iter()
+            .map(|r| r.load(Ordering::Relaxed))
+            .sum()
+    }
+
     /// Highest concurrent charge observed on `node`.
     pub fn peak_of_node(&self, node: usize) -> u64 {
         self.peak[self.slot(node)].load(Ordering::Relaxed)

@@ -80,6 +80,41 @@ impl ExecStats {
     }
 }
 
+/// Order statistics over a set of duration samples (queue waits, turnaround
+/// times). Percentiles use the nearest-rank method on the sorted samples, so
+/// summaries of identical sample sets are identical — no interpolation noise.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurationSummary {
+    pub count: usize,
+    pub mean: Duration,
+    pub p50: Duration,
+    pub p99: Duration,
+    pub max: Duration,
+}
+
+impl DurationSummary {
+    /// Summarizes `samples` (order irrelevant; empty yields all zeros).
+    pub fn from_samples(samples: &[Duration]) -> DurationSummary {
+        if samples.is_empty() {
+            return DurationSummary::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let total: Duration = sorted.iter().sum();
+        let rank = |q: f64| {
+            let k = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[k - 1]
+        };
+        DurationSummary {
+            count: sorted.len(),
+            mean: total / sorted.len() as u32,
+            p50: rank(0.50),
+            p99: rank(0.99),
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
 /// Byte accounting of one shuffle, split by whether a record stayed on its
 /// source node. `remote_bytes` is the analog of Spark's *shuffle remote
 /// reads* metric used throughout the paper's evaluation.

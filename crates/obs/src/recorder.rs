@@ -55,13 +55,21 @@ struct Inner {
 #[derive(Debug, Clone, Default)]
 pub struct Recorder {
     inner: Option<Arc<Inner>>,
+    /// Optional lane namespace (e.g. `"job:3:"`), prepended to every stage,
+    /// counter-scope and event name this handle records. The prefix lives on
+    /// the *handle*, not the shared buffers, so many prefixed views of one
+    /// recording coexist and land in the same trace.
+    prefix: Option<Arc<str>>,
 }
 
 impl Recorder {
     /// A recorder that drops everything. All methods return immediately
     /// without locking or allocating.
     pub fn noop() -> Self {
-        Recorder { inner: None }
+        Recorder {
+            inner: None,
+            prefix: None,
+        }
     }
 
     /// An enabled recorder with one simulated-time lane per node (plus the
@@ -76,6 +84,38 @@ impl Recorder {
                 shards: std::array::from_fn(|_| Mutex::new(Shard::default())),
                 registry: Registry::default(),
             })),
+            prefix: None,
+        }
+    }
+
+    /// A view of the same recording whose stage names, counter scopes and
+    /// event names all carry `prefix` (replacing any prefix this handle
+    /// already had). The job server uses this to give each tenant an isolated
+    /// `job:<id>:` lane set inside one shared trace. Clocks, shards and the
+    /// metric registry stay shared — only the naming changes.
+    pub fn with_stage_prefix(&self, prefix: impl Into<String>) -> Self {
+        let p: String = prefix.into();
+        Recorder {
+            inner: self.inner.clone(),
+            prefix: if p.is_empty() {
+                None
+            } else {
+                Some(Arc::from(p.as_str()))
+            },
+        }
+    }
+
+    /// The stage prefix carried by this handle, if any.
+    pub fn stage_prefix(&self) -> Option<&str> {
+        self.prefix.as_deref()
+    }
+
+    /// Applies this handle's prefix to a stage/event name. Borrows when there
+    /// is no prefix so the common (unprefixed) path stays allocation-free.
+    fn scoped<'a>(&self, stage: &'a str) -> std::borrow::Cow<'a, str> {
+        match self.prefix.as_deref() {
+            None => std::borrow::Cow::Borrowed(stage),
+            Some(p) => std::borrow::Cow::Owned(format!("{p}{stage}")),
         }
     }
 
@@ -147,7 +187,7 @@ impl Recorder {
         Self::push_span(
             inner,
             Span {
-                stage: stage.to_owned(),
+                stage: self.scoped(stage).into_owned(),
                 lane: Lane::Node(node),
                 partition,
                 attrs,
@@ -182,7 +222,7 @@ impl Recorder {
         Self::push_span(
             inner,
             Span {
-                stage: stage.to_owned(),
+                stage: self.scoped(stage).into_owned(),
                 lane: Lane::Driver,
                 partition: None,
                 attrs,
@@ -215,7 +255,7 @@ impl Recorder {
             .expect("recorder shard poisoned")
             .events
             .push(Event {
-                name: name.to_owned(),
+                name: self.scoped(name).into_owned(),
                 lane,
                 partition,
                 attrs,
@@ -226,27 +266,30 @@ impl Recorder {
 
     pub fn counter_add(&self, stage: &str, name: &str, delta: u64) {
         if let Some(inner) = self.inner.as_deref() {
-            inner.registry.counter_add(stage, name, delta);
+            inner.registry.counter_add(&self.scoped(stage), name, delta);
         }
     }
 
     pub fn gauge_set(&self, stage: &str, name: &str, value: f64) {
         if let Some(inner) = self.inner.as_deref() {
-            inner.registry.gauge_set(stage, name, value);
+            inner.registry.gauge_set(&self.scoped(stage), name, value);
         }
     }
 
     pub fn histogram_record(&self, stage: &str, name: &str, value: f64) {
         if let Some(inner) = self.inner.as_deref() {
-            inner.registry.histogram_record(stage, name, value);
+            inner
+                .registry
+                .histogram_record(&self.scoped(stage), name, value);
         }
     }
 
-    /// Current value of a counter (None when absent or disabled).
+    /// Current value of a counter (None when absent or disabled). Looked up
+    /// under this handle's stage prefix, if any.
     pub fn counter_value(&self, stage: &str, name: &str) -> Option<u64> {
         self.inner
             .as_deref()
-            .and_then(|i| i.registry.counter_value(stage, name))
+            .and_then(|i| i.registry.counter_value(&self.scoped(stage), name))
     }
 
     /// Total simulated busy time allocated to `node` so far.
@@ -399,6 +442,39 @@ mod tests {
         assert_eq!(t.events[0].attrs.bytes, Some(4096));
         assert_eq!(t.metrics.counter("shuffle", "remote_bytes"), Some(111));
         assert_eq!(r.counter_value("shuffle", "remote_bytes"), Some(111));
+    }
+
+    #[test]
+    fn stage_prefix_namespaces_spans_events_and_counters() {
+        let base = Recorder::for_nodes(2);
+        let j0 = base.with_stage_prefix("job:0:");
+        let j1 = base.with_stage_prefix("job:1:");
+        assert_eq!(j0.stage_prefix(), Some("job:0:"));
+        assert_eq!(base.stage_prefix(), None);
+
+        j0.task_span("map", 0, Some(1), Duration::from_micros(10), Attrs::new());
+        j1.task_span("map", 1, Some(2), Duration::from_micros(20), Attrs::new());
+        j0.event("spill", Lane::Node(0), None, Attrs::new());
+        j0.counter_add("shuffle", "remote_bytes", 7);
+        j1.counter_add("shuffle", "remote_bytes", 9);
+
+        // Both views share the same recording and node clocks.
+        let t = base.snapshot();
+        assert!(t.spans.iter().any(|s| s.stage == "job:0:map"));
+        assert!(t.spans.iter().any(|s| s.stage == "job:1:map"));
+        assert!(t.events.iter().any(|e| e.name == "job:0:spill"));
+        assert_eq!(t.metrics.counter("job:0:shuffle", "remote_bytes"), Some(7));
+        assert_eq!(t.metrics.counter("job:1:shuffle", "remote_bytes"), Some(9));
+        // Lookups through a prefixed handle resolve inside its namespace.
+        assert_eq!(j1.counter_value("shuffle", "remote_bytes"), Some(9));
+        assert_eq!(base.counter_value("shuffle", "remote_bytes"), None);
+        assert_eq!(base.node_sim_total(0), Duration::from_micros(10));
+        assert_eq!(base.node_sim_total(1), Duration::from_micros(20));
+
+        // Re-prefixing replaces, empty clears.
+        let re = j0.with_stage_prefix("job:9:");
+        assert_eq!(re.stage_prefix(), Some("job:9:"));
+        assert_eq!(re.with_stage_prefix("").stage_prefix(), None);
     }
 
     #[test]

@@ -1,0 +1,292 @@
+use asj_data::GenKind;
+use asj_join::{Algorithm, LocalKernel};
+
+/// One tenant's job request, as parsed from a queue file line.
+///
+/// A tenant is a complete ε-distance join: two generated datasets (seeds
+/// `seed` and `seed + 1`), an algorithm, its own ε, kernel and partitioning,
+/// an optional fault plan, a fair-share weight and an optional working-set
+/// estimate override for admission control.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Unique tenant name (reports are keyed by it).
+    pub name: String,
+    pub algorithm: Algorithm,
+    /// Distance threshold ε of this tenant's join.
+    pub eps: f64,
+    /// Cardinality of each input side.
+    pub cardinality: usize,
+    /// Distribution family of both generated inputs.
+    pub kind: GenKind,
+    /// Generator seed for R; S uses `seed + 1`.
+    pub seed: u64,
+    /// Fair-share weight (vruntime divisor; 1 = baseline share).
+    pub weight: u32,
+    pub kernel: LocalKernel,
+    /// Shuffle partitions of this tenant's join.
+    pub partitions: usize,
+    pub grid_factor: f64,
+    /// Fault-plan spec (`FaultPlan::parse` syntax), injected only into this
+    /// tenant's stages.
+    pub faults: Option<String>,
+    /// Seed for the fault plan's randomized clauses.
+    pub fault_seed: u64,
+    /// Retry budget override (engine default if absent).
+    pub max_attempts: Option<usize>,
+    /// Working-set estimate override in bytes; when absent the server
+    /// estimates from a calibrated sample (see `WorkingSetModel`).
+    pub estimate_override: Option<u64>,
+}
+
+impl TenantSpec {
+    /// A tenant with the queue-file defaults: LPiB, uniform data, weight 1,
+    /// auto kernel, 32 partitions, grid factor 2.
+    pub fn new(name: impl Into<String>, eps: f64, cardinality: usize) -> Self {
+        TenantSpec {
+            name: name.into(),
+            algorithm: Algorithm::Lpib,
+            eps,
+            cardinality,
+            kind: GenKind::Uniform,
+            seed: 7,
+            weight: 1,
+            kernel: LocalKernel::Auto,
+            partitions: 32,
+            grid_factor: 2.0,
+            faults: None,
+            fault_seed: 7,
+            max_attempts: None,
+            estimate_override: None,
+        }
+    }
+}
+
+/// Typed failure of [`parse_queue`]: which line and why.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueueError {
+    /// 1-based line number in the queue file.
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for QueueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "queue line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for QueueError {}
+
+fn algorithm_by_name(name: &str) -> Result<Algorithm, String> {
+    Ok(match name {
+        "lpib" => Algorithm::Lpib,
+        "diff" => Algorithm::Diff,
+        "uni-r" => Algorithm::UniR,
+        "uni-s" => Algorithm::UniS,
+        "eps-grid" => Algorithm::EpsGrid,
+        "sedona" => Algorithm::Sedona,
+        other => return Err(format!("unknown algorithm '{other}'")),
+    })
+}
+
+fn gen_kind_by_name(name: &str) -> Result<GenKind, String> {
+    Ok(match name {
+        "gaussian" => GenKind::GaussianClusters,
+        "hydrography" => GenKind::Hydrography,
+        "parks" => GenKind::Parks,
+        "uniform" => GenKind::Uniform,
+        other => return Err(format!("unknown generator kind '{other}'")),
+    })
+}
+
+fn parse_num<T: std::str::FromStr>(value: &str, key: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("invalid value for '{key}': '{value}'"))
+}
+
+/// Parses a byte size with optional binary suffix (`64m`, `2g`, `512k`).
+pub fn parse_bytes(value: &str) -> Result<u64, String> {
+    let lower = value.trim().to_ascii_lowercase();
+    let (digits, mult) = match lower.as_bytes().last() {
+        Some(b'k') => (&lower[..lower.len() - 1], 1u64 << 10),
+        Some(b'm') => (&lower[..lower.len() - 1], 1 << 20),
+        Some(b'g') => (&lower[..lower.len() - 1], 1 << 30),
+        _ => (lower.as_str(), 1),
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("invalid byte size: '{value}'"))?;
+    n.checked_mul(mult)
+        .ok_or_else(|| format!("byte size overflows u64: '{value}'"))
+}
+
+fn parse_job_line(line: &str) -> Result<TenantSpec, String> {
+    let mut tokens = line.split_whitespace();
+    match tokens.next() {
+        Some("job") => {}
+        Some(other) => return Err(format!("expected 'job', found '{other}'")),
+        None => return Err("empty job line".into()),
+    }
+    let name = tokens.next().ok_or("missing tenant name after 'job'")?;
+    if name.contains('=') {
+        return Err(format!("missing tenant name after 'job' (found '{name}')"));
+    }
+    let mut spec = TenantSpec::new(name, f64::NAN, 2_000);
+    let mut saw_eps = false;
+    for token in tokens {
+        // Split on the FIRST '=' only: fault specs carry their own '='s
+        // (`faults=p=0.3,slow:1=2.0`).
+        let (key, value) = token
+            .split_once('=')
+            .ok_or_else(|| format!("expected key=value, found '{token}'"))?;
+        match key {
+            "algo" => spec.algorithm = algorithm_by_name(value)?,
+            "eps" => {
+                spec.eps = parse_num(value, key)?;
+                saw_eps = true;
+            }
+            "n" => spec.cardinality = parse_num(value, key)?,
+            "kind" => spec.kind = gen_kind_by_name(value)?,
+            "seed" => spec.seed = parse_num(value, key)?,
+            "weight" => {
+                spec.weight = parse_num(value, key)?;
+                if spec.weight == 0 {
+                    return Err("weight must be positive".into());
+                }
+            }
+            "kernel" => spec.kernel = value.parse()?,
+            "partitions" => {
+                spec.partitions = parse_num(value, key)?;
+                if spec.partitions == 0 {
+                    return Err("partitions must be positive".into());
+                }
+            }
+            "grid-factor" => spec.grid_factor = parse_num(value, key)?,
+            "faults" => spec.faults = Some(value.to_string()),
+            "fault-seed" => spec.fault_seed = parse_num(value, key)?,
+            "max-attempts" => spec.max_attempts = Some(parse_num(value, key)?),
+            "estimate" => spec.estimate_override = Some(parse_bytes(value)?),
+            other => return Err(format!("unknown key '{other}'")),
+        }
+    }
+    if !saw_eps {
+        return Err("missing required key 'eps'".into());
+    }
+    if !spec.eps.is_finite() || spec.eps <= 0.0 {
+        return Err(format!("eps must be positive, got {}", spec.eps));
+    }
+    if spec.cardinality == 0 {
+        return Err("n must be positive".into());
+    }
+    Ok(spec)
+}
+
+/// Parses a tenant queue file: one `job NAME key=value ...` per line, `#`
+/// comments and blank lines skipped. Tenant names must be unique.
+///
+/// ```text
+/// # two tenants, the second twice the share and chaos-injected
+/// job alpha algo=lpib eps=0.4 n=4000 kind=gaussian seed=11
+/// job beta  algo=uni-r eps=0.2 n=8000 weight=2 faults=p=0.2 fault-seed=3
+/// ```
+pub fn parse_queue(text: &str) -> Result<Vec<TenantSpec>, QueueError> {
+    let mut tenants: Vec<TenantSpec> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let spec = parse_job_line(line).map_err(|message| QueueError {
+            line: idx + 1,
+            message,
+        })?;
+        if tenants.iter().any(|t| t.name == spec.name) {
+            return Err(QueueError {
+                line: idx + 1,
+                message: format!("duplicate tenant name '{}'", spec.name),
+            });
+        }
+        tenants.push(spec);
+    }
+    Ok(tenants)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_queue() {
+        let text = "\
+# comment, then a blank line
+
+job alpha algo=lpib eps=0.4 n=4000 kind=gaussian seed=11 weight=2
+job beta algo=uni-r eps=0.2 n=8000 kernel=plane-sweep partitions=16 \
+grid-factor=3 faults=p=0.2,slow:1=2.0 fault-seed=3 max-attempts=5 estimate=64m
+";
+        let q = parse_queue(text).expect("queue parses");
+        assert_eq!(q.len(), 2);
+        let a = &q[0];
+        assert_eq!(a.name, "alpha");
+        assert_eq!(a.algorithm, Algorithm::Lpib);
+        assert_eq!(a.eps, 0.4);
+        assert_eq!(a.cardinality, 4000);
+        assert_eq!(a.kind, GenKind::GaussianClusters);
+        assert_eq!(a.seed, 11);
+        assert_eq!(a.weight, 2);
+        assert_eq!(a.kernel, LocalKernel::Auto, "default kernel");
+        assert_eq!(a.partitions, 32, "default partitions");
+        assert_eq!(a.faults, None);
+        let b = &q[1];
+        assert_eq!(b.algorithm, Algorithm::UniR);
+        assert_eq!(b.kernel, LocalKernel::PlaneSweep);
+        assert_eq!(b.partitions, 16);
+        assert_eq!(b.grid_factor, 3.0);
+        assert_eq!(
+            b.faults.as_deref(),
+            Some("p=0.2,slow:1=2.0"),
+            "fault spec keeps its inner '='s"
+        );
+        assert_eq!(b.fault_seed, 3);
+        assert_eq!(b.max_attempts, Some(5));
+        assert_eq!(b.estimate_override, Some(64 << 20));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_queue("# fine\njob a eps=0.5\njob b eps=nope").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("eps"), "{}", err.message);
+
+        let err = parse_queue("job a eps=0.5\njob a eps=0.5").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("duplicate"), "{}", err.message);
+
+        for (bad, needle) in [
+            ("job a n=100", "eps"),
+            ("job a eps=0", "positive"),
+            ("job a eps=0.5 weight=0", "weight"),
+            ("job a eps=0.5 algo=quadtree", "unknown algorithm"),
+            ("job a eps=0.5 color=red", "unknown key"),
+            ("job eps=0.5", "missing tenant name"),
+            ("run a eps=0.5", "expected 'job'"),
+        ] {
+            let err = parse_queue(bad).unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "'{bad}' should mention '{needle}', got: {}",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn byte_sizes_parse_with_suffixes() {
+        assert_eq!(parse_bytes("1024"), Ok(1024));
+        assert_eq!(parse_bytes("4k"), Ok(4096));
+        assert_eq!(parse_bytes("2M"), Ok(2 << 20));
+        assert_eq!(parse_bytes("1g"), Ok(1 << 30));
+        assert!(parse_bytes("lots").is_err());
+    }
+}

@@ -1,0 +1,448 @@
+use crate::estimate::WorkingSetModel;
+use crate::queue::TenantSpec;
+use asj_data::{DatasetSpec, PAPER_BBOX};
+use asj_engine::{
+    Cluster, FaultPlan, JobServer, JobSpec, PoolStats, RetryPolicy, SchedPolicy, SubmitError,
+};
+use asj_join::{JoinSpec, Record};
+use std::time::Duration;
+
+/// What one tenant's join produced, reduced to the fields that must be
+/// byte-identical between a solo run and any multi-tenant interleaving.
+/// Durations and spill volumes are intentionally absent: host timings and
+/// shared-accountant pressure vary; results must not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantOutcome {
+    pub result_count: u64,
+    pub candidates: u64,
+    /// Replicated objects across both inputs.
+    pub replicated: u64,
+    /// FNV-1a over the sorted result pairs (and the count) — the isolation
+    /// oracle's fingerprint.
+    pub checksum: u64,
+}
+
+/// FNV-1a 64 over the result cardinality and the sorted `(r, s)` pairs.
+/// Sorting first makes the fingerprint independent of partition emit order.
+pub fn checksum_pairs(result_count: u64, pairs: &[(u64, u64)]) -> u64 {
+    let mut sorted = pairs.to_vec();
+    sorted.sort_unstable();
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |value: u64| {
+        for byte in value.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    eat(result_count);
+    for (r, s) in sorted {
+        eat(r);
+        eat(s);
+    }
+    hash
+}
+
+/// The per-tenant slice of one multi-tenant run: scheduling observables from
+/// the job server plus the join outcome (or the panic message if the tenant
+/// crashed — a crash fails only its own tenant).
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    pub name: String,
+    pub weight: u32,
+    /// Working-set estimate admission control used (override or model).
+    pub estimate_bytes: u64,
+    pub outcome: Result<TenantOutcome, String>,
+    /// Submit-to-first-quantum on the server clock.
+    pub queue_wait: Duration,
+    /// Submit-to-completion on the server clock.
+    pub turnaround: Duration,
+    /// Parallel stages this tenant ran.
+    pub stages: u64,
+    /// Scheduler quanta this tenant consumed.
+    pub quanta: u64,
+    /// Task attempts, including retries under this tenant's fault plan.
+    pub attempts: u64,
+    pub retries: u64,
+    /// Bytes this tenant's stages spilled under memory pressure.
+    pub spilled_bytes: u64,
+    /// Buffer-pool activity attributable to this tenant alone.
+    pub pool: PoolStats,
+    /// Leak audit: bytes still resident at completion (0 unless a charge
+    /// guard failed to settle).
+    pub residual_bytes: u64,
+}
+
+impl TenantReport {
+    /// One aligned report line per tenant, for the CLI and bench logs.
+    pub fn summary_line(&self) -> String {
+        match &self.outcome {
+            Ok(out) => format!(
+                "job {name:<12} ok    results {results:>9}  checksum {checksum:016x}  \
+                 wait {wait:>8.3?}  turnaround {turnaround:>8.3?}  stages {stages:>3}  \
+                 retries {retries:>2}  spilled {spilled}",
+                name = self.name,
+                results = out.result_count,
+                checksum = out.checksum,
+                wait = self.queue_wait,
+                turnaround = self.turnaround,
+                stages = self.stages,
+                retries = self.retries,
+                spilled = self.spilled_bytes,
+            ),
+            Err(message) => format!(
+                "job {name:<12} FAILED  {message}",
+                name = self.name,
+                message = message
+            ),
+        }
+    }
+}
+
+/// One multi-tenant run: per-tenant reports in submit order plus the
+/// server-level observables (grant log, final clock).
+#[derive(Debug, Clone)]
+pub struct QueueRun {
+    pub policy: SchedPolicy,
+    pub tenants: Vec<TenantReport>,
+    /// Quantum grant log (job ids, in grant order) — deterministic for a
+    /// fixed queue and policy.
+    pub grants: Vec<usize>,
+    /// Final server clock: serialized simulated time of the whole queue.
+    pub clock: Duration,
+}
+
+/// Typed failure of [`run_queue`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// A tenant's spec could not be turned into a job (bad fault plan, …).
+    Spec { tenant: String, message: String },
+    /// The job server refused the tenant at submit time.
+    Submit { tenant: String, error: SubmitError },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Spec { tenant, message } => {
+                write!(f, "tenant '{tenant}': {message}")
+            }
+            ServeError::Submit { tenant, error } => {
+                write!(f, "tenant '{tenant}' rejected: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+fn tenant_records(tenant: &TenantSpec, seed: u64) -> Vec<Record> {
+    let points = DatasetSpec {
+        name: "serve",
+        kind: tenant.kind,
+        cardinality: tenant.cardinality,
+        seed,
+        bbox: PAPER_BBOX,
+        sigma_scale: 1.0,
+    }
+    .points();
+    points
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| Record::new(i as u64, p))
+        .collect()
+}
+
+fn tenant_join_spec(tenant: &TenantSpec) -> JoinSpec {
+    JoinSpec::new(PAPER_BBOX, tenant.eps)
+        .with_partitions(tenant.partitions)
+        .with_grid_factor(tenant.grid_factor)
+        .with_kernel(tenant.kernel)
+        .with_seed(tenant.seed)
+}
+
+fn tenant_faults(tenant: &TenantSpec) -> Result<Option<(FaultPlan, RetryPolicy)>, String> {
+    let plan = match &tenant.faults {
+        Some(spec) => Some(FaultPlan::parse(spec, tenant.fault_seed)?),
+        None => None,
+    };
+    let mut policy = RetryPolicy::default();
+    if let Some(n) = tenant.max_attempts {
+        policy = policy.with_max_attempts(n);
+    }
+    match plan {
+        Some(plan) => Ok(Some((plan, policy))),
+        // A retry budget without a plan still pins this tenant's fault state
+        // to its own context instead of inheriting the server's.
+        None if tenant.max_attempts.is_some() => Ok(Some((FaultPlan::none(), policy))),
+        None => Ok(None),
+    }
+}
+
+fn run_tenant_body(tenant: &TenantSpec, cluster: &Cluster) -> TenantOutcome {
+    let r = tenant_records(tenant, tenant.seed);
+    let s = tenant_records(tenant, tenant.seed.wrapping_add(1));
+    let spec = tenant_join_spec(tenant);
+    let out = tenant.algorithm.run(cluster, &spec, r, s);
+    TenantOutcome {
+        result_count: out.result_count,
+        candidates: out.candidates,
+        replicated: out.replicated_total(),
+        checksum: checksum_pairs(out.result_count, &out.pairs),
+    }
+}
+
+/// Builds the [`JobSpec`] for one tenant: the join body, the fair-share
+/// weight, the tenant's own fault plan and the working-set estimate
+/// (override, or `model` applied to the tenant's sampled inputs).
+pub fn tenant_job(
+    tenant: &TenantSpec,
+    nodes: usize,
+    model: &WorkingSetModel,
+) -> Result<JobSpec<TenantOutcome>, String> {
+    let estimate = tenant
+        .estimate_override
+        .unwrap_or_else(|| model.estimate(tenant, nodes));
+    let owned = tenant.clone();
+    let mut spec = JobSpec::new(tenant.name.clone(), move |cluster: &Cluster| {
+        run_tenant_body(&owned, cluster)
+    })
+    .with_weight(tenant.weight)
+    .with_estimate(estimate);
+    if let Some((plan, policy)) = tenant_faults(tenant)? {
+        spec = spec.with_faults(plan, policy);
+    }
+    Ok(spec)
+}
+
+/// Runs a whole tenant queue on `cluster` under `policy` and reports every
+/// tenant in submit order. Admission estimates come from a
+/// [`WorkingSetModel`] calibrated on the first tenant's sampled records.
+pub fn run_queue(
+    cluster: &Cluster,
+    tenants: &[TenantSpec],
+    policy: SchedPolicy,
+) -> Result<QueueRun, ServeError> {
+    let model = calibrated_model(tenants);
+    let mut server = JobServer::new(cluster.clone())
+        .with_policy(policy)
+        .with_queue_capacity(tenants.len().max(1));
+    for tenant in tenants {
+        let job =
+            tenant_job(tenant, cluster.nodes(), &model).map_err(|message| ServeError::Spec {
+                tenant: tenant.name.clone(),
+                message,
+            })?;
+        server.submit(job).map_err(|error| ServeError::Submit {
+            tenant: tenant.name.clone(),
+            error,
+        })?;
+    }
+    let run = server.run();
+    let tenants = run
+        .reports
+        .into_iter()
+        .map(|report| TenantReport {
+            name: report.name.clone(),
+            weight: report.weight,
+            estimate_bytes: report.estimate_bytes,
+            outcome: report.result,
+            queue_wait: report.first_service_at,
+            turnaround: report.finished_at,
+            stages: report.stages,
+            quanta: report.quanta,
+            attempts: report.stats.attempts,
+            retries: report.stats.retries,
+            spilled_bytes: report.stats.spilled_bytes,
+            pool: report.pool,
+            residual_bytes: report.residual_bytes,
+        })
+        .collect();
+    Ok(QueueRun {
+        policy: run.policy,
+        tenants,
+        grants: run.grants,
+        clock: run.clock,
+    })
+}
+
+/// The estimator model [`run_queue`] uses: record size calibrated on a small
+/// sample of the first tenant's generated records (all tenants' records share
+/// the payload-free shape, so one probe calibrates the queue).
+pub fn calibrated_model(tenants: &[TenantSpec]) -> WorkingSetModel {
+    match tenants.first() {
+        Some(first) => {
+            let mut probe = first.clone();
+            probe.cardinality = first.cardinality.min(256);
+            WorkingSetModel::calibrated(&tenant_records(&probe, probe.seed))
+        }
+        None => WorkingSetModel::default(),
+    }
+}
+
+/// The isolation oracle: runs `tenant` alone on a FRESH cluster of the same
+/// shape (own accountant, own buffer pool, no gate) and returns the outcome
+/// a multi-tenant run must reproduce byte-identically.
+pub fn solo_outcome(cluster: &Cluster, tenant: &TenantSpec) -> Result<TenantOutcome, String> {
+    let mut solo = Cluster::new(cluster.config());
+    if let Some((plan, policy)) = tenant_faults(tenant)? {
+        solo = solo.with_fault_policy(plan, policy);
+    } else if let Some(ctx) = cluster.fault_context() {
+        // Mirror the server: tenants without their own plan inherit the base
+        // cluster's (with fresh state, as the per-job context is rebuilt).
+        solo = solo.with_fault_policy(ctx.plan.clone(), ctx.policy);
+    }
+    Ok(run_tenant_body(tenant, &solo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asj_engine::ClusterConfig;
+    use asj_join::Algorithm;
+
+    fn two_tenants() -> Vec<TenantSpec> {
+        let mut a = TenantSpec::new("alpha", 0.5, 900);
+        a.algorithm = Algorithm::Lpib;
+        a.partitions = 8;
+        a.seed = 11;
+        let mut b = TenantSpec::new("beta", 0.3, 1_400);
+        b.algorithm = Algorithm::UniR;
+        b.partitions = 8;
+        b.seed = 23;
+        b.weight = 2;
+        vec![a, b]
+    }
+
+    fn test_cluster() -> Cluster {
+        Cluster::new(ClusterConfig::with_threads(4, 2))
+    }
+
+    #[test]
+    fn checksum_is_order_independent_and_content_sensitive() {
+        let a = checksum_pairs(2, &[(1, 2), (3, 4)]);
+        let b = checksum_pairs(2, &[(3, 4), (1, 2)]);
+        assert_eq!(a, b, "pair order must not matter");
+        assert_ne!(a, checksum_pairs(2, &[(1, 2), (3, 5)]));
+        assert_ne!(checksum_pairs(0, &[]), checksum_pairs(1, &[]));
+    }
+
+    #[test]
+    fn queue_outcomes_match_solo_runs() {
+        let cluster = test_cluster();
+        let tenants = two_tenants();
+        let run = run_queue(&cluster, &tenants, SchedPolicy::FairShare).expect("queue runs");
+        assert_eq!(run.tenants.len(), 2);
+        for (tenant, report) in tenants.iter().zip(&run.tenants) {
+            let solo = solo_outcome(&cluster, tenant).expect("solo runs");
+            let shared = report.outcome.as_ref().expect("tenant succeeded");
+            assert_eq!(shared, &solo, "tenant '{}' isolation", tenant.name);
+            assert!(shared.result_count > 0, "joins must produce results");
+            assert_eq!(report.residual_bytes, 0, "leak audit");
+        }
+        // Interleaved under fair-share: both tenants are served before
+        // either finishes (the grant log mixes job ids).
+        let first_of_1 = run.grants.iter().position(|&g| g == 1);
+        let last_of_0 = run.grants.iter().rposition(|&g| g == 0);
+        assert!(
+            first_of_1.expect("job 1 granted") < last_of_0.expect("job 0 granted"),
+            "fair-share must interleave: {:?}",
+            run.grants
+        );
+    }
+
+    #[test]
+    fn queue_runs_are_deterministic() {
+        let tenants = two_tenants();
+        let a = run_queue(&test_cluster(), &tenants, SchedPolicy::FairShare).expect("run a");
+        let b = run_queue(&test_cluster(), &tenants, SchedPolicy::FairShare).expect("run b");
+        assert_eq!(a.grants, b.grants, "grant log is deterministic");
+        for (x, y) in a.tenants.iter().zip(&b.tenants) {
+            assert_eq!(
+                x.outcome.as_ref().expect("ok"),
+                y.outcome.as_ref().expect("ok"),
+                "outcomes are deterministic"
+            );
+            // Queue waits and turnarounds are simulated-clock values built
+            // from measured stage makespans: reproducible in ORDER (the
+            // grant log) but not to the nanosecond, so they are not
+            // asserted equal here.
+            assert_eq!(x.stages, y.stages, "stage counts are deterministic");
+            assert_eq!(x.quanta, y.quanta);
+        }
+    }
+
+    #[test]
+    fn oversized_tenant_is_a_typed_submit_error() {
+        let cluster = Cluster::new(ClusterConfig::with_threads(4, 2).with_memory_budget(1 << 20));
+        let mut tenants = two_tenants();
+        tenants[1].estimate_override = Some(u64::MAX);
+        let err = run_queue(&cluster, &tenants, SchedPolicy::Fifo).unwrap_err();
+        match err {
+            ServeError::Submit {
+                tenant,
+                error: SubmitError::RejectedMemory { budget_bytes, .. },
+            } => {
+                assert_eq!(tenant, "beta");
+                assert_eq!(budget_bytes, 1 << 20);
+            }
+            other => panic!("expected RejectedMemory, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_fault_spec_is_a_typed_spec_error() {
+        let mut tenants = two_tenants();
+        tenants[0].faults = Some("gremlins".into());
+        let err = run_queue(&test_cluster(), &tenants, SchedPolicy::Fifo).unwrap_err();
+        match err {
+            ServeError::Spec { tenant, .. } => assert_eq!(tenant, "alpha"),
+            other => panic!("expected Spec error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn faulty_tenant_retries_without_touching_the_calm_one() {
+        let mut tenants = two_tenants();
+        tenants[0].faults = Some("p=0.4".into());
+        tenants[0].max_attempts = Some(8);
+        let run = run_queue(&test_cluster(), &tenants, SchedPolicy::FairShare).expect("runs");
+        let chaotic = &run.tenants[0];
+        let calm = &run.tenants[1];
+        assert_eq!(calm.retries, 0, "fault plans are per-tenant");
+        // The chaotic tenant still matches its solo outcome (recovery is
+        // deterministic given the plan seed).
+        let solo = solo_outcome(&test_cluster(), &tenants[0]).expect("solo");
+        assert_eq!(chaotic.outcome.as_ref().expect("recovered"), &solo);
+    }
+
+    #[test]
+    fn summary_lines_render_both_arms() {
+        let ok = TenantReport {
+            name: "alpha".into(),
+            weight: 1,
+            estimate_bytes: 1024,
+            outcome: Ok(TenantOutcome {
+                result_count: 42,
+                candidates: 99,
+                replicated: 7,
+                checksum: 0xDEAD_BEEF,
+            }),
+            queue_wait: Duration::from_millis(3),
+            turnaround: Duration::from_millis(9),
+            stages: 4,
+            quanta: 5,
+            attempts: 4,
+            retries: 0,
+            spilled_bytes: 0,
+            pool: PoolStats::default(),
+            residual_bytes: 0,
+        };
+        let line = ok.summary_line();
+        assert!(line.contains("alpha") && line.contains("ok"), "{line}");
+        assert!(line.contains("00000000deadbeef"), "{line}");
+        let mut failed = ok.clone();
+        failed.outcome = Err("boom".into());
+        let line = failed.summary_line();
+        assert!(line.contains("FAILED") && line.contains("boom"), "{line}");
+    }
+}

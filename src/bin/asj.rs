@@ -12,11 +12,13 @@
 use adaptive_spatial_join::data::{
     read_points_csv, write_points_csv, DatasetSpec, GenKind, PAPER_BBOX,
 };
+use adaptive_spatial_join::engine::SchedPolicy;
 use adaptive_spatial_join::geom::{Point, Rect};
 use adaptive_spatial_join::join::{
     knn_join, self_join, Algorithm, JoinOutput, JoinSpec, LocalKernel, PartitionedPoints, Record,
 };
 use adaptive_spatial_join::prelude::*;
+use adaptive_spatial_join::serve::{parse_queue, run_queue, solo_outcome};
 use std::collections::HashMap;
 use std::io::Write;
 use std::path::PathBuf;
@@ -51,6 +53,9 @@ usage:
   asj knn       --r FILE --s FILE --k K --eps E [--nodes N] [--partitions P]
   asj range     --input FILE --rect x0,y0,x1,y1 --eps E [--nodes N]
   asj heatmap   --input FILE [--width W] [--height H]
+  asj serve     --jobs FILE [--policy fair-share|fifo] [--nodes N]
+                [--memory-budget B] [--verify]
+                [--trace FILE] [--trace-format chrome|jsonl]
 
 ALGO: lpib (default) | diff | uni-r | uni-s | eps-grid | sedona
 K:    auto (default) | nested-loop | plane-sweep | grid-bucket — the
@@ -64,10 +69,17 @@ ASJ_FAULT_SEED do the same without flags. --speculation re-executes
 straggler tasks on another node. --memory-budget caps simulated per-node
 memory (bytes; k/m/g binary suffixes accepted) — shuffle buckets that would
 exceed it spill to temporary files and are re-read at reduce time, leaving
-results byte-identical.";
+results byte-identical.
+--jobs runs a multi-tenant queue on one simulated cluster: one
+'job NAME key=value ...' per line ('#' comments; keys: algo eps n kind seed
+weight kernel partitions grid-factor faults fault-seed max-attempts
+estimate). Admission control rejects tenants whose estimated working set
+exceeds the per-node --memory-budget; admitted tenants interleave under the
+--policy with isolated fault, pool and obs state. --verify re-runs every
+tenant solo and fails unless results are byte-identical.";
 
 /// Flags that take no value: their presence means "on".
-const BOOL_FLAGS: &[&str] = &["speculation"];
+const BOOL_FLAGS: &[&str] = &["speculation", "verify"];
 
 /// Parsed `--flag value` options after the subcommand. Flags listed in
 /// [`BOOL_FLAGS`] are valueless switches recorded as `"true"`.
@@ -152,6 +164,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "knn" => cmd_knn(&flags),
         "range" => cmd_range(&flags),
         "heatmap" => cmd_heatmap(&flags),
+        "serve" => cmd_serve(&flags),
         other => Err(format!("unknown subcommand '{other}'")),
     }
 }
@@ -513,6 +526,73 @@ fn cmd_heatmap(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Multi-tenant job server: run a queue file of tenant joins on one
+/// simulated cluster under admission control and a scheduling policy.
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let path = required(flags, "jobs")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let tenants = parse_queue(&text).map_err(|e| e.to_string())?;
+    if tenants.is_empty() {
+        return Err(format!("no jobs in {path}"));
+    }
+    let policy = match flags.get("policy") {
+        Some(s) => SchedPolicy::parse(s)
+            .ok_or_else(|| format!("unknown policy '{s}' (fair-share | fifo)"))?,
+        None => SchedPolicy::FairShare,
+    };
+    let nodes: usize = flags.get("nodes").map_or(Ok(12), |s| parse(s, "--nodes"))?;
+    let trace = TraceSink::from_flags(flags, nodes)?;
+    let mut cluster = Cluster::new(ClusterConfig::new(nodes)).with_recorder(trace.recorder.clone());
+    if let Some(budget) = flags.get("memory-budget") {
+        cluster = cluster.with_memory_budget(parse_bytes(budget)?);
+    }
+    let run = run_queue(&cluster, &tenants, policy).map_err(|e| e.to_string())?;
+    println!("policy               : {}", run.policy.name());
+    println!("tenants              : {}", run.tenants.len());
+    println!("simulated nodes      : {nodes}");
+    if let Some(budget) = cluster.memory_budget() {
+        println!("memory budget        : {} KiB/node", budget / 1024);
+    }
+    println!(
+        "server clock         : {:.3} s (serialized simulated time)",
+        run.clock.as_secs_f64()
+    );
+    println!("quanta granted       : {}", run.grants.len());
+    for report in &run.tenants {
+        println!("{}", report.summary_line());
+    }
+    if flags.contains_key("verify") {
+        for (tenant, report) in tenants.iter().zip(&run.tenants) {
+            let Ok(shared) = &report.outcome else {
+                continue;
+            };
+            let solo = solo_outcome(&cluster, tenant)?;
+            if shared != &solo {
+                return Err(format!(
+                    "isolation violated for tenant '{}': concurrent checksum {:016x} != solo {:016x}",
+                    tenant.name, shared.checksum, solo.checksum
+                ));
+            }
+        }
+        println!("isolation            : all tenants match their solo runs");
+    }
+    trace.write()?;
+    let failed: Vec<&str> = run
+        .tenants
+        .iter()
+        .filter(|t| t.outcome.is_err())
+        .map(|t| t.name.as_str())
+        .collect();
+    if !failed.is_empty() {
+        return Err(format!(
+            "{} tenant(s) failed: {}",
+            failed.len(),
+            failed.join(", ")
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -750,6 +830,69 @@ mod tests {
         for p in [r_path, s_path, out_path] {
             let _ = std::fs::remove_file(p);
         }
+    }
+
+    #[test]
+    fn serve_runs_a_queue_file_with_verification() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let jobs_path = dir.join(format!("asj-serve-jobs-{pid}.txt"));
+        std::fs::write(
+            &jobs_path,
+            "# two tenants on one cluster\n\
+             job alpha algo=lpib eps=0.5 n=600 partitions=8 seed=11\n\
+             job beta algo=uni-r eps=0.3 n=900 partitions=8 seed=23 weight=2\n",
+        )
+        .unwrap();
+        let arg = |s: &str| s.to_string();
+        for policy in ["fair-share", "fifo"] {
+            run(&[
+                arg("serve"),
+                arg("--jobs"),
+                arg(jobs_path.to_str().unwrap()),
+                arg("--policy"),
+                arg(policy),
+                arg("--nodes"),
+                arg("4"),
+                arg("--verify"),
+            ])
+            .unwrap_or_else(|e| panic!("serve --policy {policy}: {e}"));
+        }
+        let _ = std::fs::remove_file(jobs_path);
+    }
+
+    #[test]
+    fn serve_rejects_oversized_tenants_and_bad_queues() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let jobs_path = dir.join(format!("asj-serve-reject-{pid}.txt"));
+        std::fs::write(
+            &jobs_path,
+            "job hog algo=lpib eps=0.5 n=600 partitions=8 estimate=1g\n",
+        )
+        .unwrap();
+        let arg = |s: &str| s.to_string();
+        let err = run(&[
+            arg("serve"),
+            arg("--jobs"),
+            arg(jobs_path.to_str().unwrap()),
+            arg("--nodes"),
+            arg("4"),
+            arg("--memory-budget"),
+            arg("1m"),
+        ])
+        .unwrap_err();
+        assert!(err.contains("rejected"), "{err}");
+
+        std::fs::write(&jobs_path, "job broken n=100\n").unwrap();
+        let err = run(&[
+            arg("serve"),
+            arg("--jobs"),
+            arg(jobs_path.to_str().unwrap()),
+        ])
+        .unwrap_err();
+        assert!(err.contains("line 1") && err.contains("eps"), "{err}");
+        let _ = std::fs::remove_file(jobs_path);
     }
 
     #[test]

@@ -22,6 +22,8 @@
 //! * [`data`] — synthetic workload generators matching the paper's datasets.
 //! * [`join`] — end-to-end distributed join algorithms: adaptive (LPiB/DIFF),
 //!   PBSM UNI(R)/UNI(S), ε-grid, and a Sedona-like baseline.
+//! * [`serve`] — the multi-tenant job-server front end: tenant queue files,
+//!   working-set admission estimates, fair-share runs and isolation oracles.
 //!
 //! ## Quick start
 //!
@@ -48,6 +50,7 @@ pub use asj_geom as geom;
 pub use asj_grid as grid;
 pub use asj_index as index;
 pub use asj_join as join;
+pub use asj_serve as serve;
 
 /// One-stop imports for applications and examples.
 pub mod prelude {
