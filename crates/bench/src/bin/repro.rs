@@ -6,7 +6,7 @@
 //!
 //! EXPERIMENT: table1 fig1b fig10 table4 fig13 fig14 fig15 fig16 fig17
 //!             fig18 table5 table6 table7 ablation-kernels (a1) faults perf
-//!             memory multitenant all (default: all)
+//!             memory multitenant recovery all (default: all)
 //! --quick       reduced scale (same as `cargo bench --bench figures`)
 //! --scale N     x1 cardinality of the synthetic sets (default 100000)
 //! --reps N      repetitions per configuration (times averaged; default 3)
@@ -16,7 +16,7 @@
 //! --speculation   speculatively re-execute straggler tasks
 //! ```
 
-use asj_bench::{experiments, memory, multitenant, perf, Combo, ExpConfig};
+use asj_bench::{experiments, memory, multitenant, perf, recovery, Combo, ExpConfig};
 use asj_engine::{FaultPlan, RetryPolicy};
 
 fn main() {
@@ -150,6 +150,9 @@ fn main() {
             "multitenant" | "multi-tenant" | "jobs" => {
                 multitenant::multitenant_sweep(&cfg);
             }
+            "recovery" | "crash-recovery" => {
+                recovery::recovery_sweep(&cfg);
+            }
             other => usage(&format!("unknown experiment {other}")),
         }
     }
@@ -165,7 +168,7 @@ fn usage(err: &str) -> ! {
          \x20            [--faults SPEC] [--fault-seed N] [--speculation]\n\
          experiments: table1 fig1b fig10 table4 fig13 fig14 fig15 fig16 \
          fig17 fig18 table5 table6 table7 ablation-kernels a2 ext faults \
-         perf memory multitenant all"
+         perf memory multitenant recovery all"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -1,0 +1,367 @@
+//! `repro recovery` — the crash/recovery sweep behind the checkpointed
+//! stage-recovery and job-server journal work.
+//!
+//! One mixed-size tenant set (reusing the multi-tenant sweep's set, chaos
+//! tenant included) runs to completion once as the **oracle**. The sweep then
+//! crashes a journaled server at three grant boundaries (~1/3, ~2/3 and two
+//! grants shy of done) and restarts it with `--recover` semantics, once
+//! **with** a checkpoint directory and once **without** (journal only). After
+//! every leg the harness asserts:
+//!
+//! * **write-ahead** — the crashed leg's grant log is exactly the oracle's
+//!   prefix up to the crash point, and the recovery leg replays that same
+//!   journaled prefix,
+//! * **equivalence** — every tenant's recovered outcome (result count,
+//!   candidates, replication, checksum) is byte-identical to the oracle's,
+//! * **savings** — summed across crash points, the checkpointed recovery legs
+//!   re-run strictly fewer task attempts than the journal-only legs: resuming
+//!   from persisted shuffle stages must beat recomputing them.
+//!
+//! Results land in `BENCH_recovery.json` for the CI `recovery-matrix` job;
+//! override the path with `ASJ_BENCH_RECOVERY_OUT`.
+
+use crate::multitenant::tenant_set;
+use crate::{ExpConfig, Table};
+use asj_engine::{Cluster, ClusterConfig, FaultPlan, RetryPolicy, SchedPolicy};
+use asj_serve::{run_queue, run_queue_recoverable, QueueRun, RecoveryOptions, TenantSpec};
+use std::path::Path;
+
+/// Tenants in the sweep's queue (a prefix of the multi-tenant sweep's set,
+/// so the chaos tenant at index 2 is included: recovery must compose with
+/// ordinary per-tenant retry faults).
+const TENANTS: usize = 4;
+
+/// One crash/recover leg: a crash point under one checkpoint arm.
+#[derive(Debug, Clone)]
+pub struct RecLeg {
+    /// Grant boundary the server was killed at.
+    pub crash_at: u64,
+    /// Whether this arm persisted stage checkpoints (the A/B axis).
+    pub checkpointed: bool,
+    /// Crashed grant log == oracle prefix AND recovery replayed it.
+    pub prefix_ok: bool,
+    /// Every recovered outcome byte-identical to the oracle's.
+    pub checksums_ok: bool,
+    /// Tenants served straight from the journal (no re-execution).
+    pub replayed_tenants: usize,
+    /// Shuffle stages resumed from checkpoints instead of recomputed.
+    pub stages_recovered: u64,
+    /// Bytes the crashed leg persisted to the checkpoint store.
+    pub checkpoint_bytes: u64,
+    /// Task attempts the recovery leg re-ran — the recomputed-work metric.
+    pub recovered_attempts: u64,
+    /// Recovery leg's final server clock (serialized simulated time).
+    pub clock_seconds: f64,
+}
+
+/// The sweep's full result set (also serialized to JSON).
+#[derive(Debug, Clone)]
+pub struct RecReport {
+    pub nodes: usize,
+    pub tenants: usize,
+    /// Grants the uncrashed oracle needed for the whole queue.
+    pub oracle_grants: usize,
+    /// Task attempts the oracle spent — the 100% recomputation baseline.
+    pub oracle_attempts: u64,
+    pub legs: Vec<RecLeg>,
+    /// Σ recovered_attempts over the checkpointed arms.
+    pub attempts_with_checkpoint: u64,
+    /// Σ recovered_attempts over the journal-only arms.
+    pub attempts_without_checkpoint: u64,
+}
+
+impl RecReport {
+    /// The headline gate: checkpoints must strictly reduce recomputed work.
+    pub fn checkpoint_savings(&self) -> bool {
+        self.attempts_with_checkpoint < self.attempts_without_checkpoint
+    }
+}
+
+/// The cluster-level fault plan and retry policy this config injects
+/// (`repro --faults` / the CI fault matrix), or the fault-free defaults.
+fn base_policy(cfg: &ExpConfig) -> (FaultPlan, RetryPolicy) {
+    match &cfg.faults {
+        Some((plan, policy)) => (plan.clone(), *policy),
+        None => (FaultPlan::none(), RetryPolicy::default()),
+    }
+}
+
+fn total_attempts(run: &QueueRun) -> u64 {
+    run.tenants.iter().map(|t| t.attempts).sum()
+}
+
+/// Crash a journaled server at `crash_at`, restart it, and gate the leg
+/// against the oracle. `checkpointed` selects the A/B arm.
+fn crash_and_recover(
+    cfg: &ExpConfig,
+    tenants: &[TenantSpec],
+    oracle: &QueueRun,
+    crash_at: u64,
+    checkpointed: bool,
+    scratch: &Path,
+) -> RecLeg {
+    let arm = if checkpointed { "ckpt" } else { "plain" };
+    let journal = scratch.join(format!("crash{crash_at}-{arm}.journal"));
+    let ckpt_dir = checkpointed.then(|| scratch.join(format!("crash{crash_at}-{arm}-stages")));
+
+    // Leg 1: the crash. Same base fault plan as the oracle plus the crash
+    // clause, so per-task behavior up to the crash point is identical.
+    let (plan, retry) = base_policy(cfg);
+    let crash_cluster = Cluster::new(ClusterConfig::new(cfg.nodes))
+        .with_fault_policy(plan.with_crash_after_grants(crash_at), retry);
+    let opts = RecoveryOptions {
+        journal: Some(journal.clone()),
+        checkpoint_dir: ckpt_dir.clone(),
+        recover: false,
+    };
+    let crashed = run_queue_recoverable(&crash_cluster, tenants, SchedPolicy::FairShare, &opts)
+        .unwrap_or_else(|e| panic!("crash@{crash_at} {arm}: {e}"));
+    assert!(crashed.crashed, "crash@{crash_at} {arm}: clause must fire");
+
+    // Leg 2: the restart, on a fresh cluster without the crash clause.
+    let opts = RecoveryOptions {
+        journal: Some(journal),
+        checkpoint_dir: ckpt_dir,
+        recover: true,
+    };
+    let recovered = run_queue_recoverable(&cfg.cluster(), tenants, SchedPolicy::FairShare, &opts)
+        .unwrap_or_else(|e| panic!("recover@{crash_at} {arm}: {e}"));
+    assert!(!recovered.crashed, "recovery leg must run to completion");
+
+    let prefix = &oracle.grants[..crash_at as usize];
+    let prefix_ok = crashed.grants[..] == prefix[..] && recovered.journal_grants[..] == prefix[..];
+    assert!(
+        prefix_ok,
+        "crash@{crash_at} {arm}: journaled grants must be the oracle prefix"
+    );
+    let checksums_ok = oracle.tenants.iter().zip(&recovered.tenants).all(|(a, b)| {
+        match (&a.outcome, &b.outcome) {
+            (Ok(x), Ok(y)) => x == y,
+            _ => false,
+        }
+    });
+    assert!(
+        checksums_ok,
+        "crash@{crash_at} {arm}: recovered outcomes must match the oracle"
+    );
+
+    RecLeg {
+        crash_at,
+        checkpointed,
+        prefix_ok,
+        checksums_ok,
+        replayed_tenants: recovered.tenants.iter().filter(|t| t.recovered).count(),
+        stages_recovered: recovered.stages_recovered,
+        checkpoint_bytes: crashed.checkpoint_bytes,
+        recovered_attempts: total_attempts(&recovered),
+        clock_seconds: recovered.clock.as_secs_f64(),
+    }
+}
+
+fn json_leg(leg: &RecLeg) -> String {
+    format!(
+        concat!(
+            "{{\"crash_at\":{},\"checkpointed\":{},\"prefix_ok\":{},",
+            "\"checksums_ok\":{},\"replayed_tenants\":{},",
+            "\"stages_recovered\":{},\"checkpoint_bytes\":{},",
+            "\"recovered_attempts\":{},\"clock_seconds\":{:.6}}}"
+        ),
+        leg.crash_at,
+        leg.checkpointed,
+        leg.prefix_ok,
+        leg.checksums_ok,
+        leg.replayed_tenants,
+        leg.stages_recovered,
+        leg.checkpoint_bytes,
+        leg.recovered_attempts,
+        leg.clock_seconds,
+    )
+}
+
+/// Hand-rolled JSON, same conventions as the other `BENCH_*.json` files.
+fn render_json(rep: &RecReport) -> String {
+    let legs: Vec<String> = rep.legs.iter().map(json_leg).collect();
+    format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"recovery\",\n",
+            "  \"nodes\": {},\n",
+            "  \"tenants\": {},\n",
+            "  \"oracle_grants\": {},\n",
+            "  \"oracle_attempts\": {},\n",
+            "  \"attempts_with_checkpoint\": {},\n",
+            "  \"attempts_without_checkpoint\": {},\n",
+            "  \"checkpoint_savings\": {},\n",
+            "  \"legs\": [{}]\n",
+            "}}\n"
+        ),
+        rep.nodes,
+        rep.tenants,
+        rep.oracle_grants,
+        rep.oracle_attempts,
+        rep.attempts_with_checkpoint,
+        rep.attempts_without_checkpoint,
+        rep.checkpoint_savings(),
+        legs.join(","),
+    )
+}
+
+/// The `repro recovery` entry point. Runs the crash-point × checkpoint-arm
+/// sweep, asserts the write-ahead / equivalence / savings gates, prints the
+/// comparison table and writes `BENCH_recovery.json`.
+pub fn recovery_sweep(cfg: &ExpConfig) -> RecReport {
+    let tenants = tenant_set(cfg, TENANTS);
+    let oracle = run_queue(&cfg.cluster(), &tenants, SchedPolicy::FairShare)
+        .unwrap_or_else(|e| panic!("oracle run: {e}"));
+    let grants = oracle.grants.len() as u64;
+    assert!(grants >= 3, "queue too small to place three crash points");
+
+    // Three crash points: early (~1/3), mid (~2/3) and late (two grants shy
+    // of done, where the most checkpointed work is at stake). Deduped in
+    // case the quick-scale queue is tiny.
+    let mut crash_points = vec![
+        (grants / 3).max(1),
+        (2 * grants / 3).max(1),
+        grants.saturating_sub(2).max(1),
+    ];
+    crash_points.dedup();
+
+    let scratch = std::env::temp_dir().join(format!("asj-bench-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).unwrap_or_else(|e| panic!("scratch dir: {e}"));
+
+    let mut legs: Vec<RecLeg> = Vec::new();
+    for &crash_at in &crash_points {
+        for checkpointed in [true, false] {
+            legs.push(crash_and_recover(
+                cfg,
+                &tenants,
+                &oracle,
+                crash_at,
+                checkpointed,
+                &scratch,
+            ));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let report = RecReport {
+        nodes: cfg.nodes,
+        tenants: tenants.len(),
+        oracle_grants: oracle.grants.len(),
+        oracle_attempts: total_attempts(&oracle),
+        attempts_with_checkpoint: legs
+            .iter()
+            .filter(|l| l.checkpointed)
+            .map(|l| l.recovered_attempts)
+            .sum(),
+        attempts_without_checkpoint: legs
+            .iter()
+            .filter(|l| !l.checkpointed)
+            .map(|l| l.recovered_attempts)
+            .sum(),
+        legs,
+    };
+    assert!(
+        report.checkpoint_savings(),
+        "checkpointed recovery re-ran {} attempts vs {} without — checkpoints must save work",
+        report.attempts_with_checkpoint,
+        report.attempts_without_checkpoint
+    );
+
+    let mut table = Table::new(vec![
+        "crash at",
+        "checkpoints",
+        "replayed",
+        "stages resumed",
+        "ckpt KiB",
+        "attempts re-run",
+        "clock (ms)",
+    ]);
+    for leg in &report.legs {
+        table.row(vec![
+            leg.crash_at.to_string(),
+            if leg.checkpointed { "on" } else { "off" }.to_string(),
+            leg.replayed_tenants.to_string(),
+            leg.stages_recovered.to_string(),
+            (leg.checkpoint_bytes / 1024).to_string(),
+            leg.recovered_attempts.to_string(),
+            format!("{:.2}", leg.clock_seconds * 1e3),
+        ]);
+    }
+    table.print(&format!(
+        "crash/recovery sweep — {} tenants on {} nodes, oracle = {} grants / {} attempts",
+        report.tenants, report.nodes, report.oracle_grants, report.oracle_attempts
+    ));
+    println!(
+        "checkpointed recovery re-ran {} attempts vs {} journal-only ({} in the full oracle)",
+        report.attempts_with_checkpoint, report.attempts_without_checkpoint, report.oracle_attempts
+    );
+
+    let out = std::env::var("ASJ_BENCH_RECOVERY_OUT")
+        .unwrap_or_else(|_| "BENCH_recovery.json".to_string());
+    match std::fs::write(&out, render_json(&report)) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => eprintln!("warning: could not write {out}: {e}"),
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovery_sweep_runs_at_tiny_scale() {
+        let cfg = ExpConfig::quick().with_base(4_000);
+        let dir = std::env::temp_dir().join("asj-recovery-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let out = dir.join("BENCH_recovery.json");
+        std::env::set_var("ASJ_BENCH_RECOVERY_OUT", &out);
+        let report = recovery_sweep(&cfg);
+        std::env::remove_var("ASJ_BENCH_RECOVERY_OUT");
+
+        // Three crash points, two arms each (dedup may shrink tiny queues).
+        assert!(report.legs.len() >= 4 && report.legs.len().is_multiple_of(2));
+        assert!(report.checkpoint_savings());
+        for leg in &report.legs {
+            assert!(leg.prefix_ok && leg.checksums_ok);
+            assert!(
+                leg.recovered_attempts <= report.oracle_attempts,
+                "recovery must never exceed the full-recomputation baseline"
+            );
+            if !leg.checkpointed {
+                assert_eq!(leg.stages_recovered, 0, "no checkpoints to resume");
+            }
+        }
+        // Early crash points may precede the first completed shuffle stage,
+        // but by the late one the checkpoint arm must have persisted data.
+        assert!(
+            report
+                .legs
+                .iter()
+                .any(|l| l.checkpointed && l.checkpoint_bytes > 0),
+            "some checkpointed leg must persist stage data"
+        );
+        // The late crash point leaves completed tenants in the journal.
+        assert!(
+            report.legs.iter().any(|l| l.replayed_tenants > 0),
+            "some leg must replay a journaled result"
+        );
+        // ...and the checkpointed late leg resumes persisted stages.
+        assert!(
+            report
+                .legs
+                .iter()
+                .any(|l| l.checkpointed && l.stages_recovered > 0),
+            "some checkpointed leg must resume stages"
+        );
+
+        let json = std::fs::read_to_string(&out).expect("json written");
+        assert!(json.contains("\"experiment\": \"recovery\""));
+        assert!(json.contains("\"checkpoint_savings\": true"));
+        assert!(json.contains("\"prefix_ok\":true"));
+        assert!(!json.contains("\"prefix_ok\":false"));
+        assert!(!json.contains("\"checksums_ok\":false"));
+    }
+}

@@ -1,12 +1,15 @@
 use crate::bufpool::BufferPool;
+use crate::checkpoint::{CheckpointCtx, CheckpointStore};
 use crate::fault::{FaultContext, FaultPlan, JobError, RetryPolicy};
 use crate::jobs::JobGate;
+use crate::journal::Journal;
 use crate::memory::MemoryAccountant;
 use crate::metrics::ExecStats;
 use crate::pool::{run_tasks_ft, try_run_tasks_traced};
 use asj_core::KernelCostModel;
 use asj_obs::Recorder;
 use std::ops::Deref;
+use std::path::Path;
 use std::sync::{Arc, OnceLock};
 
 /// Which shuffle materialization [`KeyedDataset::try_shuffle_stage`]
@@ -116,6 +119,10 @@ pub struct Cluster {
     /// scheduler grants this job a quantum, and completed stages are billed
     /// back to the job. `None` — the default — runs stages ungated.
     gate: Option<Arc<JobGate>>,
+    /// Stage-checkpoint context: when set, shuffle stages persist their
+    /// outputs through the [`CheckpointStore`] and consult it before
+    /// recomputing. `None` — the default — keeps shuffles ephemeral.
+    checkpoint: Option<Arc<CheckpointCtx>>,
 }
 
 impl Cluster {
@@ -133,6 +140,7 @@ impl Cluster {
             memory: Arc::new(MemoryAccountant::new(config.nodes, config.memory_budget)),
             shuffle_mode: ShuffleMode::default(),
             gate: None,
+            checkpoint: None,
             config,
         }
     }
@@ -143,6 +151,69 @@ impl Cluster {
     pub(crate) fn with_stage_gate(mut self, gate: Arc<JobGate>) -> Self {
         self.gate = Some(gate);
         self
+    }
+
+    /// Attaches a [`CheckpointStore`] rooted at `dir`: every shuffle stage
+    /// run on this handle persists its partition outputs (manifest-tracked,
+    /// checksummed) and consults the store before recomputing, so a retry
+    /// after node loss or a recovered server process replays only the stage
+    /// that actually failed. Opening sweeps debris a prior crashed run left.
+    pub fn with_checkpoint_dir(self, dir: impl AsRef<Path>) -> std::io::Result<Self> {
+        let store = Arc::new(CheckpointStore::open(dir.as_ref())?);
+        Ok(self.with_checkpoint_store(store))
+    }
+
+    /// [`Cluster::with_checkpoint_dir`] with an already-open store (shared
+    /// across clusters that must see each other's checkpoints).
+    pub fn with_checkpoint_store(mut self, store: Arc<CheckpointStore>) -> Self {
+        self.checkpoint = Some(Arc::new(CheckpointCtx::new(store, "main", None)));
+        self
+    }
+
+    /// Re-scopes the checkpoint context for one job's handle: checkpoint
+    /// keys become `job{id}-...` with fresh per-stage occurrence counters,
+    /// and committed stages append `stage` records to `journal` (if any).
+    /// No-op without an attached store.
+    pub(crate) fn with_checkpoint_scope(
+        mut self,
+        scope: String,
+        journal: Option<(Arc<Journal>, u64)>,
+    ) -> Self {
+        if let Some(ctx) = &self.checkpoint {
+            let store = Arc::clone(ctx.store());
+            self.checkpoint = Some(Arc::new(CheckpointCtx::new(store, scope, journal)));
+        }
+        self
+    }
+
+    /// The attached checkpoint store, if any.
+    #[inline]
+    pub fn checkpoint_store(&self) -> Option<&Arc<CheckpointStore>> {
+        self.checkpoint.as_ref().map(|c| c.store())
+    }
+
+    /// The per-handle checkpoint context, if any.
+    #[inline]
+    pub(crate) fn checkpoint(&self) -> Option<&CheckpointCtx> {
+        self.checkpoint.as_deref()
+    }
+
+    /// Books a checkpoint hit as one zero-cost stage: the job still parks
+    /// for (and is billed) its scheduling quantum — so grant logs replay
+    /// identically on recovery — but no simulated busy time accrues. The
+    /// returned default stats are what the skipped stage contributes.
+    pub(crate) fn note_recovered_stage(&self) -> ExecStats {
+        if let Some(gate) = &self.gate {
+            gate.pause();
+        }
+        let stats = ExecStats {
+            per_node_busy: vec![std::time::Duration::ZERO; self.config.nodes],
+            ..ExecStats::default()
+        };
+        if let Some(gate) = &self.gate {
+            gate.note_stage(&stats);
+        }
+        stats
     }
 
     /// Enforces a per-node memory budget on this handle (resets the

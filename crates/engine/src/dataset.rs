@@ -317,6 +317,40 @@ where
     where
         P: Partitioner<K> + ?Sized,
     {
+        // Checkpoint fast path: when the cluster carries a checkpoint store,
+        // the Nth occurrence of `stage` in this scope may already be durable
+        // (a same-process stage retry, or a recovered server replaying a
+        // deterministic job body). A hit replays the persisted partitions in
+        // zero simulated time — only the failed/unfinished stages recompute.
+        if let Some(ck) = cluster.checkpoint() {
+            let key = ck.next_key(stage);
+            match ck.store().load::<K, V>(&key) {
+                Ok(Some((parts, shuffle))) if !parts.is_empty() => {
+                    let stats = cluster.note_recovered_stage();
+                    ck.store().note_recovered();
+                    cluster.recorder().counter_add(stage, "stages_recovered", 1);
+                    return Ok((KeyedDataset { parts }, shuffle, stats));
+                }
+                // Miss (or a zero-partition checkpoint, which from_partitions
+                // could not rebuild): recompute below and save.
+                Ok(_) => {}
+                // Checkpoint I/O trouble degrades to recomputation.
+                Err(_) => {}
+            }
+            let out = match cluster.shuffle_mode() {
+                ShuffleMode::Radix => self.radix_shuffle_stage(cluster, partitioner, stage),
+                ShuffleMode::Legacy => self.legacy_shuffle_stage(cluster, partitioner, stage),
+            }?;
+            // A failed save never fails the stage: the results are correct
+            // in memory, the stage just stays non-resumable.
+            if let Ok(bytes) = ck.store().save(&key, out.0.partitions(), &out.1) {
+                cluster
+                    .recorder()
+                    .counter_add(stage, "checkpoint_bytes", bytes);
+                ck.journal_stage_complete(stage, &key, bytes);
+            }
+            return Ok(out);
+        }
         match cluster.shuffle_mode() {
             ShuffleMode::Radix => self.radix_shuffle_stage(cluster, partitioner, stage),
             ShuffleMode::Legacy => self.legacy_shuffle_stage(cluster, partitioner, stage),

@@ -123,6 +123,11 @@ pub struct FaultPlan {
     /// `(node, after_attempts)` — the node is lost once it has started that
     /// many attempts; every later attempt placed on it fails.
     pub lost_nodes: Vec<(usize, u64)>,
+    /// Kill the job-server loop once it has granted this many quanta (the
+    /// `crash@N` clause) — a deterministic process-crash point for recovery
+    /// testing. Only the [`JobServer`](crate::JobServer) consults it; plain
+    /// stage execution ignores a crash clause.
+    pub crash_after_grants: Option<u64>,
 }
 
 /// splitmix64: a tiny, high-quality mixer for the injection hash.
@@ -157,6 +162,7 @@ impl FaultPlan {
             || !self.oom_points.is_empty()
             || !self.node_slowdown.is_empty()
             || !self.lost_nodes.is_empty()
+            || self.crash_after_grants.is_some()
     }
 
     pub fn with_seed(mut self, seed: u64) -> Self {
@@ -213,6 +219,13 @@ impl FaultPlan {
         self
     }
 
+    /// The job-server loop crashes once it has granted `grants` quanta
+    /// (see [`FaultPlan::crash_after_grants`]).
+    pub fn with_crash_after_grants(mut self, grants: u64) -> Self {
+        self.crash_after_grants = Some(grants);
+        self
+    }
+
     /// A standard chaos plan for CI and A/B experiments: a modest
     /// per-attempt failure probability, one straggler and one lost node.
     /// Node references beyond the cluster width are inert, so the plan is
@@ -250,6 +263,8 @@ impl FaultPlan {
     /// fail:marking:3@1         attempt 1 of task 3 in stage 'marking' fails
     /// oom:shuffle.R:0@1        attempt 1 of task 0 in stage 'shuffle.R'
     ///                          fails with injected budget exhaustion
+    /// crash@6                  the job-server loop dies after granting 6
+    ///                          quanta (recovery testing; see JobServer)
     /// ```
     ///
     /// e.g. `p=0.02,slow:1=4.0,lose:2@5`.
@@ -292,6 +307,12 @@ impl FaultPlan {
                         return Err(format!("slowdown '{value}' must be >= 1"));
                     }
                     plan.node_slowdown.push((node, mult));
+                }
+                ["crash"] => {
+                    let grants: u64 = value
+                        .parse()
+                        .map_err(|_| format!("invalid grant count '{value}'"))?;
+                    plan.crash_after_grants = Some(grants);
                 }
                 ["lose", node] => {
                     let node: usize = node.parse().map_err(|_| format!("invalid node '{node}'"))?;
@@ -404,6 +425,15 @@ pub struct RetryPolicy {
     /// this multiple of the mean finished-task duration
     /// (Spark's `spark.speculation.multiplier`).
     pub speculation_multiplier: f64,
+    /// Base retry backoff in simulated microseconds; `0` (the default)
+    /// disables backoff entirely. When enabled, retry attempt `k` (the
+    /// second attempt being `k = 2`) waits an exponentially growing,
+    /// jittered simulated delay before re-placement, so a burst of failures
+    /// doesn't hammer the same scheduling quantum.
+    pub backoff_base_us: u64,
+    /// Seed for the backoff jitter (deterministic per
+    /// `(stage, task, attempt)`).
+    pub backoff_seed: u64,
 }
 
 impl Default for RetryPolicy {
@@ -414,6 +444,8 @@ impl Default for RetryPolicy {
             speculation: false,
             speculation_quantile: 0.75,
             speculation_multiplier: 1.5,
+            backoff_base_us: 0,
+            backoff_seed: 7,
         }
     }
 }
@@ -434,6 +466,45 @@ impl RetryPolicy {
         assert!(failures >= 1, "blacklist threshold must be >= 1");
         self.blacklist_after = failures;
         self
+    }
+
+    /// Enables exponential retry backoff with `base_us` simulated
+    /// microseconds at the first retry.
+    pub fn with_backoff(mut self, base_us: u64) -> Self {
+        self.backoff_base_us = base_us;
+        self
+    }
+
+    /// Seeds the backoff jitter.
+    pub fn with_backoff_seed(mut self, seed: u64) -> Self {
+        self.backoff_seed = seed;
+        self
+    }
+
+    /// The simulated backoff delay before retry `attempt` of `task` in
+    /// `stage` (`attempt` is the new attempt's 1-based number, so the first
+    /// retry is `2`). Exponential in the retry count, with deterministic
+    /// jitter in `[scaled/2, scaled]` — the classic decorrelation that keeps
+    /// a burst of simultaneous failures from re-colliding, minus the
+    /// nondeterminism: the delay is a pure function of
+    /// `(seed, stage, task, attempt)`, like every other injection decision.
+    pub fn backoff(&self, stage: &str, task: usize, attempt: usize) -> std::time::Duration {
+        if self.backoff_base_us == 0 || attempt < 2 {
+            return std::time::Duration::ZERO;
+        }
+        // Cap the exponent so a long retry chain saturates instead of
+        // overflowing (2^16 * base is already far past any useful delay).
+        let exp = (attempt as u32 - 2).min(16);
+        let scaled = self.backoff_base_us.saturating_mul(1u64 << exp);
+        let h = splitmix64(
+            self.backoff_seed
+                ^ stage_hash(stage)
+                ^ (task as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (attempt as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
+        );
+        let half = scaled / 2;
+        let jittered = half + h % (scaled - half + 1);
+        std::time::Duration::from_micros(jittered)
     }
 }
 
@@ -654,6 +725,13 @@ mod tests {
             FaultPlan::parse("chaos", 5).expect("chaos parses"),
             FaultPlan::chaos(5)
         );
+        let crash = FaultPlan::parse("crash@6", 0).expect("crash parses");
+        assert_eq!(crash.crash_after_grants, Some(6));
+        assert!(crash.is_active());
+        assert_eq!(crash, FaultPlan::none().with_crash_after_grants(6));
+        let combined = FaultPlan::parse("p=0.1,crash@3", 1).expect("combined parses");
+        assert_eq!(combined.crash_after_grants, Some(3));
+        assert_eq!(combined.default_fail_prob, 0.1);
     }
 
     #[test]
@@ -668,11 +746,43 @@ mod tests {
             "fail:stage:x@1",
             "oom:stage:x@1",
             "oom:stage:1@y",
+            "crash@x",
+            "crash@-1",
         ] {
             assert!(
                 FaultPlan::parse(bad, 0).is_err(),
                 "'{bad}' must be rejected"
             );
         }
+    }
+
+    #[test]
+    fn backoff_is_off_by_default_and_deterministic_when_on() {
+        let off = RetryPolicy::default();
+        assert_eq!(off.backoff("map", 0, 2), std::time::Duration::ZERO);
+
+        let on = RetryPolicy::default().with_backoff(100);
+        assert_eq!(
+            on.backoff("map", 0, 1),
+            std::time::Duration::ZERO,
+            "first attempts never wait"
+        );
+        let d2 = on.backoff("map", 0, 2);
+        assert_eq!(on.backoff("map", 0, 2), d2, "pure function of inputs");
+        // Jitter stays inside [scaled/2, scaled] at every retry depth.
+        for attempt in 2..8 {
+            let scaled = 100u64 << (attempt - 2);
+            let d = on.backoff("map", 3, attempt as usize);
+            let us = d.as_micros() as u64;
+            assert!(
+                (scaled / 2..=scaled).contains(&us),
+                "attempt {attempt}: {us}us outside [{}, {scaled}]",
+                scaled / 2
+            );
+        }
+        // Different tasks and seeds decorrelate.
+        assert_ne!(on.backoff("map", 0, 4), on.backoff("map", 1, 4));
+        let reseeded = on.with_backoff_seed(99);
+        assert_ne!(reseeded.backoff("map", 0, 4), on.backoff("map", 0, 4));
     }
 }

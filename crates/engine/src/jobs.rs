@@ -38,12 +38,16 @@
 //!   reported per job; the other tenants keep running.
 
 use crate::bufpool::PoolStats;
+use crate::checkpoint::fnv1a;
 use crate::cluster::Cluster;
 use crate::fault::{FaultPlan, RetryPolicy};
+use crate::journal::{Journal, JournalRecord};
 use crate::metrics::ExecStats;
+use crate::wire::Wire;
 use asj_obs::{Attrs, Lane};
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
@@ -220,6 +224,9 @@ pub struct JobReport<R> {
     /// Bytes still resident across all nodes when the job completed — the
     /// leak audit. Always 0 unless a `ChargeGuard` failed to settle.
     pub residual_bytes: u64,
+    /// The result was replayed from a journaled `done` record instead of
+    /// re-running the body — set only by [`JobServer::recover`].
+    pub recovered: bool,
 }
 
 impl<R> JobReport<R> {
@@ -253,6 +260,20 @@ pub struct ServerRun<R> {
     /// Final server clock: submit-to-last-completion in serialized simulated
     /// time (each quantum advances the clock by its stage's makespan).
     pub clock: Duration,
+    /// The server crashed (a [`FaultPlan::with_crash_after_grants`] clause
+    /// fired) before draining the queue. Reports for unfinished jobs carry
+    /// `Err` results; the journal on disk holds everything needed to
+    /// [`JobServer::recover`].
+    pub crashed: bool,
+    /// Shuffle stages whose outputs were replayed from checkpoints instead
+    /// of recomputed (from the cluster's [`CheckpointStore`] counters).
+    pub stages_recovered: u64,
+    /// Bytes written to stage checkpoints during this run.
+    pub checkpoint_bytes: u64,
+    /// For a recovered server: the grant log of the crashed run, as read
+    /// back from the journal. Recovery proptests pin that this equals a
+    /// prefix of the uncrashed run's `grants`.
+    pub journal_grants: Vec<JobId>,
 }
 
 /// Per-job slot in the shared gate.
@@ -342,6 +363,9 @@ struct Admitted<R> {
     pool: PoolStats,
 }
 
+/// Serializer turning a job result into the journal's `done`-record bytes.
+type ResultCodec<R> = Arc<dyn Fn(&R) -> Vec<u8> + Send + Sync>;
+
 /// The multi-tenant job server. Submit jobs, then [`JobServer::run`] the
 /// queue to completion; see the module docs for the scheduling and isolation
 /// model.
@@ -350,6 +374,19 @@ pub struct JobServer<R> {
     policy: SchedPolicy,
     capacity: usize,
     queue: Vec<JobSpec<R>>,
+    /// Write-ahead journal: admissions, grants, stage checkpoints and
+    /// results are appended (and fsynced) *before* the corresponding state
+    /// transition becomes visible to job threads.
+    journal: Option<Arc<Journal>>,
+    /// Encodes a job result for the journal's `done` record; installed by
+    /// [`JobServer::with_journal`] / [`JobServer::recover`] (requires
+    /// `R: Wire`).
+    encode_result: Option<ResultCodec<R>>,
+    /// Jobs whose bodies were replaced with journaled results by
+    /// [`JobServer::recover`].
+    recovered_jobs: HashSet<JobId>,
+    /// Grant records of the crashed run, read back by [`JobServer::recover`].
+    journal_grants: Vec<JobId>,
 }
 
 impl<R> std::fmt::Debug for JobServer<R> {
@@ -358,6 +395,8 @@ impl<R> std::fmt::Debug for JobServer<R> {
             .field("policy", &self.policy)
             .field("capacity", &self.capacity)
             .field("queued", &self.queue.len())
+            .field("journaled", &self.journal.is_some())
+            .field("recovered_jobs", &self.recovered_jobs.len())
             .finish_non_exhaustive()
     }
 }
@@ -376,6 +415,10 @@ impl<R: Send + 'static> JobServer<R> {
             policy: SchedPolicy::default(),
             capacity: 64,
             queue: Vec::new(),
+            journal: None,
+            encode_result: None,
+            recovered_jobs: HashSet::new(),
+            journal_grants: Vec::new(),
         }
     }
 
@@ -441,8 +484,18 @@ impl<R: Send + 'static> JobServer<R> {
             policy,
             capacity: _,
             queue,
+            journal,
+            encode_result,
+            recovered_jobs,
+            journal_grants,
         } = self;
         let n = queue.len();
+        // The crash clause is consulted only here: stage execution ignores
+        // it, so a `crash@N` plan can ride the same FaultPlan that also
+        // injects task faults.
+        let crash_after = cluster
+            .fault_context()
+            .and_then(|ctx| ctx.plan.crash_after_grants);
         let core = Arc::new(GateCore {
             state: Mutex::new((0..n).map(|_| JobState::default()).collect()),
             cv: Condvar::new(),
@@ -502,7 +555,23 @@ impl<R: Send + 'static> JobServer<R> {
                     (None, Some(ctx)) => jc.with_fault_policy(ctx.plan.clone(), ctx.policy),
                     (None, None) => jc,
                 };
+                // Re-scope checkpoints per job: the scope is a pure function
+                // of the job id, so a recovered server's re-submitted job
+                // resolves the same checkpoint keys and replays its own
+                // completed stages.
+                jc = jc.with_checkpoint_scope(
+                    format!("job{id}"),
+                    journal.as_ref().map(|j| (Arc::clone(j), id as u64)),
+                );
                 let jc = jc.with_stage_gate(Arc::clone(&gate));
+                if let Some(journal) = &journal {
+                    // Write-ahead: the admission is durable before the job
+                    // thread exists.
+                    let _ = journal.append(&JournalRecord::Admit {
+                        job: id as u64,
+                        name: spec.name.clone(),
+                    });
+                }
                 let body = spec.body;
                 let handle = std::thread::Builder::new()
                     .name(format!("asj-job-{id}"))
@@ -613,6 +682,20 @@ impl<R: Send + 'static> JobServer<R> {
                     let s = &mut st[job.id];
                     (std::mem::take(&mut s.stats), s.stages, s.quanta)
                 };
+                if let (Some(journal), Some(encode), Ok(result)) =
+                    (&journal, &encode_result, &outcome)
+                {
+                    // Durable completion: the result itself rides the
+                    // journal (with a checksum), so recovery replays it
+                    // without re-running the body at all.
+                    let bytes = encode(result);
+                    let checksum = fnv1a(&bytes);
+                    let _ = journal.append(&JournalRecord::Done {
+                        job: job.id as u64,
+                        result: bytes,
+                        checksum,
+                    });
+                }
                 reports[job.id] = Some(JobReport {
                     id: job.id,
                     name: job.name.clone(),
@@ -627,6 +710,7 @@ impl<R: Send + 'static> JobServer<R> {
                     first_service_at: job.first_service_at.unwrap_or(clock),
                     finished_at: clock,
                     residual_bytes,
+                    recovered: recovered_jobs.contains(&job.id),
                 });
             }
             if !finished_now.is_empty() {
@@ -638,6 +722,105 @@ impl<R: Send + 'static> JobServer<R> {
                     &mut reserved,
                     clock,
                 );
+            }
+
+            // A `crash@N` clause fires at this quantum boundary — after N
+            // grants have been issued *and* completed (we are quiescent), and
+            // before the N+1st is picked. Deterministic: the boundary depends
+            // only on the grant log, never on wall time.
+            if crash_after.is_some_and(|limit| grants.len() as u64 >= limit) {
+                // Simulate process death: poison the gate mutex so every
+                // parked job thread panics out of its wait instead of
+                // running another quantum. A throwaway thread panics while
+                // holding the lock — the only way to poison a std Mutex.
+                let poisoner = Arc::clone(&core);
+                let _ = std::thread::Builder::new()
+                    .name("asj-crash".into())
+                    .spawn(move || {
+                        let _guard = poisoner.state.lock().expect("pre-crash lock");
+                        panic!("simulated job-server crash");
+                    })
+                    .expect("spawn crash thread")
+                    .join();
+                core.cv.notify_all();
+                for slot in &mut admitted {
+                    if let Some(handle) = slot.handle.take() {
+                        // Threads die by panicking on the poisoned gate;
+                        // their panics are the crash, not errors to surface.
+                        let _ = handle.join();
+                    }
+                }
+                recorder.event("server-crash", Lane::Driver, None, Attrs::new());
+                // Partial reports: reaped jobs keep their results, everything
+                // else is marked crashed. State is read through the poison —
+                // the data is still consistent (we held quiescence).
+                let st = core
+                    .state
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                for job in &admitted {
+                    if reports[job.id].is_some() {
+                        continue;
+                    }
+                    let s = &st[job.id];
+                    reports[job.id] = Some(JobReport {
+                        id: job.id,
+                        name: job.name.clone(),
+                        weight: job.weight,
+                        estimate_bytes: job.estimate_bytes,
+                        result: Err("server crashed before completion".to_owned()),
+                        stats: s.stats.clone(),
+                        pool: job.pool,
+                        stages: s.stages,
+                        quanta: s.quanta,
+                        admitted_at: job.admitted_at,
+                        first_service_at: job.first_service_at.unwrap_or(clock),
+                        finished_at: clock,
+                        residual_bytes: 0,
+                        recovered: false,
+                    });
+                }
+                drop(st);
+                // Jobs still waiting for admission also died with the server.
+                for q in &pending {
+                    reports[q.id] = Some(JobReport {
+                        id: q.id,
+                        name: q.spec.name.clone(),
+                        weight: q.spec.weight,
+                        estimate_bytes: q.spec.estimate_bytes,
+                        result: Err("server crashed before admission".to_owned()),
+                        stats: ExecStats::default(),
+                        pool: PoolStats::default(),
+                        stages: 0,
+                        quanta: 0,
+                        admitted_at: clock,
+                        first_service_at: clock,
+                        finished_at: clock,
+                        residual_bytes: 0,
+                        recovered: false,
+                    });
+                }
+                let reports: Vec<JobReport<R>> = reports
+                    .into_iter()
+                    .map(|r| r.expect("every submitted job reports, even on crash"))
+                    .collect();
+                if let Some(journal) = &journal {
+                    recorder.counter_add("jobs", "journal_records", journal.records_appended());
+                }
+                let (stages_recovered, checkpoint_bytes) = match cluster.checkpoint_store() {
+                    Some(store) => (store.stages_recovered(), store.checkpoint_bytes()),
+                    None => (0, 0),
+                };
+                return ServerRun {
+                    policy,
+                    reports,
+                    grants,
+                    clock,
+                    crashed: true,
+                    stages_recovered,
+                    checkpoint_bytes,
+                    journal_grants,
+                };
             }
 
             if running.is_empty() && pending.is_empty() {
@@ -675,6 +858,12 @@ impl<R: Send + 'static> JobServer<R> {
                 admitted[slot].first_service_at = Some(clock);
             }
             grants.push(job_id);
+            if let Some(journal) = &journal {
+                // Write-ahead: the grant is on disk before the job thread can
+                // observe it, so the journaled grant log is always a prefix
+                // of (or equal to) the in-memory one.
+                let _ = journal.append(&JournalRecord::Grant { job: job_id as u64 });
+            }
             in_flight = Some((slot, pool.stats()));
             let mut st = core.state.lock().expect("job gate poisoned");
             let s = &mut st[job_id];
@@ -687,12 +876,118 @@ impl<R: Send + 'static> JobServer<R> {
             .into_iter()
             .map(|r| r.expect("every submitted job reports"))
             .collect();
+        if let Some(journal) = &journal {
+            recorder.counter_add("jobs", "journal_records", journal.records_appended());
+        }
+        let (stages_recovered, checkpoint_bytes) = match cluster.checkpoint_store() {
+            Some(store) => (store.stages_recovered(), store.checkpoint_bytes()),
+            None => (0, 0),
+        };
         ServerRun {
             policy,
             reports,
             grants,
             clock,
+            crashed: false,
+            stages_recovered,
+            checkpoint_bytes,
+            journal_grants,
         }
+    }
+}
+
+impl<R: Wire + Send + 'static> JobServer<R> {
+    /// Attaches a fresh write-ahead journal at `path` (truncating any
+    /// previous file). Every admission, grant, checkpointed stage and job
+    /// completion is appended and fsynced before the corresponding state
+    /// transition, so a crash at any quantum boundary leaves a journal from
+    /// which [`JobServer::recover`] can resume.
+    pub fn with_journal(mut self, path: impl AsRef<Path>) -> std::io::Result<Self> {
+        self.journal = Some(Arc::new(Journal::create(path)?));
+        self.install_result_codec();
+        Ok(self)
+    }
+
+    /// Rebuilds server state from a crashed run's journal.
+    ///
+    /// Job bodies are closures and cannot be serialized, so the recovery
+    /// contract is: the caller re-submits the *same* specs in the *same*
+    /// order (ids line up with the journal's), then calls `recover`. Jobs
+    /// with a journaled `done` record have their bodies replaced by the
+    /// decoded result (one quantum, zero stages, zero recompute); in-flight
+    /// jobs keep their bodies and re-run against the same per-job checkpoint
+    /// scope, so completed shuffle stages replay from disk instead of
+    /// recomputing. The crashed run's grant log is exposed via
+    /// [`ServerRun::journal_grants`] for prefix verification.
+    ///
+    /// The journal is reopened for append and a `recover` marker is written,
+    /// delimiting the new era's records from the crashed run's.
+    pub fn recover(mut self, path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref();
+        let records = Journal::read(path)?;
+        // Only the most recent era counts as "the crashed run": records
+        // after the last `recover` marker (or all of them if none).
+        let era_start = records
+            .iter()
+            .rposition(|r| matches!(r, JournalRecord::Recover))
+            .map_or(0, |i| i + 1);
+        let mut grants: Vec<JobId> = Vec::new();
+        for rec in &records[era_start..] {
+            if let JournalRecord::Grant { job } = rec {
+                grants.push(*job as JobId);
+            }
+        }
+        // `done` records are idempotent across eras (same job → same bytes),
+        // so scan them all; a later record for the same job wins.
+        for rec in &records {
+            let JournalRecord::Done {
+                job,
+                result,
+                checksum,
+            } = rec
+            else {
+                continue;
+            };
+            let job = *job as JobId;
+            if job >= self.queue.len() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "journal records job {job} but only {} were re-submitted",
+                        self.queue.len()
+                    ),
+                ));
+            }
+            if fnv1a(result) != *checksum {
+                // A torn or corrupted result is treated as "not done": the
+                // body re-runs (checkpoints still shortcut its stages).
+                continue;
+            }
+            let mut cursor: &[u8] = result;
+            let Ok(decoded) = R::try_decode(&mut cursor) else {
+                continue;
+            };
+            if !cursor.is_empty() {
+                continue;
+            }
+            self.queue[job].body = Box::new(move |_c: &Cluster| decoded);
+            self.recovered_jobs.insert(job);
+        }
+        self.journal = Some(Arc::new(Journal::open_append(path)?));
+        if let Some(journal) = &self.journal {
+            journal.append(&JournalRecord::Recover)?;
+        }
+        self.journal_grants = grants;
+        self.install_result_codec();
+        Ok(self)
+    }
+
+    fn install_result_codec(&mut self) {
+        self.encode_result = Some(Arc::new(|r: &R| {
+            let mut buf = Vec::with_capacity(r.encoded_size());
+            r.encode(&mut buf);
+            buf
+        }));
     }
 }
 
@@ -733,6 +1028,36 @@ mod tests {
             }
             acc
         }
+    }
+
+    /// A body that runs two shuffle stages and folds the shuffled records
+    /// into a deterministic u64 — the workload for crash/recovery tests
+    /// (shuffle stages are the checkpointable unit).
+    fn shuffled_sum(keys: u64, tag: u64) -> impl FnOnce(&Cluster) -> u64 + Send + 'static {
+        move |c: &Cluster| {
+            let mut acc = tag;
+            for round in 0..2u64 {
+                let recs: Vec<(u64, u64)> = (0..keys).map(|k| (k * 7 % keys, k + acc)).collect();
+                let ds = KeyedDataset::from_partitions(vec![recs.clone(), recs]);
+                let (shuffled, _, _) = ds.shuffle_stage(c, &HashPartitioner::new(4), "shuffle");
+                for (i, part) in shuffled.into_partitions().into_iter().enumerate() {
+                    for (k, v) in part {
+                        acc = acc
+                            .wrapping_mul(31)
+                            .wrapping_add(k ^ v ^ (i as u64) ^ round);
+                    }
+                }
+            }
+            acc
+        }
+    }
+
+    /// A fresh scratch directory for journal/checkpoint tests.
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("asj-jobs-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
     }
 
     /// A body that shuffles keyed records (exercising the buffer pool and
@@ -975,5 +1300,151 @@ mod tests {
         assert!(run.reports.is_empty());
         assert!(run.grants.is_empty());
         assert_eq!(run.clock, Duration::ZERO);
+    }
+
+    /// Submits the three-tenant recovery workload in a fixed order (the
+    /// recovery contract: same specs, same order, same ids).
+    fn submit_recovery_queue(srv: &mut JobServer<u64>) {
+        srv.submit(JobSpec::new("a", shuffled_sum(64, 1)))
+            .expect("submit");
+        srv.submit(JobSpec::new("b", shuffled_sum(48, 2)))
+            .expect("submit");
+        srv.submit(JobSpec::new("c", shuffled_sum(32, 3)))
+            .expect("submit");
+    }
+
+    #[test]
+    fn crash_clause_stops_the_server_at_the_grant_boundary() {
+        let c = cluster().with_fault_policy(
+            FaultPlan::none().with_crash_after_grants(2),
+            RetryPolicy::default(),
+        );
+        let mut srv = JobServer::new(c);
+        submit_recovery_queue(&mut srv);
+        let run = srv.run();
+        assert!(run.crashed);
+        assert_eq!(run.grants, vec![0, 1]);
+        // Every submitted job still reports — unfinished ones as errors.
+        assert_eq!(run.reports.len(), 3);
+        assert!(run.reports.iter().all(|r| r.result.is_err()));
+    }
+
+    #[test]
+    fn crash_then_recover_replays_results_and_checkpoints() {
+        let dir = scratch_dir("recover");
+        let journal_path = dir.join("server.journal");
+
+        // Uncrashed oracle: plain cluster, no journal, no checkpoints.
+        let mut oracle = JobServer::new(cluster());
+        submit_recovery_queue(&mut oracle);
+        let oracle = oracle.run();
+        assert!(!oracle.crashed);
+        let oracle_results: Vec<u64> = oracle
+            .reports
+            .iter()
+            .map(|r| *r.result.as_ref().expect("oracle ok"))
+            .collect();
+        // 3 jobs × (initial park + 2 shuffle stages) = 9 grants.
+        assert_eq!(oracle.grants.len(), 9);
+
+        // Leg 1: journaled + checkpointed run that crashes after 7 grants —
+        // job 0 has finished (done record), jobs 1 and 2 are mid-flight with
+        // their first shuffle stage checkpointed.
+        let crash_cluster = Cluster::new(ClusterConfig::with_threads(2, 2))
+            .with_checkpoint_dir(&dir)
+            .expect("open checkpoint dir")
+            .with_fault_policy(
+                FaultPlan::none().with_crash_after_grants(7),
+                RetryPolicy::default(),
+            );
+        let mut srv = JobServer::new(crash_cluster)
+            .with_journal(&journal_path)
+            .expect("create journal");
+        submit_recovery_queue(&mut srv);
+        let crashed = srv.run();
+        assert!(crashed.crashed);
+        assert_eq!(crashed.grants[..], oracle.grants[..7]);
+        assert!(crashed.reports[0].result.is_ok());
+        assert!(crashed.reports[1].result.is_err());
+        assert!(crashed.checkpoint_bytes > 0);
+
+        // Leg 2: recover on a fresh cluster over the same checkpoint dir.
+        let rec_cluster = Cluster::new(ClusterConfig::with_threads(2, 2))
+            .with_checkpoint_dir(&dir)
+            .expect("reopen checkpoint dir");
+        let mut srv = JobServer::new(rec_cluster);
+        submit_recovery_queue(&mut srv);
+        let srv = srv.recover(&journal_path).expect("recover");
+        let recovered = srv.run();
+        assert!(!recovered.crashed);
+        // The journaled grant log is exactly the prefix the uncrashed run
+        // would have produced.
+        assert_eq!(recovered.journal_grants[..], oracle.grants[..7]);
+        // Results are byte-identical to the uncrashed oracle.
+        let rec_results: Vec<u64> = recovered
+            .reports
+            .iter()
+            .map(|r| *r.result.as_ref().expect("recovered ok"))
+            .collect();
+        assert_eq!(rec_results, oracle_results);
+        // Job 0 replayed from its journaled done record...
+        assert!(recovered.reports[0].recovered);
+        assert_eq!(recovered.reports[0].stages, 0);
+        // ...and jobs 1/2 replayed their checkpointed first stages instead
+        // of recomputing them.
+        assert!(recovered.stages_recovered >= 2);
+        // Replayed stages bill zero task attempts, so recovery does strictly
+        // less simulated work than the oracle re-running from scratch.
+        let oracle_attempts: u64 = oracle.reports.iter().map(|r| r.stats.attempts).sum();
+        let rec_attempts: u64 = recovered.reports.iter().map(|r| r.stats.attempts).sum();
+        assert!(
+            rec_attempts < oracle_attempts,
+            "recovery should recompute less: {rec_attempts} vs {oracle_attempts}"
+        );
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovered_jobs_skip_their_bodies_entirely() {
+        let dir = scratch_dir("skip-body");
+        let journal_path = dir.join("server.journal");
+        // Run the whole queue to completion under a journal (no crash).
+        let mut srv = JobServer::<u64>::new(cluster())
+            .with_journal(&journal_path)
+            .expect("create journal");
+        srv.submit(JobSpec::new("a", staged(2, 1))).expect("submit");
+        srv.submit(JobSpec::new("b", staged(2, 2))).expect("submit");
+        let first = srv.run();
+        let first_results: Vec<u64> = first
+            .reports
+            .iter()
+            .map(|r| *r.result.as_ref().expect("ok"))
+            .collect();
+
+        // Recover: bodies would panic if run — replayed results must not
+        // touch them.
+        let mut srv = JobServer::<u64>::new(cluster());
+        srv.submit(JobSpec::new("a", |_c: &Cluster| -> u64 {
+            panic!("body must not re-run")
+        }))
+        .expect("submit");
+        srv.submit(JobSpec::new("b", |_c: &Cluster| -> u64 {
+            panic!("body must not re-run")
+        }))
+        .expect("submit");
+        let srv = srv.recover(&journal_path).expect("recover");
+        let second = srv.run();
+        let second_results: Vec<u64> = second
+            .reports
+            .iter()
+            .map(|r| *r.result.as_ref().expect("replayed ok"))
+            .collect();
+        assert_eq!(second_results, first_results);
+        assert!(second.reports.iter().all(|r| r.recovered));
+        // A fully-replayed queue consumes exactly one quantum per job.
+        assert_eq!(second.grants.len(), 2);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

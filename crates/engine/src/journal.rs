@@ -1,0 +1,415 @@
+//! Crash-consistent job-server journal: an append-only JSONL write-ahead
+//! log of admissions, grants, stage completions and job completions.
+//!
+//! The journal is the second durability layer on top of stage checkpoints
+//! (`checkpoint.rs`): the checkpoint store makes *stage outputs* durable,
+//! the journal makes the *server's decisions* durable, and together they let
+//! [`JobServer::recover`](crate::JobServer::recover) restore a crashed
+//! queue — completed jobs replay from their journaled results, in-flight
+//! jobs resume from their last checkpointed stage, and the deterministic
+//! scheduler regrants the identical prefix.
+//!
+//! Records are one flat JSON object per line; `append` fsyncs at every
+//! record boundary, so the write-ahead property holds across power loss,
+//! not just process death. The reader is tolerant of a torn final line
+//! (a crash mid-append): parsing stops at the first malformed line and
+//! everything before it is trusted.
+//!
+//! The codec is hand-rolled (the workspace takes no serde dependency): the
+//! only values are `u64`s and strings, and result payloads are hex-encoded
+//! so the JSON stays ASCII regardless of the job's `Wire` encoding.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One journal line. The record grammar (see ARCHITECTURE.md):
+///
+/// ```text
+/// {"type":"admit","job":J,"name":"..."}       job J entered the queue
+/// {"type":"grant","job":J}                    quantum granted (write-ahead)
+/// {"type":"stage","job":J,"stage":"...",
+///  "key":"...","bytes":B}                     stage checkpoint committed
+/// {"type":"done","job":J,"result":"hex...",
+///  "checksum":C}                              job finished, result bytes
+/// {"type":"recover"}                          a recovery run started here
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalRecord {
+    /// Job `job` was admitted under `name`.
+    Admit { job: u64, name: String },
+    /// The scheduler granted job `job` its next quantum. Written *before*
+    /// the grant is applied, so the journal's grant log is always a prefix
+    /// of (never behind) the in-memory one.
+    Grant { job: u64 },
+    /// Job `job` committed the checkpoint `key` for `stage` (`bytes` of
+    /// segment data) — the manifest pointer recovery resumes from.
+    Stage {
+        job: u64,
+        stage: String,
+        key: String,
+        bytes: u64,
+    },
+    /// Job `job` completed with `result` (its `Wire`-encoded value) whose
+    /// FNV-1a checksum is `checksum`.
+    Done {
+        job: u64,
+        result: Vec<u8>,
+        checksum: u64,
+    },
+    /// Marks the boundary where a recovery run reopened the journal.
+    Recover,
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len() / 2)
+        .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).ok())
+        .collect()
+}
+
+impl JournalRecord {
+    /// Renders the record as one JSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            JournalRecord::Admit { job, name } => {
+                format!(
+                    "{{\"type\":\"admit\",\"job\":{job},\"name\":\"{}\"}}",
+                    escape_json(name)
+                )
+            }
+            JournalRecord::Grant { job } => format!("{{\"type\":\"grant\",\"job\":{job}}}"),
+            JournalRecord::Stage {
+                job,
+                stage,
+                key,
+                bytes,
+            } => format!(
+                "{{\"type\":\"stage\",\"job\":{job},\"stage\":\"{}\",\"key\":\"{}\",\"bytes\":{bytes}}}",
+                escape_json(stage),
+                escape_json(key)
+            ),
+            JournalRecord::Done {
+                job,
+                result,
+                checksum,
+            } => format!(
+                "{{\"type\":\"done\",\"job\":{job},\"result\":\"{}\",\"checksum\":{checksum}}}",
+                hex_encode(result)
+            ),
+            JournalRecord::Recover => "{\"type\":\"recover\"}".to_string(),
+        }
+    }
+
+    /// Parses one JSON line; `None` on any irregularity (the torn-tail
+    /// tolerance of [`Journal::read`]).
+    pub fn parse_line(line: &str) -> Option<JournalRecord> {
+        let fields = parse_flat_object(line.trim())?;
+        let get_str = |k: &str| {
+            fields.iter().find_map(|(key, v)| match v {
+                JsonValue::Str(s) if key == k => Some(s.clone()),
+                _ => None,
+            })
+        };
+        let get_num = |k: &str| {
+            fields.iter().find_map(|(key, v)| match v {
+                JsonValue::Num(n) if key == k => Some(*n),
+                _ => None,
+            })
+        };
+        match get_str("type")?.as_str() {
+            "admit" => Some(JournalRecord::Admit {
+                job: get_num("job")?,
+                name: get_str("name")?,
+            }),
+            "grant" => Some(JournalRecord::Grant {
+                job: get_num("job")?,
+            }),
+            "stage" => Some(JournalRecord::Stage {
+                job: get_num("job")?,
+                stage: get_str("stage")?,
+                key: get_str("key")?,
+                bytes: get_num("bytes")?,
+            }),
+            "done" => Some(JournalRecord::Done {
+                job: get_num("job")?,
+                result: hex_decode(&get_str("result")?)?,
+                checksum: get_num("checksum")?,
+            }),
+            "recover" => Some(JournalRecord::Recover),
+            _ => None,
+        }
+    }
+}
+
+enum JsonValue {
+    Str(String),
+    Num(u64),
+}
+
+/// Minimal flat-object JSON parser: `{"k":"str","k2":123,...}` with string
+/// and u64 values only — exactly the journal's record shapes. Anything
+/// nested, non-ASCII-escaped or trailing is a parse failure.
+fn parse_flat_object(s: &str) -> Option<Vec<(String, JsonValue)>> {
+    let body = s.strip_prefix('{')?.strip_suffix('}')?;
+    let mut fields = Vec::new();
+    let mut rest = body;
+    loop {
+        rest = rest.trim_start();
+        if rest.is_empty() {
+            break;
+        }
+        let (key, after_key) = parse_json_string(rest)?;
+        rest = after_key.trim_start().strip_prefix(':')?.trim_start();
+        if rest.starts_with('"') {
+            let (value, after) = parse_json_string(rest)?;
+            fields.push((key, JsonValue::Str(value)));
+            rest = after;
+        } else {
+            let end = rest
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            if end == 0 {
+                return None;
+            }
+            fields.push((key, JsonValue::Num(rest[..end].parse().ok()?)));
+            rest = &rest[end..];
+        }
+        rest = rest.trim_start();
+        match rest.strip_prefix(',') {
+            Some(after) => rest = after,
+            None if rest.is_empty() => break,
+            None => return None,
+        }
+    }
+    Some(fields)
+}
+
+/// Parses a leading JSON string literal, returning (decoded, remainder).
+fn parse_json_string(s: &str) -> Option<(String, &str)> {
+    let mut chars = s.strip_prefix('"')?.char_indices();
+    let inner = &s[1..];
+    let mut out = String::new();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Some((out, &inner[i + 1..])),
+            '\\' => match chars.next()?.1 {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'u' => {
+                    let (start, _) = chars.next()?;
+                    chars.next()?;
+                    chars.next()?;
+                    let (end, last) = chars.next()?;
+                    let code =
+                        u32::from_str_radix(&inner[start..end + last.len_utf8()], 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// An append-only journal file with fsync-per-record durability.
+#[derive(Debug)]
+pub struct Journal {
+    file: Mutex<File>,
+    records: AtomicU64,
+}
+
+impl Journal {
+    /// Creates (truncating) a fresh journal at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Journal> {
+        let file = File::options()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Journal {
+            file: Mutex::new(file),
+            records: AtomicU64::new(0),
+        })
+    }
+
+    /// Reopens an existing journal for appending (the recovery path).
+    pub fn open_append(path: impl AsRef<Path>) -> std::io::Result<Journal> {
+        let file = File::options().append(true).open(path)?;
+        Ok(Journal {
+            file: Mutex::new(file),
+            records: AtomicU64::new(0),
+        })
+    }
+
+    /// Appends one record and fsyncs — the record boundary is the
+    /// durability boundary.
+    pub fn append(&self, record: &JournalRecord) -> std::io::Result<()> {
+        let line = record.to_line();
+        let mut file = self.file.lock().expect("journal lock poisoned");
+        file.write_all(line.as_bytes())?;
+        file.write_all(b"\n")?;
+        file.sync_data()?;
+        self.records.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Records appended through this handle (the `journal_records` counter).
+    pub fn records_appended(&self) -> u64 {
+        self.records.load(Ordering::Relaxed)
+    }
+
+    /// Reads all committed records from `path`. A torn final line (crash
+    /// mid-append) silently ends the log; everything before it is trusted
+    /// because every complete line was fsynced before the next began.
+    pub fn read(path: impl AsRef<Path>) -> std::io::Result<Vec<JournalRecord>> {
+        let text = std::fs::read_to_string(path)?;
+        let mut records = Vec::new();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match JournalRecord::parse_line(line) {
+                Some(rec) => records.push(rec),
+                None => break,
+            }
+        }
+        Ok(records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn test_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("asj-journal-{tag}-{}.jsonl", std::process::id()))
+    }
+
+    fn sample_records() -> Vec<JournalRecord> {
+        vec![
+            JournalRecord::Admit {
+                job: 0,
+                name: "alpha \"quoted\" \\slash\u{1}".to_string(),
+            },
+            JournalRecord::Grant { job: 0 },
+            JournalRecord::Stage {
+                job: 0,
+                stage: "job:0:shuffle".to_string(),
+                key: "job0-shuffle-0".to_string(),
+                bytes: 4096,
+            },
+            JournalRecord::Done {
+                job: 0,
+                result: vec![0x00, 0xFF, 0x10, 0xAB],
+                checksum: 0xDEAD_BEEF,
+            },
+            JournalRecord::Recover,
+        ]
+    }
+
+    #[test]
+    fn records_round_trip_through_the_line_codec() {
+        for rec in sample_records() {
+            let line = rec.to_line();
+            let back = JournalRecord::parse_line(&line)
+                .unwrap_or_else(|| panic!("line must parse: {line}"));
+            assert_eq!(back, rec, "{line}");
+        }
+    }
+
+    #[test]
+    fn journal_appends_and_reads_back() {
+        let path = test_path("roundtrip");
+        let journal = Journal::create(&path).expect("create");
+        for rec in sample_records() {
+            journal.append(&rec).expect("append");
+        }
+        assert_eq!(journal.records_appended(), 5);
+        let back = Journal::read(&path).expect("read");
+        assert_eq!(back, sample_records());
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn torn_tail_ends_the_log_silently() {
+        let path = test_path("torn");
+        let journal = Journal::create(&path).expect("create");
+        journal.append(&JournalRecord::Grant { job: 1 }).expect("a");
+        journal.append(&JournalRecord::Grant { job: 2 }).expect("b");
+        drop(journal);
+        // Simulate a crash mid-append: half a record at the tail.
+        let mut bytes = std::fs::read(&path).expect("read bytes");
+        bytes.extend_from_slice(b"{\"type\":\"done\",\"job\":3,\"res");
+        std::fs::write(&path, &bytes).expect("tear");
+        let back = Journal::read(&path).expect("read");
+        assert_eq!(
+            back,
+            vec![
+                JournalRecord::Grant { job: 1 },
+                JournalRecord::Grant { job: 2 }
+            ],
+            "complete prefix survives, torn tail is dropped"
+        );
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn open_append_extends_an_existing_journal() {
+        let path = test_path("append");
+        Journal::create(&path)
+            .expect("create")
+            .append(&JournalRecord::Grant { job: 7 })
+            .expect("first");
+        let reopened = Journal::open_append(&path).expect("reopen");
+        reopened.append(&JournalRecord::Recover).expect("second");
+        let back = Journal::read(&path).expect("read");
+        assert_eq!(
+            back,
+            vec![JournalRecord::Grant { job: 7 }, JournalRecord::Recover]
+        );
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for bad in [
+            "",
+            "not json",
+            "{\"type\":\"launch\"}",
+            "{\"type\":\"grant\"}",
+            "{\"type\":\"grant\",\"job\":-1}",
+            "{\"type\":\"done\",\"job\":1,\"result\":\"xyz\",\"checksum\":0}",
+            "{\"type\":\"grant\",\"job\":1} trailing",
+        ] {
+            assert!(JournalRecord::parse_line(bad).is_none(), "{bad:?}");
+        }
+    }
+}

@@ -27,10 +27,12 @@
 //! argument.
 
 mod bufpool;
+mod checkpoint;
 mod cluster;
 mod dataset;
 mod fault;
 mod jobs;
+mod journal;
 mod lpt;
 mod memory;
 mod metrics;
@@ -39,14 +41,16 @@ mod pool;
 mod wire;
 
 pub use bufpool::{BufferPool, PoolStats};
+pub use checkpoint::{fnv1a, CheckpointStore};
 pub use cluster::{Broadcast, Cluster, ClusterConfig, ShuffleMode};
 pub use dataset::{Dataset, KeyedDataset};
 pub use fault::{FailPoint, FaultContext, FaultPlan, FaultState, JobError, RetryPolicy, TaskError};
 pub use jobs::{JobId, JobReport, JobServer, JobSpec, SchedPolicy, ServerRun, SubmitError};
+pub use journal::{Journal, JournalRecord};
 pub use lpt::{assignment_makespan, least_loaded, lpt_assign};
 pub use memory::{
-    decode_records, encode_records, ChargeGuard, MemoryAccountant, MemorySnapshot, SpillChunk,
-    SpillSegment, SpillWriter,
+    clean_orphaned_spills, decode_records, encode_records, set_spill_dir, spill_dir, ChargeGuard,
+    MemoryAccountant, MemorySnapshot, SpillChunk, SpillSegment, SpillWriter,
 };
 pub use metrics::{DurationSummary, ExecStats, JobMetrics, ShuffleStats};
 pub use partitioner::{

@@ -21,9 +21,63 @@
 use crate::wire::{Wire, WireError};
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom, Write};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Process-wide spill directory override (set by [`set_spill_dir`]).
+static SPILL_DIR: OnceLock<Mutex<Option<PathBuf>>> = OnceLock::new();
+
+fn spill_dir_cell() -> &'static Mutex<Option<PathBuf>> {
+    SPILL_DIR.get_or_init(|| Mutex::new(None))
+}
+
+/// Overrides the directory spill and checkpoint segments are written to
+/// (the `--spill-dir` flag). Takes precedence over `ASJ_SPILL_DIR`.
+pub fn set_spill_dir(dir: impl Into<PathBuf>) {
+    *spill_dir_cell().lock().expect("spill dir lock poisoned") = Some(dir.into());
+}
+
+/// The directory spill segments land in: the [`set_spill_dir`] override,
+/// else `ASJ_SPILL_DIR`, else the OS temp directory.
+pub fn spill_dir() -> PathBuf {
+    if let Some(dir) = spill_dir_cell()
+        .lock()
+        .expect("spill dir lock poisoned")
+        .clone()
+    {
+        return dir;
+    }
+    match std::env::var_os("ASJ_SPILL_DIR") {
+        Some(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => std::env::temp_dir(),
+    }
+}
+
+/// Deletes spill files left behind by *other* (crashed) processes in `dir`.
+/// Matches only the `asj-spill-<pid>-<seq>.bin` naming scheme and spares the
+/// live process's own files, so a long-running server can sweep at startup
+/// without racing its own in-flight spills. Returns the bytes reclaimed.
+pub fn clean_orphaned_spills(dir: &Path) -> std::io::Result<u64> {
+    let own_prefix = format!("asj-spill-{}-", std::process::id());
+    let mut reclaimed = 0u64;
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if !name.starts_with("asj-spill-") || !name.ends_with(".bin") {
+            continue;
+        }
+        if name.starts_with(&own_prefix) {
+            continue;
+        }
+        let len = entry.metadata().map(|m| m.len()).unwrap_or(0);
+        if std::fs::remove_file(entry.path()).is_ok() {
+            reclaimed = reclaimed.saturating_add(len);
+        }
+    }
+    Ok(reclaimed)
+}
 
 /// Point-in-time view of one accountant (for reports and assertions).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -312,6 +366,24 @@ pub struct SpillChunk {
     offset: u64,
 }
 
+impl SpillChunk {
+    /// A chunk descriptor at an explicit file offset — used when rebuilding a
+    /// segment index from a checkpoint manifest rather than from writes.
+    pub fn new(target: usize, records: u64, len: u64, offset: u64) -> Self {
+        SpillChunk {
+            target,
+            records,
+            len,
+            offset,
+        }
+    }
+
+    /// Byte offset of the chunk within its segment file.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+}
+
 /// Append-only writer for one map task's spilled buckets. `finish` seals it
 /// into a readable [`SpillSegment`].
 #[derive(Debug)]
@@ -326,15 +398,24 @@ pub struct SpillWriter {
 static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
 
 impl SpillWriter {
-    /// Creates a fresh spill file in the OS temp directory.
+    /// Creates a fresh spill file in the configured spill directory (see
+    /// [`spill_dir`]).
     pub fn create() -> std::io::Result<SpillWriter> {
         let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
-        let path =
-            std::env::temp_dir().join(format!("asj-spill-{}-{}.bin", std::process::id(), seq));
+        let path = spill_dir().join(format!("asj-spill-{}-{}.bin", std::process::id(), seq));
+        Self::create_at(path)
+    }
+
+    /// Creates a writer at an explicit path — checkpoint segments use named,
+    /// stable paths instead of the per-process temp naming, so a recovering
+    /// process can find them again. Replaces any stale file at `path`.
+    pub fn create_at(path: impl Into<PathBuf>) -> std::io::Result<SpillWriter> {
+        let path = path.into();
         let file = File::options()
             .read(true)
             .write(true)
-            .create_new(true)
+            .create(true)
+            .truncate(true)
             .open(&path)?;
         Ok(SpillWriter {
             file,
@@ -380,21 +461,54 @@ impl SpillWriter {
             file: Mutex::new(self.file),
             path: self.path,
             chunks: self.chunks,
+            keep: false,
         }))
     }
 }
 
 /// One sealed on-disk spill file plus its chunk index. Dropping the segment
 /// deletes the file, so a failed or speculative task attempt cleans up after
-/// itself automatically.
+/// itself automatically — unless [`SpillSegment::persist`] promoted it to a
+/// durable checkpoint segment.
 #[derive(Debug)]
 pub struct SpillSegment {
     file: Mutex<File>,
     path: PathBuf,
     chunks: Vec<SpillChunk>,
+    /// `true` once persisted: Drop leaves the file on disk.
+    keep: bool,
 }
 
 impl SpillSegment {
+    /// Reopens a previously persisted segment from its manifest-recorded
+    /// chunk index. The reopened segment is durable (Drop keeps the file).
+    pub fn open(path: impl Into<PathBuf>, chunks: Vec<SpillChunk>) -> std::io::Result<Self> {
+        let path = path.into();
+        let file = File::options().read(true).open(&path)?;
+        Ok(SpillSegment {
+            file: Mutex::new(file),
+            path,
+            chunks,
+            keep: true,
+        })
+    }
+
+    /// Promotes the segment from ephemeral spill to durable checkpoint:
+    /// fsyncs the data and disarms the Drop-deletes-file behaviour.
+    pub fn persist(&mut self) -> std::io::Result<()> {
+        self.file
+            .lock()
+            .expect("spill segment poisoned")
+            .sync_all()?;
+        self.keep = true;
+        Ok(())
+    }
+
+    /// The on-disk path of the segment file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
     /// The chunk index, in write order.
     pub fn chunks(&self) -> &[SpillChunk] {
         &self.chunks
@@ -438,7 +552,9 @@ impl SpillSegment {
 
 impl Drop for SpillSegment {
     fn drop(&mut self) {
-        let _ = std::fs::remove_file(&self.path);
+        if !self.keep {
+            let _ = std::fs::remove_file(&self.path);
+        }
     }
 }
 
@@ -562,6 +678,59 @@ mod tests {
         let path = w.path.clone();
         assert!(w.finish().expect("finish").is_none());
         assert!(!path.exists());
+    }
+
+    #[test]
+    fn persisted_segment_survives_drop_and_reopens() {
+        let dir = std::env::temp_dir().join(format!("asj-persist-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("test dir");
+        let recs: Vec<(u64, Vec<u8>)> = vec![(1, vec![9; 4]), (2, vec![7; 2])];
+        let enc = encode_records(&recs);
+        let path = dir.join("segment.seg");
+        let mut w = SpillWriter::create_at(&path).expect("create_at");
+        w.write_chunk(0, &enc, recs.len() as u64).expect("write");
+        let mut seg = w.finish().expect("finish").expect("non-empty");
+        seg.persist().expect("persist");
+        let chunks = seg.chunks().to_vec();
+        drop(seg);
+        assert!(path.exists(), "persisted segment survives drop");
+
+        let reopened = SpillSegment::open(&path, chunks).expect("reopen");
+        let got: Vec<(u64, Vec<u8>)> = reopened
+            .read_records(0)
+            .expect("read")
+            .expect("target present");
+        assert_eq!(got, recs);
+        drop(reopened);
+        assert!(path.exists(), "reopened segments stay durable too");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn chunk_index_rebuilds_from_explicit_offsets() {
+        let c = SpillChunk::new(3, 10, 80, 16);
+        assert_eq!(c.target, 3);
+        assert_eq!(c.records, 10);
+        assert_eq!(c.len, 80);
+        assert_eq!(c.offset(), 16);
+    }
+
+    #[test]
+    fn orphan_sweep_spares_the_live_process() {
+        let dir = std::env::temp_dir().join(format!("asj-orphan-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("test dir");
+        let own = dir.join(format!("asj-spill-{}-9999.bin", std::process::id()));
+        let orphan = dir.join(format!("asj-spill-{}-0.bin", std::process::id() + 1));
+        let unrelated = dir.join("keep.txt");
+        std::fs::write(&own, b"live").expect("write own");
+        std::fs::write(&orphan, b"stale-bytes").expect("write orphan");
+        std::fs::write(&unrelated, b"other").expect("write unrelated");
+        let reclaimed = clean_orphaned_spills(&dir).expect("sweep");
+        assert_eq!(reclaimed, 11, "only the orphan's bytes are reclaimed");
+        assert!(own.exists(), "own spills are spared");
+        assert!(!orphan.exists(), "orphans from other pids are removed");
+        assert!(unrelated.exists(), "non-spill files are untouched");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 
     #[test]

@@ -34,6 +34,6 @@ mod run;
 pub use estimate::{estimate_working_set, WorkingSetModel};
 pub use queue::{parse_bytes, parse_queue, QueueError, TenantSpec};
 pub use run::{
-    calibrated_model, checksum_pairs, run_queue, solo_outcome, tenant_job, QueueRun, ServeError,
-    TenantOutcome, TenantReport,
+    calibrated_model, calibrated_model_for, checksum_pairs, run_queue, run_queue_recoverable,
+    solo_outcome, tenant_job, QueueRun, RecoveryOptions, ServeError, TenantOutcome, TenantReport,
 };

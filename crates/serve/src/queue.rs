@@ -26,6 +26,10 @@ pub struct TenantSpec {
     /// Shuffle partitions of this tenant's join.
     pub partitions: usize,
     pub grid_factor: f64,
+    /// Synthetic payload bytes attached to every generated record (`payload=`
+    /// key, byte suffixes allowed). Payloads ride the shuffle like real
+    /// attribute data would, so the admission estimator must price them in.
+    pub payload: u64,
     /// Fault-plan spec (`FaultPlan::parse` syntax), injected only into this
     /// tenant's stages.
     pub faults: Option<String>,
@@ -53,11 +57,69 @@ impl TenantSpec {
             kernel: LocalKernel::Auto,
             partitions: 32,
             grid_factor: 2.0,
+            payload: 0,
             faults: None,
             fault_seed: 7,
             max_attempts: None,
             estimate_override: None,
         }
+    }
+}
+
+/// Queue-file spelling of an algorithm (the inverse of the `algo=` parser).
+fn algorithm_token(algo: Algorithm) -> &'static str {
+    match algo {
+        Algorithm::Lpib => "lpib",
+        Algorithm::Diff => "diff",
+        Algorithm::UniR => "uni-r",
+        Algorithm::UniS => "uni-s",
+        Algorithm::EpsGrid => "eps-grid",
+        Algorithm::Sedona => "sedona",
+    }
+}
+
+/// Queue-file spelling of a generator kind (the inverse of the `kind=` parser).
+fn gen_kind_token(kind: GenKind) -> &'static str {
+    match kind {
+        GenKind::GaussianClusters => "gaussian",
+        GenKind::Hydrography => "hydrography",
+        GenKind::Parks => "parks",
+        GenKind::Uniform => "uniform",
+    }
+}
+
+/// Renders the spec back into a `job NAME key=value ...` line that
+/// [`parse_queue`] accepts. Every explicit key is emitted (defaults
+/// included), so `parse(format(spec)) == spec` — the round-trip property the
+/// parser tests pin.
+impl std::fmt::Display for TenantSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "job {} algo={} eps={} n={} kind={} seed={} weight={} kernel={} \
+             partitions={} grid-factor={} payload={}",
+            self.name,
+            algorithm_token(self.algorithm),
+            self.eps,
+            self.cardinality,
+            gen_kind_token(self.kind),
+            self.seed,
+            self.weight,
+            self.kernel.name(),
+            self.partitions,
+            self.grid_factor,
+            self.payload,
+        )?;
+        if let Some(faults) = &self.faults {
+            write!(f, " faults={faults} fault-seed={}", self.fault_seed)?;
+        }
+        if let Some(n) = self.max_attempts {
+            write!(f, " max-attempts={n}")?;
+        }
+        if let Some(bytes) = self.estimate_override {
+            write!(f, " estimate={bytes}")?;
+        }
+        Ok(())
     }
 }
 
@@ -134,12 +196,19 @@ fn parse_job_line(line: &str) -> Result<TenantSpec, String> {
     }
     let mut spec = TenantSpec::new(name, f64::NAN, 2_000);
     let mut saw_eps = false;
+    let mut seen_keys: Vec<&str> = Vec::new();
     for token in tokens {
         // Split on the FIRST '=' only: fault specs carry their own '='s
         // (`faults=p=0.3,slow:1=2.0`).
         let (key, value) = token
             .split_once('=')
             .ok_or_else(|| format!("expected key=value, found '{token}'"))?;
+        // A repeated key is almost always a copy-paste mistake; silently
+        // letting the last one win hides it, so it is an error.
+        if seen_keys.contains(&key) {
+            return Err(format!("duplicate key '{key}'"));
+        }
+        seen_keys.push(key);
         match key {
             "algo" => spec.algorithm = algorithm_by_name(value)?,
             "eps" => {
@@ -163,6 +232,7 @@ fn parse_job_line(line: &str) -> Result<TenantSpec, String> {
                 }
             }
             "grid-factor" => spec.grid_factor = parse_num(value, key)?,
+            "payload" => spec.payload = parse_bytes(value)?,
             "faults" => spec.faults = Some(value.to_string()),
             "fault-seed" => spec.fault_seed = parse_num(value, key)?,
             "max-attempts" => spec.max_attempts = Some(parse_num(value, key)?),
@@ -223,7 +293,7 @@ mod tests {
 
 job alpha algo=lpib eps=0.4 n=4000 kind=gaussian seed=11 weight=2
 job beta algo=uni-r eps=0.2 n=8000 kernel=plane-sweep partitions=16 \
-grid-factor=3 faults=p=0.2,slow:1=2.0 fault-seed=3 max-attempts=5 estimate=64m
+grid-factor=3 payload=2k faults=p=0.2,slow:1=2.0 fault-seed=3 max-attempts=5 estimate=64m
 ";
         let q = parse_queue(text).expect("queue parses");
         assert_eq!(q.len(), 2);
@@ -251,6 +321,8 @@ grid-factor=3 faults=p=0.2,slow:1=2.0 fault-seed=3 max-attempts=5 estimate=64m
         assert_eq!(b.fault_seed, 3);
         assert_eq!(b.max_attempts, Some(5));
         assert_eq!(b.estimate_override, Some(64 << 20));
+        assert_eq!(a.payload, 0, "default payload");
+        assert_eq!(b.payload, 2048);
     }
 
     #[test]
@@ -271,6 +343,19 @@ grid-factor=3 faults=p=0.2,slow:1=2.0 fault-seed=3 max-attempts=5 estimate=64m
             ("job a eps=0.5 color=red", "unknown key"),
             ("job eps=0.5", "missing tenant name"),
             ("run a eps=0.5", "expected 'job'"),
+            ("job a eps=0.5 eps=0.6", "duplicate key 'eps'"),
+            ("job a eps=0.5 seed=1 seed=2", "duplicate key 'seed'"),
+            (
+                "job a eps=0.5 faults=p=0.1 faults=p=0.2",
+                "duplicate key 'faults'",
+            ),
+            ("job a eps=0.5 n=-4", "invalid value for 'n'"),
+            ("job a eps=0.5 seed=1.5", "invalid value for 'seed'"),
+            ("job a eps=0.5 weight=big", "invalid value for 'weight'"),
+            ("job a eps=0.5 payload=lots", "invalid byte size"),
+            ("job a eps=0.5 partitions", "expected key=value"),
+            ("job a eps=0.5 kernel=turbo", "unknown kernel"),
+            ("job a eps=0.5 kind=zipf", "unknown generator kind"),
         ] {
             let err = parse_queue(bad).unwrap_err();
             assert!(
@@ -288,5 +373,99 @@ grid-factor=3 faults=p=0.2,slow:1=2.0 fault-seed=3 max-attempts=5 estimate=64m
         assert_eq!(parse_bytes("2M"), Ok(2 << 20));
         assert_eq!(parse_bytes("1g"), Ok(1 << 30));
         assert!(parse_bytes("lots").is_err());
+    }
+
+    #[test]
+    fn display_renders_a_parseable_job_line() {
+        let mut spec = TenantSpec::new("alpha", 0.4, 4_000);
+        spec.algorithm = Algorithm::UniS;
+        spec.kind = GenKind::Parks;
+        spec.kernel = LocalKernel::GridBucket;
+        spec.payload = 512;
+        spec.faults = Some("p=0.2,slow:1=2.0".into());
+        spec.fault_seed = 3;
+        spec.max_attempts = Some(5);
+        spec.estimate_override = Some(64 << 20);
+        let line = spec.to_string();
+        let parsed = parse_queue(&line).expect("rendered line parses");
+        assert_eq!(parsed, vec![spec]);
+    }
+
+    mod roundtrip {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_tenant() -> impl Strategy<Value = TenantSpec> {
+            // Two nested tuples keep within the strategy tuple arity; the
+            // ε / grid-factor / payload menus are indexed rather than
+            // sampled directly so every drawn float Displays to a short
+            // literal that re-parses to the same bits.
+            (
+                (
+                    any::<u64>(), // name tag
+                    0..6usize,    // algorithm
+                    0..5usize,    // eps menu index
+                    1usize..50_000,
+                    0..4usize, // generator kind
+                    any::<u64>(),
+                    1u32..9,
+                    0..4usize, // kernel
+                ),
+                (
+                    1usize..128,  // partitions
+                    0..4usize,    // grid-factor menu index
+                    0..4usize,    // payload menu index
+                    0..3usize,    // fault plan: none / p=0.2 / p=0.5
+                    any::<u64>(), // fault seed (used only with a plan)
+                    0..13usize,   // max-attempts: 0 = none
+                    0..3usize,    // estimate override menu: 0 = none
+                ),
+            )
+                .prop_map(
+                    |(
+                        (name_tag, algo, eps_idx, n, kind, seed, weight, kernel),
+                        (partitions, gf_idx, payload_idx, fault_idx, fault_seed, attempts, est_idx),
+                    )| {
+                        let eps = [0.05f64, 0.1, 0.25, 0.4, 1.5][eps_idx];
+                        let mut spec = TenantSpec::new(format!("t{name_tag:x}"), eps, n);
+                        spec.algorithm = Algorithm::ALL[algo];
+                        spec.kind = [
+                            GenKind::GaussianClusters,
+                            GenKind::Hydrography,
+                            GenKind::Parks,
+                            GenKind::Uniform,
+                        ][kind];
+                        spec.seed = seed;
+                        spec.weight = weight;
+                        spec.kernel = [
+                            LocalKernel::NestedLoop,
+                            LocalKernel::PlaneSweep,
+                            LocalKernel::GridBucket,
+                            LocalKernel::Auto,
+                        ][kernel];
+                        spec.partitions = partitions;
+                        spec.grid_factor = [1.0f64, 2.0, 2.5, 3.0][gf_idx];
+                        spec.payload = [0u64, 1, 512, 4096][payload_idx];
+                        if fault_idx > 0 {
+                            spec.faults = Some(["p=0.2", "p=0.5,slow:1=2.0"][fault_idx - 1].into());
+                            spec.fault_seed = fault_seed;
+                        }
+                        spec.max_attempts = (attempts > 0).then_some(attempts);
+                        spec.estimate_override = [None, Some(4096u64), Some(64 << 20)][est_idx];
+                        spec
+                    },
+                )
+        }
+
+        proptest! {
+            /// `parse(format(spec)) == spec` for any well-formed tenant: the
+            /// Display impl and the parser are exact inverses.
+            #[test]
+            fn job_lines_roundtrip(spec in arb_tenant()) {
+                let line = spec.to_string();
+                let parsed = parse_queue(&line).expect("rendered line parses");
+                prop_assert_eq!(parsed, vec![spec]);
+            }
+        }
     }
 }

@@ -2,9 +2,12 @@ use crate::estimate::WorkingSetModel;
 use crate::queue::TenantSpec;
 use asj_data::{DatasetSpec, PAPER_BBOX};
 use asj_engine::{
-    Cluster, FaultPlan, JobServer, JobSpec, PoolStats, RetryPolicy, SchedPolicy, SubmitError,
+    ensure_remaining, Cluster, FaultPlan, JobServer, JobSpec, PoolStats, RetryPolicy, SchedPolicy,
+    SubmitError, Wire, WireError,
 };
-use asj_join::{JoinSpec, Record};
+use asj_join::{to_records, JoinSpec, Record};
+use bytes::{Buf, BufMut};
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// What one tenant's join produced, reduced to the fields that must be
@@ -20,6 +23,31 @@ pub struct TenantOutcome {
     /// FNV-1a over the sorted result pairs (and the count) — the isolation
     /// oracle's fingerprint.
     pub checksum: u64,
+}
+
+/// Wire codec for journaled `done` records: four LE u64s, so a recovered
+/// server replays a finished tenant's outcome byte-identically.
+impl Wire for TenantOutcome {
+    fn encoded_size(&self) -> usize {
+        32
+    }
+
+    fn encode(&self, buf: &mut impl BufMut) {
+        buf.put_u64_le(self.result_count);
+        buf.put_u64_le(self.candidates);
+        buf.put_u64_le(self.replicated);
+        buf.put_u64_le(self.checksum);
+    }
+
+    fn try_decode(buf: &mut impl Buf) -> Result<Self, WireError> {
+        ensure_remaining(buf, 32)?;
+        Ok(TenantOutcome {
+            result_count: buf.get_u64_le(),
+            candidates: buf.get_u64_le(),
+            replicated: buf.get_u64_le(),
+            checksum: buf.get_u64_le(),
+        })
+    }
 }
 
 /// FNV-1a 64 over the result cardinality and the sorted `(r, s)` pairs.
@@ -70,6 +98,9 @@ pub struct TenantReport {
     /// Leak audit: bytes still resident at completion (0 unless a charge
     /// guard failed to settle).
     pub residual_bytes: u64,
+    /// The outcome was replayed from the journal instead of re-running the
+    /// join (recovery of an already-finished tenant).
+    pub recovered: bool,
 }
 
 impl TenantReport {
@@ -109,6 +140,16 @@ pub struct QueueRun {
     pub grants: Vec<usize>,
     /// Final server clock: serialized simulated time of the whole queue.
     pub clock: Duration,
+    /// A `crash@N` fault clause stopped the server mid-queue; unfinished
+    /// tenants report errors and the journal holds the recovery state.
+    pub crashed: bool,
+    /// Shuffle stages replayed from checkpoints instead of recomputed.
+    pub stages_recovered: u64,
+    /// Bytes written to stage checkpoints during this run.
+    pub checkpoint_bytes: u64,
+    /// For a recovered run: the crashed run's journaled grant log (a prefix
+    /// of what the uncrashed run would have granted).
+    pub journal_grants: Vec<usize>,
 }
 
 /// Typed failure of [`run_queue`].
@@ -118,6 +159,10 @@ pub enum ServeError {
     Spec { tenant: String, message: String },
     /// The job server refused the tenant at submit time.
     Submit { tenant: String, error: SubmitError },
+    /// The journal or checkpoint store could not be opened/read (message
+    /// carries the rendered io error; kept as a string so `ServeError` stays
+    /// `Clone + PartialEq`).
+    Io { context: String, message: String },
 }
 
 impl std::fmt::Display for ServeError {
@@ -128,6 +173,9 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::Submit { tenant, error } => {
                 write!(f, "tenant '{tenant}' rejected: {error}")
+            }
+            ServeError::Io { context, message } => {
+                write!(f, "{context}: {message}")
             }
         }
     }
@@ -145,11 +193,9 @@ fn tenant_records(tenant: &TenantSpec, seed: u64) -> Vec<Record> {
         sigma_scale: 1.0,
     }
     .points();
-    points
-        .into_iter()
-        .enumerate()
-        .map(|(i, p)| Record::new(i as u64, p))
-        .collect()
+    // `payload=0` produces the same bare records as before (an empty payload
+    // encodes identically), so payload-free checksums are unchanged.
+    to_records(&points, tenant.payload as usize)
 }
 
 fn tenant_join_spec(tenant: &TenantSpec) -> JoinSpec {
@@ -214,19 +260,57 @@ pub fn tenant_job(
     Ok(spec)
 }
 
+/// Durability options for [`run_queue_recoverable`]: where (and whether) to
+/// journal server state and checkpoint stage outputs, and whether this run
+/// resumes a crashed one.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryOptions {
+    /// Append-only JSONL write-ahead journal. Created fresh unless
+    /// `recover` is set (then it is read, and reopened for append).
+    pub journal: Option<PathBuf>,
+    /// Directory for per-stage shuffle checkpoints (manifest + segment
+    /// pairs). Opened (and swept of orphaned debris) at startup.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume from the journal: finished tenants replay their journaled
+    /// outcomes, in-flight tenants re-run against their checkpoints.
+    pub recover: bool,
+}
+
 /// Runs a whole tenant queue on `cluster` under `policy` and reports every
 /// tenant in submit order. Admission estimates come from a
-/// [`WorkingSetModel`] calibrated on the first tenant's sampled records.
+/// [`WorkingSetModel`] calibrated per tenant on its own sampled records
+/// (payload included).
 pub fn run_queue(
     cluster: &Cluster,
     tenants: &[TenantSpec],
     policy: SchedPolicy,
 ) -> Result<QueueRun, ServeError> {
-    let model = calibrated_model(tenants);
+    run_queue_recoverable(cluster, tenants, policy, &RecoveryOptions::default())
+}
+
+/// [`run_queue`] with durability: optionally journals server state,
+/// checkpoints completed shuffle stages, and resumes from a prior crashed
+/// run's journal + checkpoint directory.
+pub fn run_queue_recoverable(
+    cluster: &Cluster,
+    tenants: &[TenantSpec],
+    policy: SchedPolicy,
+    options: &RecoveryOptions,
+) -> Result<QueueRun, ServeError> {
+    let mut cluster = cluster.clone();
+    if let Some(dir) = &options.checkpoint_dir {
+        cluster = cluster
+            .with_checkpoint_dir(dir)
+            .map_err(|e| ServeError::Io {
+                context: format!("opening checkpoint dir {}", dir.display()),
+                message: e.to_string(),
+            })?;
+    }
     let mut server = JobServer::new(cluster.clone())
         .with_policy(policy)
         .with_queue_capacity(tenants.len().max(1));
     for tenant in tenants {
+        let model = calibrated_model_for(tenant);
         let job =
             tenant_job(tenant, cluster.nodes(), &model).map_err(|message| ServeError::Spec {
                 tenant: tenant.name.clone(),
@@ -236,6 +320,19 @@ pub fn run_queue(
             tenant: tenant.name.clone(),
             error,
         })?;
+    }
+    if let Some(path) = &options.journal {
+        server = if options.recover {
+            server.recover(path).map_err(|e| ServeError::Io {
+                context: format!("recovering from journal {}", path.display()),
+                message: e.to_string(),
+            })?
+        } else {
+            server.with_journal(path).map_err(|e| ServeError::Io {
+                context: format!("creating journal {}", path.display()),
+                message: e.to_string(),
+            })?
+        };
     }
     let run = server.run();
     let tenants = run
@@ -255,6 +352,7 @@ pub fn run_queue(
             spilled_bytes: report.stats.spilled_bytes,
             pool: report.pool,
             residual_bytes: report.residual_bytes,
+            recovered: report.recovered,
         })
         .collect();
     Ok(QueueRun {
@@ -262,19 +360,32 @@ pub fn run_queue(
         tenants,
         grants: run.grants,
         clock: run.clock,
+        crashed: run.crashed,
+        stages_recovered: run.stages_recovered,
+        checkpoint_bytes: run.checkpoint_bytes,
+        journal_grants: run.journal_grants,
     })
 }
 
-/// The estimator model [`run_queue`] uses: record size calibrated on a small
-/// sample of the first tenant's generated records (all tenants' records share
-/// the payload-free shape, so one probe calibrates the queue).
+/// The estimator model [`run_queue`] uses for one tenant: record size
+/// calibrated on a small sample of that tenant's own generated records.
+/// Per-tenant, not per-queue: a tenant carrying `payload=` bytes encodes
+/// fatter records than its payload-free neighbors, and pricing them with a
+/// payload-free probe under-admits by the whole payload volume (the bug this
+/// replaces: the old model calibrated once on the first tenant's bare
+/// records and applied it queue-wide).
+pub fn calibrated_model_for(tenant: &TenantSpec) -> WorkingSetModel {
+    let mut probe = tenant.clone();
+    probe.cardinality = tenant.cardinality.min(256);
+    WorkingSetModel::calibrated(&tenant_records(&probe, probe.seed))
+}
+
+/// Queue-level calibration kept for callers that want one model: probes the
+/// first tenant (payload included). Prefer [`calibrated_model_for`] when
+/// tenants carry different payload sizes.
 pub fn calibrated_model(tenants: &[TenantSpec]) -> WorkingSetModel {
     match tenants.first() {
-        Some(first) => {
-            let mut probe = first.clone();
-            probe.cardinality = first.cardinality.min(256);
-            WorkingSetModel::calibrated(&tenant_records(&probe, probe.seed))
-        }
+        Some(first) => calibrated_model_for(first),
         None => WorkingSetModel::default(),
     }
 }
@@ -416,6 +527,120 @@ mod tests {
     }
 
     #[test]
+    fn estimator_prices_payload_bytes_in() {
+        // Regression: the estimator used to calibrate on payload-free
+        // samples queue-wide, so a payload-carrying tenant was priced as if
+        // its records were bare — under-admitting by the payload volume.
+        let bare = TenantSpec::new("bare", 0.4, 2_000);
+        let mut fat = bare.clone();
+        fat.payload = 256;
+        let bare_est = calibrated_model_for(&bare).estimate(&bare, 4);
+        let fat_est = calibrated_model_for(&fat).estimate(&fat, 4);
+        assert!(
+            fat_est > bare_est,
+            "payload bytes must grow the estimate: {fat_est} vs {bare_est}"
+        );
+        // The growth is at least the payload's share of the record: bare
+        // records are ~28 B, so 256 B payloads must grow the estimate
+        // several-fold, not marginally.
+        assert!(
+            fat_est > bare_est * 4,
+            "256 B payloads on ~28 B records: {fat_est} vs {bare_est}"
+        );
+    }
+
+    #[test]
+    fn payload_tenants_join_like_bare_ones() {
+        // Payload bytes ride the shuffle but must not change join results.
+        let mut tenants = two_tenants();
+        tenants[0].payload = 64;
+        let run = run_queue(&test_cluster(), &tenants, SchedPolicy::FairShare).expect("runs");
+        let solo = solo_outcome(&test_cluster(), &tenants[0]).expect("solo");
+        assert_eq!(run.tenants[0].outcome.as_ref().expect("ok"), &solo);
+        assert!(solo.result_count > 0);
+    }
+
+    #[test]
+    fn tenant_outcome_wire_roundtrips() {
+        let out = TenantOutcome {
+            result_count: 1,
+            candidates: 2,
+            replicated: 3,
+            checksum: 0xDEAD_BEEF_F00D_CAFE,
+        };
+        let mut buf = Vec::new();
+        out.encode(&mut buf);
+        assert_eq!(buf.len(), out.encoded_size());
+        let mut cursor: &[u8] = &buf;
+        assert_eq!(TenantOutcome::try_decode(&mut cursor), Ok(out));
+        assert!(cursor.is_empty());
+        let mut short: &[u8] = &buf[..16];
+        assert!(TenantOutcome::try_decode(&mut short).is_err());
+    }
+
+    #[test]
+    fn crashed_queue_recovers_with_identical_outcomes() {
+        let dir = std::env::temp_dir().join(format!("asj-serve-recover-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        let journal = dir.join("server.journal");
+
+        let tenants = two_tenants();
+        // Uncrashed oracle.
+        let oracle = run_queue(&test_cluster(), &tenants, SchedPolicy::FairShare).expect("oracle");
+
+        // Crash the journaled, checkpointed run two grants shy of done: by
+        // then at least one tenant has completed shuffle stages (so the
+        // recovery leg has checkpoints to replay) and at least one tenant
+        // is still unfinished (so there is something to recover).
+        let crash_at = (oracle.grants.len() as u64).saturating_sub(2).max(1);
+        let crash_cluster = test_cluster().with_fault_policy(
+            FaultPlan::none().with_crash_after_grants(crash_at),
+            RetryPolicy::default(),
+        );
+        let opts = RecoveryOptions {
+            journal: Some(journal.clone()),
+            checkpoint_dir: Some(dir.clone()),
+            recover: false,
+        };
+        let crashed =
+            run_queue_recoverable(&crash_cluster, &tenants, SchedPolicy::FairShare, &opts)
+                .expect("crashing run");
+        assert!(crashed.crashed);
+        assert_eq!(crashed.grants[..], oracle.grants[..crash_at as usize]);
+
+        // Recover on a fresh cluster: byte-identical outcomes, journaled
+        // grant prefix intact.
+        let opts = RecoveryOptions {
+            journal: Some(journal),
+            checkpoint_dir: Some(dir.clone()),
+            recover: true,
+        };
+        let recovered =
+            run_queue_recoverable(&test_cluster(), &tenants, SchedPolicy::FairShare, &opts)
+                .expect("recovered run");
+        assert!(!recovered.crashed);
+        assert_eq!(
+            recovered.journal_grants[..],
+            oracle.grants[..crash_at as usize]
+        );
+        for (a, b) in oracle.tenants.iter().zip(&recovered.tenants) {
+            assert_eq!(
+                a.outcome.as_ref().expect("oracle ok"),
+                b.outcome.as_ref().expect("recovered ok"),
+                "tenant '{}' must recover byte-identically",
+                a.name
+            );
+        }
+        // The crashed run checkpointed at least one completed shuffle stage
+        // that the recovery replayed instead of recomputing.
+        assert!(crashed.checkpoint_bytes > 0);
+        assert!(recovered.stages_recovered > 0);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn summary_lines_render_both_arms() {
         let ok = TenantReport {
             name: "alpha".into(),
@@ -436,6 +661,7 @@ mod tests {
             spilled_bytes: 0,
             pool: PoolStats::default(),
             residual_bytes: 0,
+            recovered: false,
         };
         let line = ok.summary_line();
         assert!(line.contains("alpha") && line.contains("ok"), "{line}");

@@ -12,13 +12,15 @@
 use adaptive_spatial_join::data::{
     read_points_csv, write_points_csv, DatasetSpec, GenKind, PAPER_BBOX,
 };
-use adaptive_spatial_join::engine::SchedPolicy;
+use adaptive_spatial_join::engine::{clean_orphaned_spills, set_spill_dir, SchedPolicy};
 use adaptive_spatial_join::geom::{Point, Rect};
 use adaptive_spatial_join::join::{
     knn_join, self_join, Algorithm, JoinOutput, JoinSpec, LocalKernel, PartitionedPoints, Record,
 };
 use adaptive_spatial_join::prelude::*;
-use adaptive_spatial_join::serve::{parse_queue, run_queue, solo_outcome};
+use adaptive_spatial_join::serve::{
+    parse_queue, run_queue_recoverable, solo_outcome, RecoveryOptions,
+};
 use std::collections::HashMap;
 use std::io::Write;
 use std::path::PathBuf;
@@ -55,7 +57,12 @@ usage:
   asj heatmap   --input FILE [--width W] [--height H]
   asj serve     --jobs FILE [--policy fair-share|fifo] [--nodes N]
                 [--memory-budget B] [--verify]
+                [--journal FILE] [--checkpoint-dir DIR] [--recover]
                 [--trace FILE] [--trace-format chrome|jsonl]
+
+Every command accepts --spill-dir DIR (or ASJ_SPILL_DIR) to route spill and
+checkpoint segments somewhere other than the system temp dir; orphaned spill
+files from a previous crashed run are cleaned up at startup.
 
 ALGO: lpib (default) | diff | uni-r | uni-s | eps-grid | sedona
 K:    auto (default) | nested-loop | plane-sweep | grid-bucket — the
@@ -72,14 +79,20 @@ exceed it spill to temporary files and are re-read at reduce time, leaving
 results byte-identical.
 --jobs runs a multi-tenant queue on one simulated cluster: one
 'job NAME key=value ...' per line ('#' comments; keys: algo eps n kind seed
-weight kernel partitions grid-factor faults fault-seed max-attempts
+weight kernel partitions grid-factor payload faults fault-seed max-attempts
 estimate). Admission control rejects tenants whose estimated working set
 exceeds the per-node --memory-budget; admitted tenants interleave under the
 --policy with isolated fault, pool and obs state. --verify re-runs every
-tenant solo and fails unless results are byte-identical.";
+tenant solo and fails unless results are byte-identical.
+
+--journal FILE appends a crash-consistent record of every admission, grant
+and completed job to FILE; --checkpoint-dir DIR persists each completed
+shuffle stage so a restarted server can skip recomputation. --recover replays
+FILE before running: journaled results are served without re-execution and
+in-flight jobs resume from their checkpoints.";
 
 /// Flags that take no value: their presence means "on".
-const BOOL_FLAGS: &[&str] = &["speculation", "verify"];
+const BOOL_FLAGS: &[&str] = &["speculation", "verify", "recover"];
 
 /// Parsed `--flag value` options after the subcommand. Flags listed in
 /// [`BOOL_FLAGS`] are valueless switches recorded as `"true"`.
@@ -157,6 +170,18 @@ fn run(args: &[String]) -> Result<(), String> {
         return Err("no subcommand".into());
     };
     let flags = parse_flags(&args[1..])?;
+    if let Some(dir) = flags.get("spill-dir") {
+        set_spill_dir(PathBuf::from(dir));
+        // A previous run that crashed mid-spill may have left segments behind;
+        // the pid in every spill filename makes live files distinguishable.
+        match clean_orphaned_spills(std::path::Path::new(dir)) {
+            Ok(swept) if swept > 0 => {
+                eprintln!("swept {swept} orphaned spill file(s) from {dir}");
+            }
+            Ok(_) => {}
+            Err(e) => return Err(format!("cleaning spill dir {dir}: {e}")),
+        }
+    }
     match cmd.as_str() {
         "generate" => cmd_generate(&flags),
         "join" => cmd_join(&flags),
@@ -546,7 +571,16 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     if let Some(budget) = flags.get("memory-budget") {
         cluster = cluster.with_memory_budget(parse_bytes(budget)?);
     }
-    let run = run_queue(&cluster, &tenants, policy).map_err(|e| e.to_string())?;
+    let recovery = RecoveryOptions {
+        journal: flags.get("journal").map(PathBuf::from),
+        checkpoint_dir: flags.get("checkpoint-dir").map(PathBuf::from),
+        recover: flags.contains_key("recover"),
+    };
+    if recovery.recover && recovery.journal.is_none() {
+        return Err("--recover requires --journal FILE".into());
+    }
+    let run =
+        run_queue_recoverable(&cluster, &tenants, policy, &recovery).map_err(|e| e.to_string())?;
     println!("policy               : {}", run.policy.name());
     println!("tenants              : {}", run.tenants.len());
     println!("simulated nodes      : {nodes}");
@@ -558,6 +592,13 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         run.clock.as_secs_f64()
     );
     println!("quanta granted       : {}", run.grants.len());
+    if recovery.journal.is_some() {
+        println!("journal grants       : {}", run.journal_grants.len());
+        println!("checkpoint bytes     : {}", run.checkpoint_bytes);
+        println!("stages recovered     : {}", run.stages_recovered);
+        let replayed = run.tenants.iter().filter(|t| t.recovered).count();
+        println!("tenants replayed     : {replayed}");
+    }
     for report in &run.tenants {
         println!("{}", report.summary_line());
     }
@@ -577,6 +618,14 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         println!("isolation            : all tenants match their solo runs");
     }
     trace.write()?;
+    if run.crashed {
+        // A fault-plan crash clause stopped the server mid-queue; the journal
+        // (if any) holds the prefix, so this is a restartable state, not a
+        // per-tenant failure.
+        return Err("server crashed mid-queue (fault plan crash clause); \
+             re-run with --recover to resume from the journal"
+            .into());
+    }
     let failed: Vec<&str> = run
         .tenants
         .iter()
@@ -859,6 +908,54 @@ mod tests {
             .unwrap_or_else(|e| panic!("serve --policy {policy}: {e}"));
         }
         let _ = std::fs::remove_file(jobs_path);
+    }
+
+    #[test]
+    fn serve_journals_and_recovers_a_queue() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let jobs_path = dir.join(format!("asj-serve-journal-jobs-{pid}.txt"));
+        let journal_path = dir.join(format!("asj-serve-journal-{pid}.jsonl"));
+        let ckpt_dir = dir.join(format!("asj-serve-journal-ckpt-{pid}"));
+        std::fs::write(
+            &jobs_path,
+            "job alpha algo=lpib eps=0.5 n=600 partitions=8 seed=11\n\
+             job beta algo=uni-r eps=0.3 n=900 partitions=8 seed=23 weight=2\n",
+        )
+        .unwrap();
+        let arg = |s: &str| s.to_string();
+        // First run writes the journal and checkpoints; second run replays it.
+        // Both legs must succeed and the journal must survive in between.
+        for recover in [false, true] {
+            let mut args = vec![
+                arg("serve"),
+                arg("--jobs"),
+                arg(jobs_path.to_str().unwrap()),
+                arg("--nodes"),
+                arg("4"),
+                arg("--journal"),
+                arg(journal_path.to_str().unwrap()),
+                arg("--checkpoint-dir"),
+                arg(ckpt_dir.to_str().unwrap()),
+            ];
+            if recover {
+                args.push(arg("--recover"));
+            }
+            run(&args).unwrap_or_else(|e| panic!("serve recover={recover}: {e}"));
+            assert!(journal_path.exists(), "journal written");
+        }
+        // --recover without a journal flag is a usage error, not a crash.
+        let err = run(&[
+            arg("serve"),
+            arg("--jobs"),
+            arg(jobs_path.to_str().unwrap()),
+            arg("--recover"),
+        ])
+        .unwrap_err();
+        assert!(err.contains("--journal"), "{err}");
+        let _ = std::fs::remove_file(jobs_path);
+        let _ = std::fs::remove_file(journal_path);
+        let _ = std::fs::remove_dir_all(ckpt_dir);
     }
 
     #[test]

@@ -1,0 +1,257 @@
+//! Crash-recovery properties for the journaled job server: for ANY tenant
+//! queue and ANY crash point, a server killed mid-queue by a `crash@N` fault
+//! clause and restarted with `--recover` semantics must (a) have journaled
+//! exactly the grant-log prefix the uncrashed oracle would have produced,
+//! (b) serve every tenant a byte-identical outcome to the oracle, and
+//! (c) never re-run a job whose result was already journaled.
+//!
+//! The crash mechanism is deterministic (the fault plan counts scheduler
+//! grants, not wall time), so every case in the sweep is reproducible.
+
+use adaptive_spatial_join::engine::{Cluster, ClusterConfig, FaultPlan, RetryPolicy, SchedPolicy};
+use adaptive_spatial_join::join::Algorithm;
+use adaptive_spatial_join::serve::{run_queue, run_queue_recoverable, RecoveryOptions, TenantSpec};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+/// Fault plans tenants may carry *in addition to* the server-level crash:
+/// recovery has to compose with ordinary retry/slowdown faults.
+const FAULT_MENU: &[&str] = &["p=0.15", "p=0.1,slow:1=2.0"];
+
+#[derive(Debug, Clone)]
+struct GenTenant {
+    algo_idx: usize,
+    cardinality: usize,
+    eps: f64,
+    seed: u64,
+    weight: u32,
+    fault_idx: usize,
+    fault_seed: u64,
+}
+
+fn tenant_strategy() -> impl Strategy<Value = GenTenant> {
+    (
+        0usize..Algorithm::ALL.len(),
+        80usize..200,
+        0.2f64..0.8,
+        any::<u64>(),
+        1u32..4,
+        0usize..FAULT_MENU.len() + 1,
+        any::<u64>(),
+    )
+        .prop_map(
+            |(algo_idx, cardinality, eps, seed, weight, fault_idx, fault_seed)| GenTenant {
+                algo_idx,
+                cardinality,
+                eps,
+                seed,
+                weight,
+                fault_idx,
+                fault_seed,
+            },
+        )
+}
+
+fn materialize(tenants: &[GenTenant]) -> Vec<TenantSpec> {
+    tenants
+        .iter()
+        .enumerate()
+        .map(|(i, g)| {
+            let mut t = TenantSpec::new(format!("t{i}"), g.eps, g.cardinality);
+            t.algorithm = Algorithm::ALL[g.algo_idx];
+            t.seed = g.seed;
+            t.weight = g.weight;
+            t.partitions = 6;
+            // Index 0 is the fault-free arm; the rest draw from the menu.
+            t.faults = g
+                .fault_idx
+                .checked_sub(1)
+                .map(|i| FAULT_MENU[i].to_string());
+            t.fault_seed = g.fault_seed;
+            if t.faults.is_some() {
+                t.max_attempts = Some(8);
+            }
+            t
+        })
+        .collect()
+}
+
+fn cluster(nodes: usize) -> Cluster {
+    Cluster::new(ClusterConfig::with_threads(nodes, 2))
+}
+
+/// A per-case scratch directory for the journal and checkpoints. Proptest
+/// cases within one test run sequentially, so a case counter keeps legs
+/// from different cases apart while staying deterministic.
+fn scratch(tag: &str, case: u64) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("asj-recovery-{tag}-{}-{case}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The headline recovery property, swept across queues AND crash
+    /// points: crash + recover == never crashed, byte for byte.
+    #[test]
+    fn any_crash_point_recovers_byte_identically(
+        tenants in prop::collection::vec(tenant_strategy(), 2..4),
+        nodes in 2usize..4,
+        crash_pick in any::<u64>(),
+        case in any::<u64>(),
+    ) {
+        let specs = materialize(&tenants);
+        let oracle = run_queue(&cluster(nodes), &specs, SchedPolicy::FairShare)
+            .expect("oracle run");
+        prop_assert!(oracle.grants.len() >= 2, "queue too small to crash");
+
+        // Any grant boundary strictly before the end is a valid crash point.
+        let crash_at = 1 + crash_pick % (oracle.grants.len() as u64 - 1);
+        let dir = scratch("sweep", case);
+        let journal = dir.join("server.journal");
+
+        let crash_cluster = cluster(nodes).with_fault_policy(
+            FaultPlan::none().with_crash_after_grants(crash_at),
+            RetryPolicy::default(),
+        );
+        let opts = RecoveryOptions {
+            journal: Some(journal.clone()),
+            checkpoint_dir: Some(dir.clone()),
+            recover: false,
+        };
+        let crashed =
+            run_queue_recoverable(&crash_cluster, &specs, SchedPolicy::FairShare, &opts)
+                .expect("crashing run");
+        prop_assert!(crashed.crashed, "crash clause must fire");
+        // Write-ahead invariant: what reached the journal is exactly the
+        // prefix of the oracle's grant log up to the crash point.
+        prop_assert_eq!(
+            &crashed.grants[..],
+            &oracle.grants[..crash_at as usize],
+            "crashed grant log must be an oracle prefix"
+        );
+
+        let opts = RecoveryOptions {
+            journal: Some(journal),
+            checkpoint_dir: Some(dir.clone()),
+            recover: true,
+        };
+        let recovered =
+            run_queue_recoverable(&cluster(nodes), &specs, SchedPolicy::FairShare, &opts)
+                .expect("recovered run");
+        prop_assert!(!recovered.crashed);
+        prop_assert_eq!(
+            &recovered.journal_grants[..],
+            &oracle.grants[..crash_at as usize],
+            "recovery must preserve the journaled grant prefix"
+        );
+        for (a, b) in oracle.tenants.iter().zip(&recovered.tenants) {
+            prop_assert_eq!(
+                a.outcome.as_ref().expect("oracle ok"),
+                b.outcome.as_ref().expect("recovered ok"),
+                "tenant '{}' must recover byte-identically", a.name
+            );
+        }
+        // A journaled result is replayed, never recomputed: every replayed
+        // tenant reports zero stages run in the recovery leg.
+        for report in &recovered.tenants {
+            if report.recovered {
+                prop_assert_eq!(report.stages, 0, "replayed tenant re-ran stages");
+                prop_assert_eq!(report.attempts, 0, "replayed tenant re-ran tasks");
+            }
+        }
+
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+/// Deterministic anchor alongside the sweep: crash late enough that the
+/// recovery leg demonstrably reuses checkpoints (`stages_recovered > 0`)
+/// rather than merely replaying journaled results.
+#[test]
+fn late_crash_resumes_from_checkpoints() {
+    let mut specs = materialize(&[
+        GenTenant {
+            algo_idx: 0,
+            cardinality: 400,
+            eps: 0.5,
+            seed: 11,
+            weight: 1,
+            fault_idx: 0,
+            fault_seed: 0,
+        },
+        GenTenant {
+            algo_idx: 2,
+            cardinality: 300,
+            eps: 0.4,
+            seed: 23,
+            weight: 2,
+            fault_idx: 0,
+            fault_seed: 0,
+        },
+    ]);
+    specs[0].partitions = 8;
+    let oracle = run_queue(&cluster(3), &specs, SchedPolicy::FairShare).expect("oracle");
+
+    // Two grants shy of completion: at least one tenant has checkpointed
+    // shuffle stages, at least one is unfinished.
+    let crash_at = (oracle.grants.len() as u64).saturating_sub(2).max(1);
+    let dir = scratch("anchor", 0);
+    let journal = dir.join("server.journal");
+    let crash_cluster = cluster(3).with_fault_policy(
+        FaultPlan::none().with_crash_after_grants(crash_at),
+        RetryPolicy::default(),
+    );
+    let crashed = run_queue_recoverable(
+        &crash_cluster,
+        &specs,
+        SchedPolicy::FairShare,
+        &RecoveryOptions {
+            journal: Some(journal.clone()),
+            checkpoint_dir: Some(dir.clone()),
+            recover: false,
+        },
+    )
+    .expect("crashing run");
+    assert!(crashed.crashed);
+    assert!(
+        crashed.checkpoint_bytes > 0,
+        "late crash must have checkpointed"
+    );
+
+    let recovered = run_queue_recoverable(
+        &cluster(3),
+        &specs,
+        SchedPolicy::FairShare,
+        &RecoveryOptions {
+            journal: Some(journal),
+            checkpoint_dir: Some(dir.clone()),
+            recover: true,
+        },
+    )
+    .expect("recovered run");
+    assert!(
+        recovered.stages_recovered > 0,
+        "recovery must reuse checkpoints"
+    );
+    // Checkpoint reuse is the whole point: the recovery leg re-runs strictly
+    // fewer tasks than the oracle needed for the full queue.
+    let oracle_attempts: u64 = oracle.tenants.iter().map(|t| t.attempts).sum();
+    let recovered_attempts: u64 = recovered.tenants.iter().map(|t| t.attempts).sum();
+    assert!(
+        recovered_attempts < oracle_attempts,
+        "recovery re-ran {recovered_attempts} of {oracle_attempts} oracle attempts"
+    );
+    for (a, b) in oracle.tenants.iter().zip(&recovered.tenants) {
+        assert_eq!(
+            a.outcome.as_ref().expect("oracle ok"),
+            b.outcome.as_ref().expect("recovered ok"),
+            "tenant '{}' must recover byte-identically",
+            a.name
+        );
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
