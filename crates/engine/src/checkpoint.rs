@@ -206,7 +206,13 @@ impl CheckpointStore {
         file.write_all(text.as_bytes())?;
         file.sync_all()?;
         drop(file);
-        std::fs::rename(&tmp, self.manifest_path(key))
+        std::fs::rename(&tmp, self.manifest_path(key))?;
+        // POSIX durability: `rename(2)` updates a directory entry, and that
+        // entry is only on disk once the *directory* has been fsynced —
+        // fsyncing the manifest file persisted its bytes, not its name. A
+        // crash here without the dir fsync could roll the rename back and
+        // lose a checkpoint the caller was just told is committed.
+        crate::journal::fsync_dir(&self.dir)
     }
 
     /// Loads a checkpoint, or `Ok(None)` when `key` was never committed or
@@ -240,6 +246,19 @@ impl CheckpointStore {
         key: &str,
         text: &str,
     ) -> Option<CheckpointPayload<K, V>> {
+        let (chunks, shuffle) = self.verified_chunks(key, text)?;
+        let mut parts: Vec<Vec<(K, V)>> = Vec::with_capacity(chunks.len());
+        for (bytes, records) in &chunks {
+            parts.push(decode_records::<K, V>(bytes, *records).ok()?);
+        }
+        Some((parts, shuffle))
+    }
+
+    /// Parses a manifest and reads back every chunk's raw bytes, verifying
+    /// lengths and FNV-1a checksums. Returns the positional
+    /// `(bytes, records)` per partition plus the recorded stats; any
+    /// irregularity is `None`.
+    fn verified_chunks(&self, key: &str, text: &str) -> Option<(Vec<(Vec<u8>, u64)>, ShuffleStats)> {
         let mut lines = text.lines();
         if lines.next()? != "asj-checkpoint v1" {
             return None;
@@ -297,7 +316,7 @@ impl CheckpointStore {
         let segment =
             SpillSegment::open(self.seg_path(key), chunks.iter().map(|(c, _)| *c).collect())
                 .ok()?;
-        let mut parts: Vec<Vec<(K, V)>> = Vec::with_capacity(chunks.len());
+        let mut parts: Vec<(Vec<u8>, u64)> = Vec::with_capacity(chunks.len());
         for (chunk, expected_sum) in &chunks {
             // Chunks are written in target order (0..parts.len()), so the
             // rebuilt vector is positional.
@@ -308,9 +327,124 @@ impl CheckpointStore {
             if bytes.len() as u64 != chunk.len || fnv1a(&bytes) != *expected_sum {
                 return None;
             }
-            parts.push(decode_records::<K, V>(&bytes, chunk.records).ok()?);
+            parts.push((bytes, chunk.records));
         }
         Some((parts, shuffle))
+    }
+
+    /// Persists one completed *join* stage's outputs under `key`: per
+    /// partition, the emitted results plus the fold accumulator, framed
+    /// through the same `Wire` codec and FNV-verified manifest the shuffle
+    /// checkpoints use. The partition-local join phase is exactly where the
+    /// ε-grid memory pressure lives, so skipping it on recovery saves the
+    /// most expensive re-execution of all.
+    pub fn save_join<R: Wire, A: Wire>(
+        &self,
+        key: &str,
+        parts: &[(Vec<R>, A)],
+    ) -> std::io::Result<u64> {
+        let mut writer = SpillWriter::create_at(self.seg_path(key))?;
+        let mut checksums: Vec<u64> = Vec::with_capacity(parts.len());
+        let mut stats = ShuffleStats::default();
+        for (target, (out, acc)) in parts.iter().enumerate() {
+            let bytes = encode_join_part(out, acc);
+            stats.records += out.len() as u64;
+            stats.partition_bytes.push(bytes.len() as u64);
+            checksums.push(fnv1a(&bytes));
+            writer.write_chunk(target, &bytes, out.len() as u64)?;
+        }
+        let written = writer.bytes_written();
+        if let Some(mut segment) = writer.finish()? {
+            segment.persist()?;
+            self.write_manifest(key, segment.chunks(), &checksums, &stats)?;
+        } else {
+            self.write_manifest(key, &[], &checksums, &stats)?;
+        }
+        self.checkpoint_bytes.fetch_add(written, Ordering::Relaxed);
+        Ok(written)
+    }
+
+    /// Loads a join-stage checkpoint saved by [`CheckpointStore::save_join`];
+    /// same miss/self-heal contract as [`CheckpointStore::load`].
+    #[allow(clippy::type_complexity)]
+    pub fn load_join<R: Wire, A: Wire>(
+        &self,
+        key: &str,
+    ) -> std::io::Result<Option<Vec<(Vec<R>, A)>>> {
+        let manifest_path = self.manifest_path(key);
+        let text = match std::fs::read_to_string(&manifest_path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let decoded = self.verified_chunks(key, &text).and_then(|(chunks, _)| {
+            chunks
+                .iter()
+                .map(|(bytes, records)| decode_join_part::<R, A>(bytes, *records))
+                .collect::<Option<Vec<_>>>()
+        });
+        match decoded {
+            Some(parts) => Ok(Some(parts)),
+            None => {
+                // Torn or corrupt: remove both halves and report a miss so
+                // the stage recomputes and re-checkpoints cleanly.
+                let _ = std::fs::remove_file(&manifest_path);
+                let _ = std::fs::remove_file(self.seg_path(key));
+                Ok(None)
+            }
+        }
+    }
+
+    /// Retention GC: unlinks every checkpoint whose key belongs to `scope`
+    /// (the per-job prefix [`CheckpointCtx`] keys under). Call only once the
+    /// job's `done` record is fsynced in the journal — the crash-safe delete
+    /// order is
+    ///
+    /// 1. journal `done` fsynced (the caller's precondition),
+    /// 2. segment unlinked,
+    /// 3. manifest unlinked,
+    ///
+    /// so a crash anywhere mid-GC leaves at worst a manifest without its
+    /// segment, which [`CheckpointStore::load`] self-heals into a miss:
+    /// recovery degrades to recomputation (and the job's journaled result
+    /// makes even that unnecessary), never to data loss. Returns the bytes
+    /// reclaimed.
+    pub fn gc_scope(&self, scope: &str) -> std::io::Result<u64> {
+        let prefix = format!("{}-", sanitize(scope));
+        let mut keys: Vec<String> = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if let Some(key) = name.strip_suffix(".manifest") {
+                if key.starts_with(&prefix) {
+                    keys.push(key.to_string());
+                }
+            }
+        }
+        let mut reclaimed = 0u64;
+        for key in &keys {
+            // Segment before manifest — see the ordering contract above.
+            for path in [self.seg_path(key), self.manifest_path(key)] {
+                let len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                if std::fs::remove_file(&path).is_ok() {
+                    reclaimed = reclaimed.saturating_add(len);
+                }
+            }
+        }
+        Ok(reclaimed)
+    }
+
+    /// Bytes currently on disk under the checkpoint directory (segments,
+    /// manifests and any in-flight temp files) — the observable the
+    /// retention policy bounds.
+    pub fn disk_usage_bytes(&self) -> std::io::Result<u64> {
+        let mut total = 0u64;
+        for entry in std::fs::read_dir(&self.dir)? {
+            total = total.saturating_add(entry?.metadata().map(|m| m.len()).unwrap_or(0));
+        }
+        Ok(total)
     }
 
     /// Counts one stage served from checkpoint (called by the cluster when a
@@ -318,6 +452,33 @@ impl CheckpointStore {
     pub(crate) fn note_recovered(&self) {
         self.stages_recovered.fetch_add(1, Ordering::Relaxed);
     }
+}
+
+/// Frames one join partition for checkpointing: the fold accumulator first,
+/// then the emitted records back to back (the chunk's record count delimits
+/// them on decode).
+fn encode_join_part<R: Wire, A: Wire>(out: &[R], acc: &A) -> Vec<u8> {
+    let mut buf =
+        Vec::with_capacity(acc.encoded_size() + out.iter().map(Wire::encoded_size).sum::<usize>());
+    acc.encode(&mut buf);
+    for r in out {
+        r.encode(&mut buf);
+    }
+    buf
+}
+
+/// Inverse of [`encode_join_part`]; trailing bytes are corruption, `None`.
+fn decode_join_part<R: Wire, A: Wire>(bytes: &[u8], records: u64) -> Option<(Vec<R>, A)> {
+    let mut cursor = bytes;
+    let acc = A::try_decode(&mut cursor).ok()?;
+    let mut out = Vec::with_capacity(records as usize);
+    for _ in 0..records {
+        out.push(R::try_decode(&mut cursor).ok()?);
+    }
+    if !cursor.is_empty() {
+        return None;
+    }
+    Some((out, acc))
 }
 
 /// Per-job view of a [`CheckpointStore`]: a scope (unique per job) plus a
@@ -503,6 +664,93 @@ mod tests {
             again.next_key("shuffle"),
             "job_3-shuffle-0",
             "a fresh ctx (the recovery run) replays the same key sequence"
+        );
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn join_checkpoint_round_trips_outputs_and_accumulators() {
+        let dir = test_dir("join-roundtrip");
+        let store = CheckpointStore::open(&dir).expect("open");
+        let parts: Vec<(Vec<(u64, u64)>, (u64, u64))> = vec![
+            (vec![(1, 2), (3, 4)], (10, 20)),
+            (Vec::new(), (0, 7)),
+            (vec![(9, 9)], (1, 1)),
+        ];
+        let bytes = store.save_join("job0-join-0", &parts).expect("save");
+        assert!(bytes > 0);
+        let got = store
+            .load_join::<(u64, u64), (u64, u64)>("job0-join-0")
+            .expect("load")
+            .expect("hit");
+        assert_eq!(got, parts, "join outputs and accumulators round-trip");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn corrupt_join_checkpoint_is_a_miss() {
+        let dir = test_dir("join-corrupt");
+        let store = CheckpointStore::open(&dir).expect("open");
+        let parts: Vec<(Vec<(u64, u64)>, u64)> = vec![(vec![(1, 2)], 5)];
+        store.save_join("k", &parts).expect("save");
+        let seg = dir.join("k.seg");
+        let mut bytes = std::fs::read(&seg).expect("read seg");
+        bytes[0] ^= 0xFF;
+        std::fs::write(&seg, &bytes).expect("rewrite seg");
+        assert!(store
+            .load_join::<(u64, u64), u64>("k")
+            .expect("load")
+            .is_none());
+        assert!(!dir.join("k.manifest").exists(), "corrupt pair deleted");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn gc_scope_removes_only_the_given_jobs_checkpoints() {
+        let dir = test_dir("gc");
+        let store = CheckpointStore::open(&dir).expect("open");
+        let parts = sample_parts();
+        let stats = sample_stats();
+        // job1 must not be collateral damage of job1x's GC (or vice versa):
+        // the prefix includes the trailing dash.
+        for key in ["job1-shuffle-0", "job1-join-0", "job1x-shuffle-0"] {
+            store.save(key, &parts, &stats).expect("save");
+        }
+        let before = store.disk_usage_bytes().expect("usage");
+        let reclaimed = store.gc_scope("job1").expect("gc");
+        assert!(reclaimed > 0, "bytes reclaimed are reported");
+        let after = store.disk_usage_bytes().expect("usage");
+        assert_eq!(after, before - reclaimed);
+        assert!(!dir.join("job1-shuffle-0.manifest").exists());
+        assert!(!dir.join("job1-shuffle-0.seg").exists());
+        assert!(!dir.join("job1-join-0.manifest").exists());
+        assert!(dir.join("job1x-shuffle-0.manifest").exists());
+        assert!(dir.join("job1x-shuffle-0.seg").exists());
+        // GC of a scope with no checkpoints is a no-op, not an error.
+        assert_eq!(store.gc_scope("job99").expect("gc"), 0);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn crash_mid_gc_self_heals_into_a_miss() {
+        let dir = test_dir("gc-crash");
+        let store = CheckpointStore::open(&dir).expect("open");
+        store
+            .save("job2-shuffle-0", &sample_parts(), &sample_stats())
+            .expect("save");
+        // Simulate a crash between the seg unlink and the manifest unlink —
+        // the worst interleaving the delete order permits.
+        std::fs::remove_file(dir.join("job2-shuffle-0.seg")).expect("unlink seg");
+        assert!(
+            store
+                .load::<u64, Vec<u8>>("job2-shuffle-0")
+                .expect("load")
+                .is_none(),
+            "manifest without segment degrades to a miss"
+        );
+        assert!(
+            !dir.join("job2-shuffle-0.manifest").exists(),
+            "the dangling manifest was self-healed away"
         );
         std::fs::remove_dir_all(&dir).expect("cleanup");
     }

@@ -522,6 +522,55 @@ impl Cluster {
         result
     }
 
+    /// [`Cluster::run_placed_stage`] for stages whose per-task result is a
+    /// `(records, accumulator)` pair of [`Wire`] types — the shape of the
+    /// partition-local join phase. When a checkpoint store is attached, the
+    /// stage's outputs are persisted under the scope's next key for `stage`
+    /// and consulted before recomputing, exactly like the shuffle fast path
+    /// in `try_shuffle_stage`: a hit replays the persisted results in zero
+    /// simulated time (the join phase is the ε-grid's memory-pressure peak,
+    /// so skipping it on recovery is the largest saving available), a miss
+    /// or any checkpoint I/O trouble degrades to recomputation, and a failed
+    /// save never fails the stage.
+    pub fn run_placed_stage_checkpointed<T, Rec, Acc, F>(
+        &self,
+        stage: &str,
+        tasks: Vec<T>,
+        placement: &[usize],
+        f: F,
+    ) -> (Vec<(Vec<Rec>, Acc)>, ExecStats)
+    where
+        T: Send + Sync + Clone,
+        Rec: crate::wire::Wire + Send,
+        Acc: crate::wire::Wire + Send,
+        F: Fn(usize, T) -> (Vec<Rec>, Acc) + Sync,
+    {
+        let Some(ck) = self.checkpoint() else {
+            return self.run_placed_stage(stage, tasks, placement, f);
+        };
+        let key = ck.next_key(stage);
+        match ck.store().load_join::<Rec, Acc>(&key) {
+            // The task count guards against a stale checkpoint from a
+            // different plan shape; deterministic job bodies make the key
+            // collision impossible, but a mismatch must never misalign
+            // partitions.
+            Ok(Some(parts)) if !parts.is_empty() && parts.len() == tasks.len() => {
+                let stats = self.note_recovered_stage();
+                ck.store().note_recovered();
+                self.recorder().counter_add(stage, "stages_recovered", 1);
+                return (parts, stats);
+            }
+            Ok(_) => {}
+            Err(_) => {}
+        }
+        let (out, stats) = self.run_placed_stage(stage, tasks, placement, f);
+        if let Ok(bytes) = ck.store().save_join(&key, &out) {
+            self.recorder().counter_add(stage, "checkpoint_bytes", bytes);
+            ck.journal_stage_complete(stage, &key, bytes);
+        }
+        (out, stats)
+    }
+
     /// Makes a value available to every task, like Spark's broadcast
     /// variables (Algorithm 5 broadcasts the agreement-loaded grid).
     pub fn broadcast<T>(&self, value: T) -> Broadcast<T> {

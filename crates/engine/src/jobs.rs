@@ -387,6 +387,10 @@ pub struct JobServer<R> {
     recovered_jobs: HashSet<JobId>,
     /// Grant records of the crashed run, read back by [`JobServer::recover`].
     journal_grants: Vec<JobId>,
+    /// Compact the journal after every N durable job completions
+    /// ([`JobServer::with_compact_every`]); `None` disables automatic
+    /// compaction.
+    compact_every: Option<u64>,
 }
 
 impl<R> std::fmt::Debug for JobServer<R> {
@@ -419,11 +423,25 @@ impl<R: Send + 'static> JobServer<R> {
             encode_result: None,
             recovered_jobs: HashSet::new(),
             journal_grants: Vec::new(),
+            compact_every: None,
         }
     }
 
     pub fn with_policy(mut self, policy: SchedPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Compacts the journal after every `n` durable job completions (a
+    /// quiescent quantum boundary, so no appender races the rewrite). A
+    /// long-lived server's journal stays proportional to its *live* records
+    /// instead of its age. No-op without an attached journal.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn with_compact_every(mut self, n: u64) -> Self {
+        assert!(n > 0, "compact-every interval must be positive");
+        self.compact_every = Some(n);
         self
     }
 
@@ -488,6 +506,7 @@ impl<R: Send + 'static> JobServer<R> {
             encode_result,
             recovered_jobs,
             journal_grants,
+            compact_every,
         } = self;
         let n = queue.len();
         // The crash clause is consulted only here: stage execution ignores
@@ -519,6 +538,8 @@ impl<R: Send + 'static> JobServer<R> {
         let mut reports: Vec<Option<JobReport<R>>> = (0..n).map(|_| None).collect();
         // The quantum in flight: (admitted slot, pool stats at grant time).
         let mut in_flight: Option<(usize, PoolStats)> = None;
+        // Durable completions since the last journal compaction.
+        let mut completions_since_compact: u64 = 0;
 
         // Admits queued jobs, in submit order, while the front fits the
         // remaining budget. Strictly in order — no head-of-line bypass — so
@@ -690,11 +711,27 @@ impl<R: Send + 'static> JobServer<R> {
                     // without re-running the body at all.
                     let bytes = encode(result);
                     let checksum = fnv1a(&bytes);
-                    let _ = journal.append(&JournalRecord::Done {
-                        job: job.id as u64,
-                        result: bytes,
-                        checksum,
-                    });
+                    let done_durable = journal
+                        .append(&JournalRecord::Done {
+                            job: job.id as u64,
+                            result: bytes,
+                            checksum,
+                        })
+                        .is_ok();
+                    // Retention GC: this job's stage checkpoints are only
+                    // needed to shortcut a re-run, and the fsynced `done`
+                    // record just made any re-run unnecessary. The ordering
+                    // is the safety argument — GC strictly after the append
+                    // succeeded, so a crash mid-GC degrades to recomputation
+                    // (or to a journal replay), never to loss.
+                    if done_durable {
+                        if let Some(store) = cluster.checkpoint_store() {
+                            if let Ok(reclaimed) = store.gc_scope(&format!("job{}", job.id)) {
+                                recorder.counter_add("jobs", "checkpoint_gc_bytes", reclaimed);
+                            }
+                        }
+                        completions_since_compact += 1;
+                    }
                 }
                 reports[job.id] = Some(JobReport {
                     id: job.id,
@@ -722,6 +759,23 @@ impl<R: Send + 'static> JobServer<R> {
                     &mut reserved,
                     clock,
                 );
+                // Automatic era compaction: the server is quiescent (no
+                // quantum in flight), so the rewrite cannot race an append.
+                // Failures are soft — the uncompacted journal is still a
+                // valid (just larger) recovery source.
+                if let (Some(journal), Some(every)) = (&journal, compact_every) {
+                    if completions_since_compact >= every {
+                        completions_since_compact = 0;
+                        if let Ok(stats) = journal.compact() {
+                            recorder.counter_add("jobs", "journal_compactions", 1);
+                            recorder.counter_add(
+                                "jobs",
+                                "journal_bytes_reclaimed",
+                                stats.bytes_before.saturating_sub(stats.bytes_after),
+                            );
+                        }
+                    }
+                }
             }
 
             // A `crash@N` clause fires at this quantum boundary — after N
@@ -924,7 +978,7 @@ impl<R: Wire + Send + 'static> JobServer<R> {
     /// delimiting the new era's records from the crashed run's.
     pub fn recover(mut self, path: impl AsRef<Path>) -> std::io::Result<Self> {
         let path = path.as_ref();
-        let records = Journal::read(path)?;
+        let records = Journal::read(path).map_err(std::io::Error::from)?;
         // Only the most recent era counts as "the crashed run": records
         // after the last `recover` marker (or all of them if none).
         let era_start = records
@@ -1401,6 +1455,80 @@ mod tests {
             rec_attempts < oracle_attempts,
             "recovery should recompute less: {rec_attempts} vs {oracle_attempts}"
         );
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retention_gc_and_compaction_keep_disk_bounded_and_recoverable() {
+        let dir = scratch_dir("gc-compact");
+        let journal_path = dir.join("server.journal");
+        let ckpt_dir = dir.join("ckpt");
+
+        // Oracle for the result bytes.
+        let mut oracle = JobServer::new(cluster());
+        submit_recovery_queue(&mut oracle);
+        let oracle = oracle.run();
+        let oracle_results: Vec<u64> = oracle
+            .reports
+            .iter()
+            .map(|r| *r.result.as_ref().expect("oracle ok"))
+            .collect();
+
+        // Full run with journal + checkpoints + GC + per-completion
+        // compaction.
+        let c = Cluster::new(ClusterConfig::with_threads(2, 2))
+            .with_checkpoint_dir(&ckpt_dir)
+            .expect("open checkpoint dir");
+        let store = Arc::clone(c.checkpoint_store().expect("store attached"));
+        let mut srv = JobServer::new(c)
+            .with_journal(&journal_path)
+            .expect("create journal")
+            .with_compact_every(1);
+        submit_recovery_queue(&mut srv);
+        let run = srv.run();
+        assert!(!run.crashed);
+        assert!(run.checkpoint_bytes > 0, "stages were checkpointed");
+        // Retention: every job finished durably, so every job's checkpoints
+        // were collected — post-run disk is bounded by in-flight jobs (none).
+        assert_eq!(
+            store.disk_usage_bytes().expect("usage"),
+            0,
+            "all finished jobs' checkpoints were GC'd"
+        );
+        // Compaction: the journal holds only live records — a compact
+        // marker, the done records, and the last era's admissions/grants;
+        // the per-stage records of done jobs are gone.
+        let records = Journal::read(&journal_path).expect("compacted journal reads");
+        assert!(
+            matches!(records.first(), Some(JournalRecord::Compact { .. })),
+            "compacted journal leads with its marker"
+        );
+        assert!(
+            !records
+                .iter()
+                .any(|r| matches!(r, JournalRecord::Stage { .. })),
+            "stage records of done jobs are dropped"
+        );
+
+        // The compacted journal still recovers the whole queue: bodies
+        // would panic if re-run.
+        let mut srv = JobServer::<u64>::new(cluster());
+        for name in ["a", "b", "c"] {
+            srv.submit(JobSpec::new(name, |_c: &Cluster| -> u64 {
+                panic!("body must not re-run")
+            }))
+            .expect("submit");
+        }
+        let srv = srv.recover(&journal_path).expect("recover");
+        let replayed = srv.run();
+        let replayed_results: Vec<u64> = replayed
+            .reports
+            .iter()
+            .map(|r| *r.result.as_ref().expect("replayed ok"))
+            .collect();
+        assert_eq!(replayed_results, oracle_results);
+        assert!(replayed.reports.iter().all(|r| r.recovered));
 
         let _ = std::fs::remove_dir_all(&dir);
     }

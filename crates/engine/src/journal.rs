@@ -11,9 +11,18 @@
 //!
 //! Records are one flat JSON object per line; `append` fsyncs at every
 //! record boundary, so the write-ahead property holds across power loss,
-//! not just process death. The reader is tolerant of a torn final line
-//! (a crash mid-append): parsing stops at the first malformed line and
-//! everything before it is trusted.
+//! not just process death. The reader tolerates a torn *final* line (a
+//! crash mid-append) and nothing else: a malformed line followed by valid
+//! records means the file was corrupted, not torn, and [`Journal::read`]
+//! reports it as a typed [`JournalError::Corrupt`] instead of silently
+//! dropping the valid suffix.
+//!
+//! The journal grows with server age; [`Journal::compact`] bounds it by
+//! rewriting the file down to its *live* records (tmp → fsync → rename, so
+//! a crash mid-compaction leaves either the old or the new journal, never a
+//! mix): the winning `done` record per finished job, plus the current era's
+//! admissions, grants and in-flight stage pointers. A `compact` marker
+//! records the rewrite for audit.
 //!
 //! The codec is hand-rolled (the workspace takes no serde dependency): the
 //! only values are `u64`s and strings, and result payloads are hex-encoded
@@ -21,9 +30,72 @@
 
 use std::fs::File;
 use std::io::Write;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+/// Fsyncs a directory so a just-created or just-renamed entry inside it is
+/// durable. POSIX only guarantees that `rename(2)` and `open(O_CREAT)` are
+/// durable once the *containing directory* has been fsynced — fsyncing the
+/// file alone persists its bytes but not the name that points at them, so a
+/// crash could lose a "committed" file whose data is safely on disk.
+pub(crate) fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+        Ok(())
+    }
+}
+
+/// Why a journal could not be read: I/O trouble, or corruption that is not
+/// the torn tail a crash mid-append legitimately leaves.
+#[derive(Debug)]
+pub enum JournalError {
+    /// The underlying file operation failed.
+    Io(std::io::Error),
+    /// A malformed line *followed by valid records* — the file was
+    /// corrupted (or hand-edited), not torn by a crash. `line` is 1-based.
+    Corrupt { line: usize, content: String },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::Corrupt { line, content } => {
+                write!(f, "journal corrupt at line {line} (not a torn tail): {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io(e) => Some(e),
+            JournalError::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+impl From<JournalError> for std::io::Error {
+    fn from(e: JournalError) -> Self {
+        match e {
+            JournalError::Io(e) => e,
+            corrupt => std::io::Error::new(std::io::ErrorKind::InvalidData, corrupt.to_string()),
+        }
+    }
+}
 
 /// One journal line. The record grammar (see ARCHITECTURE.md):
 ///
@@ -61,6 +133,11 @@ pub enum JournalRecord {
     },
     /// Marks the boundary where a recovery run reopened the journal.
     Recover,
+    /// Marks an era compaction: the file was rewritten down to `kept` live
+    /// records, dropping `dropped` dead ones. Informational — era semantics
+    /// stay anchored on [`JournalRecord::Recover`] so the surviving grant
+    /// log still reads as the current era's prefix.
+    Compact { kept: u64, dropped: u64 },
 }
 
 fn escape_json(s: &str) -> String {
@@ -123,6 +200,9 @@ impl JournalRecord {
                 hex_encode(result)
             ),
             JournalRecord::Recover => "{\"type\":\"recover\"}".to_string(),
+            JournalRecord::Compact { kept, dropped } => {
+                format!("{{\"type\":\"compact\",\"kept\":{kept},\"dropped\":{dropped}}}")
+            }
         }
     }
 
@@ -162,6 +242,10 @@ impl JournalRecord {
                 checksum: get_num("checksum")?,
             }),
             "recover" => Some(JournalRecord::Recover),
+            "compact" => Some(JournalRecord::Compact {
+                kept: get_num("kept")?,
+                dropped: get_num("dropped")?,
+            }),
             _ => None,
         }
     }
@@ -242,28 +326,39 @@ fn parse_json_string(s: &str) -> Option<(String, &str)> {
 #[derive(Debug)]
 pub struct Journal {
     file: Mutex<File>,
+    path: PathBuf,
     records: AtomicU64,
 }
 
 impl Journal {
     /// Creates (truncating) a fresh journal at `path`.
     pub fn create(path: impl AsRef<Path>) -> std::io::Result<Journal> {
+        let path = path.as_ref().to_path_buf();
         let file = File::options()
             .write(true)
             .create(true)
             .truncate(true)
-            .open(path)?;
+            .open(&path)?;
+        // Make the journal's *name* durable, not just its (empty) contents:
+        // per POSIX, a file created inside a directory survives a crash only
+        // once the directory itself has been fsynced.
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            fsync_dir(parent)?;
+        }
         Ok(Journal {
             file: Mutex::new(file),
+            path,
             records: AtomicU64::new(0),
         })
     }
 
     /// Reopens an existing journal for appending (the recovery path).
     pub fn open_append(path: impl AsRef<Path>) -> std::io::Result<Journal> {
-        let file = File::options().append(true).open(path)?;
+        let path = path.as_ref().to_path_buf();
+        let file = File::options().append(true).open(&path)?;
         Ok(Journal {
             file: Mutex::new(file),
+            path,
             records: AtomicU64::new(0),
         })
     }
@@ -285,23 +380,155 @@ impl Journal {
         self.records.load(Ordering::Relaxed)
     }
 
-    /// Reads all committed records from `path`. A torn final line (crash
+    /// Reads all committed records from `path`. A torn *final* line (crash
     /// mid-append) silently ends the log; everything before it is trusted
-    /// because every complete line was fsynced before the next began.
-    pub fn read(path: impl AsRef<Path>) -> std::io::Result<Vec<JournalRecord>> {
+    /// because every complete line was fsynced before the next began. A
+    /// malformed line anywhere *before* the tail cannot be a torn append —
+    /// valid fsynced records follow it — so it is surfaced as
+    /// [`JournalError::Corrupt`] instead of silently truncating the log and
+    /// dropping committed results.
+    pub fn read(path: impl AsRef<Path>) -> Result<Vec<JournalRecord>, JournalError> {
         let text = std::fs::read_to_string(path)?;
-        let mut records = Vec::new();
-        for line in text.lines() {
-            if line.trim().is_empty() {
-                continue;
-            }
+        let lines: Vec<(usize, &str)> = text
+            .lines()
+            .enumerate()
+            .filter(|(_, line)| !line.trim().is_empty())
+            .collect();
+        let mut records = Vec::with_capacity(lines.len());
+        for (pos, &(line_no, line)) in lines.iter().enumerate() {
             match JournalRecord::parse_line(line) {
                 Some(rec) => records.push(rec),
-                None => break,
+                None if pos + 1 == lines.len() => break, // torn tail: tolerated
+                None => {
+                    return Err(JournalError::Corrupt {
+                        line: line_no + 1,
+                        content: line.chars().take(120).collect(),
+                    })
+                }
             }
         }
         Ok(records)
     }
+
+    /// Compacts the journal at `path` in place (the offline
+    /// `asj journal compact` entry point): reads the log, computes the live
+    /// set via [`compact_records`], and rewrites the file tmp → fsync →
+    /// rename → dir fsync. A crash at any point leaves either the old
+    /// journal (plus an inert `.tmp` that the next compaction sweeps) or the
+    /// complete new one — never a partial mix. Refuses (via
+    /// [`JournalError::Corrupt`]) to compact a mid-file-corrupt journal:
+    /// rewriting would launder the corruption into silence.
+    pub fn compact_file(path: impl AsRef<Path>) -> Result<CompactStats, JournalError> {
+        let path = path.as_ref();
+        let bytes_before = std::fs::metadata(path).map_err(JournalError::Io)?.len();
+        let records = Self::read(path)?;
+        let (live, dropped) = compact_records(&records);
+        let mut text = String::new();
+        for rec in &live {
+            text.push_str(&rec.to_line());
+            text.push('\n');
+        }
+
+        let tmp = path.with_extension("compact.tmp");
+        let _ = std::fs::remove_file(&tmp); // stale debris from a crashed compaction
+        let mut file = File::create(&tmp)?;
+        file.write_all(text.as_bytes())?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)?;
+        // The rename is durable only once the directory entry is — see
+        // `fsync_dir` for the POSIX rationale.
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            fsync_dir(parent)?;
+        }
+        Ok(CompactStats {
+            kept: live.len() as u64,
+            dropped,
+            bytes_before,
+            bytes_after: text.len() as u64,
+        })
+    }
+
+    /// In-place compaction for a *live* journal handle (`--compact-every`):
+    /// holds the append lock across the rewrite so no record can land
+    /// between read and rename, then reopens the handle — the rename
+    /// unlinked the inode the old descriptor pointed at, so appending
+    /// through it would write into the void.
+    pub fn compact(&self) -> Result<CompactStats, JournalError> {
+        let mut file = self.file.lock().expect("journal lock poisoned");
+        let stats = Self::compact_file(&self.path)?;
+        *file = File::options().append(true).open(&self.path)?;
+        Ok(stats)
+    }
+}
+
+/// How much a compaction shrank the journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactStats {
+    /// Live records written to the compacted file (marker included).
+    pub kept: u64,
+    /// Dead records dropped.
+    pub dropped: u64,
+    /// File size before, in bytes.
+    pub bytes_before: u64,
+    /// File size after, in bytes.
+    pub bytes_after: u64,
+}
+
+/// The liveness rule behind journal compaction. A record survives iff
+/// recovery could still act on it:
+///
+/// * the winning `done` record per job — the *last* one whose FNV checksum
+///   verifies (idempotent across eras; invalid ones are dead weight either
+///   way) — hoisted to the front, mirroring how `recover` scans `done`
+///   records era-independently;
+/// * every record of the *current era* (after the last `recover` marker)
+///   except `done` records already hoisted and `stage` pointers of finished
+///   jobs, whose checkpoints the retention GC has already unlinked.
+///
+/// Earlier eras' grants/admits/stages are superseded — recovery never reads
+/// them — and old `recover`/`compact` markers are dropped: the compacted
+/// file *is* one era, so its grant log reads as the current era's prefix
+/// without any marker. Returns the live records (led by a fresh `compact`
+/// marker) and the dropped-record count.
+pub fn compact_records(records: &[JournalRecord]) -> (Vec<JournalRecord>, u64) {
+    let era_start = records
+        .iter()
+        .rposition(|r| matches!(r, JournalRecord::Recover))
+        .map_or(0, |i| i + 1);
+    // Winning done record per job, in ascending job order for determinism.
+    let mut done: std::collections::BTreeMap<u64, &JournalRecord> = std::collections::BTreeMap::new();
+    for rec in records {
+        if let JournalRecord::Done {
+            job,
+            result,
+            checksum,
+        } = rec
+        {
+            if crate::checkpoint::fnv1a(result) == *checksum {
+                done.insert(*job, rec);
+            }
+        }
+    }
+    let mut live: Vec<JournalRecord> = Vec::with_capacity(done.len() + records.len() - era_start);
+    live.extend(done.values().map(|&r| r.clone()));
+    for rec in &records[era_start..] {
+        match rec {
+            JournalRecord::Done { .. } => {} // hoisted (or invalid: dead)
+            JournalRecord::Compact { .. } => {} // a fresh marker replaces it
+            JournalRecord::Stage { job, .. } if done.contains_key(job) => {}
+            rec => live.push(rec.clone()),
+        }
+    }
+    let dropped = (records.len() - live.len()) as u64;
+    live.insert(
+        0,
+        JournalRecord::Compact {
+            kept: live.len() as u64,
+            dropped,
+        },
+    );
+    (live, dropped)
 }
 
 #[cfg(test)]
@@ -332,7 +559,20 @@ mod tests {
                 checksum: 0xDEAD_BEEF,
             },
             JournalRecord::Recover,
+            JournalRecord::Compact {
+                kept: 12,
+                dropped: 340,
+            },
         ]
+    }
+
+    /// Checksummed `done` record for `job` carrying `byte` as its result.
+    fn done(job: u64, byte: u8) -> JournalRecord {
+        JournalRecord::Done {
+            job,
+            result: vec![byte],
+            checksum: crate::checkpoint::fnv1a(&[byte]),
+        }
     }
 
     #[test]
@@ -352,7 +592,7 @@ mod tests {
         for rec in sample_records() {
             journal.append(&rec).expect("append");
         }
-        assert_eq!(journal.records_appended(), 5);
+        assert_eq!(journal.records_appended(), 6);
         let back = Journal::read(&path).expect("read");
         assert_eq!(back, sample_records());
         std::fs::remove_file(&path).expect("cleanup");
@@ -396,6 +636,139 @@ mod tests {
             vec![JournalRecord::Grant { job: 7 }, JournalRecord::Recover]
         );
         std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn mid_file_corruption_is_a_typed_error_not_silent_truncation() {
+        let path = test_path("midfile");
+        let journal = Journal::create(&path).expect("create");
+        journal.append(&JournalRecord::Grant { job: 1 }).expect("a");
+        journal.append(&done(1, 0xAB)).expect("b");
+        drop(journal);
+        // Corrupt the FIRST line; the valid done record after it proves
+        // this is not a torn tail.
+        let text = std::fs::read_to_string(&path).expect("read");
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines[0] = "{\"type\":\"gra";
+        std::fs::write(&path, format!("{}\n", lines.join("\n"))).expect("corrupt");
+        match Journal::read(&path) {
+            Err(JournalError::Corrupt { line, .. }) => assert_eq!(line, 1),
+            other => panic!("expected Corrupt error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn compaction_keeps_only_live_records_and_is_atomic() {
+        let path = test_path("compact");
+        let journal = Journal::create(&path).expect("create");
+        // Era 0: job 0 finishes (admit/grant/stage now dead), job 1 starts.
+        for rec in [
+            JournalRecord::Admit {
+                job: 0,
+                name: "a".into(),
+            },
+            JournalRecord::Grant { job: 0 },
+            JournalRecord::Stage {
+                job: 0,
+                stage: "shuffle".into(),
+                key: "job0-shuffle-0".into(),
+                bytes: 64,
+            },
+            done(0, 0x11),
+            JournalRecord::Admit {
+                job: 1,
+                name: "b".into(),
+            },
+            JournalRecord::Grant { job: 1 },
+            // Era 1 (recovery): one grant and an in-flight stage pointer.
+            JournalRecord::Recover,
+            JournalRecord::Grant { job: 1 },
+            JournalRecord::Stage {
+                job: 1,
+                stage: "shuffle".into(),
+                key: "job1-shuffle-0".into(),
+                bytes: 32,
+            },
+        ] {
+            journal.append(&rec).expect("append");
+        }
+        let stats = journal.compact().expect("compact");
+        assert!(stats.bytes_after < stats.bytes_before);
+        let back = Journal::read(&path).expect("read compacted");
+        assert_eq!(
+            back,
+            vec![
+                JournalRecord::Compact {
+                    kept: 3,
+                    dropped: 6
+                },
+                done(0, 0x11),
+                JournalRecord::Grant { job: 1 },
+                JournalRecord::Stage {
+                    job: 1,
+                    stage: "shuffle".into(),
+                    key: "job1-shuffle-0".into(),
+                    bytes: 32,
+                },
+            ],
+            "done hoisted, current era kept, earlier era and done-job stage dropped"
+        );
+        // The compacted file has no recover marker, so the surviving grant
+        // log *is* the current era's — exactly what recovery expects.
+        // The reopened handle must still append to the new inode.
+        journal.append(&JournalRecord::Grant { job: 1 }).expect("post-compact append");
+        let back = Journal::read(&path).expect("re-read");
+        assert_eq!(back.last(), Some(&JournalRecord::Grant { job: 1 }));
+        assert!(
+            !path.with_extension("compact.tmp").exists(),
+            "no tmp debris after a clean compaction"
+        );
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn compaction_refuses_a_mid_file_corrupt_journal() {
+        let path = test_path("compact-corrupt");
+        let journal = Journal::create(&path).expect("create");
+        journal.append(&JournalRecord::Grant { job: 0 }).expect("a");
+        journal.append(&done(0, 0x22)).expect("b");
+        drop(journal);
+        let text = std::fs::read_to_string(&path).expect("read");
+        let corrupted = text.replacen("grant", "gr@nt", 1);
+        std::fs::write(&path, corrupted).expect("corrupt");
+        assert!(
+            matches!(
+                Journal::compact_file(&path),
+                Err(JournalError::Corrupt { .. })
+            ),
+            "compaction must not launder corruption"
+        );
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn invalid_done_records_are_dropped_by_compaction() {
+        let records = vec![
+            JournalRecord::Done {
+                job: 0,
+                result: vec![0x01],
+                checksum: 0, // wrong: recovery would ignore it
+            },
+            JournalRecord::Grant { job: 0 },
+        ];
+        let (live, dropped) = compact_records(&records);
+        assert_eq!(dropped, 1);
+        assert_eq!(
+            live,
+            vec![
+                JournalRecord::Compact {
+                    kept: 1,
+                    dropped: 1
+                },
+                JournalRecord::Grant { job: 0 },
+            ]
+        );
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub use cluster::{Broadcast, Cluster, ClusterConfig, ShuffleMode};
 pub use dataset::{Dataset, KeyedDataset};
 pub use fault::{FailPoint, FaultContext, FaultPlan, FaultState, JobError, RetryPolicy, TaskError};
 pub use jobs::{JobId, JobReport, JobServer, JobSpec, SchedPolicy, ServerRun, SubmitError};
-pub use journal::{Journal, JournalRecord};
+pub use journal::{compact_records, CompactStats, Journal, JournalError, JournalRecord};
 pub use lpt::{assignment_makespan, least_loaded, lpt_assign};
 pub use memory::{
     clean_orphaned_spills, decode_records, encode_records, set_spill_dir, spill_dir, ChargeGuard,

@@ -54,21 +54,31 @@ pub fn spill_dir() -> PathBuf {
     }
 }
 
-/// Deletes spill files left behind by *other* (crashed) processes in `dir`.
-/// Matches only the `asj-spill-<pid>-<seq>.bin` naming scheme and spares the
-/// live process's own files, so a long-running server can sweep at startup
-/// without racing its own in-flight spills. Returns the bytes reclaimed.
+/// Deletes spill files left behind by *dead* processes in `dir`. Matches
+/// only the `asj-spill-<pid>-<seq>.bin` naming scheme and spares both the
+/// live process's own files and any file whose embedded pid still names a
+/// running process — two servers sharing a `--spill-dir` must not delete
+/// each other's in-flight spills at startup. Files whose pid can't be
+/// parsed or whose liveness can't be determined are spared too: an orphan
+/// costs disk until the next sweep, a false positive corrupts a live
+/// sibling's shuffle. Returns the bytes reclaimed.
 pub fn clean_orphaned_spills(dir: &Path) -> std::io::Result<u64> {
-    let own_prefix = format!("asj-spill-{}-", std::process::id());
+    let own_pid = std::process::id();
     let mut reclaimed = 0u64;
     for entry in std::fs::read_dir(dir)? {
         let entry = entry?;
         let name = entry.file_name();
         let Some(name) = name.to_str() else { continue };
-        if !name.starts_with("asj-spill-") || !name.ends_with(".bin") {
+        let Some(rest) = name.strip_prefix("asj-spill-") else {
+            continue;
+        };
+        if !name.ends_with(".bin") {
             continue;
         }
-        if name.starts_with(&own_prefix) {
+        let Some(pid) = rest.split('-').next().and_then(|p| p.parse::<u32>().ok()) else {
+            continue;
+        };
+        if pid == own_pid || pid_is_alive(pid) {
             continue;
         }
         let len = entry.metadata().map(|m| m.len()).unwrap_or(0);
@@ -77,6 +87,22 @@ pub fn clean_orphaned_spills(dir: &Path) -> std::io::Result<u64> {
         }
     }
     Ok(reclaimed)
+}
+
+/// Whether `pid` names a running process. On linux this checks
+/// `/proc/<pid>`; elsewhere there is no portable non-signalling probe, so
+/// every pid is reported alive and the sweep only ever reclaims via an
+/// explicit owner (conservative: unknown means spare).
+fn pid_is_alive(pid: u32) -> bool {
+    #[cfg(target_os = "linux")]
+    {
+        Path::new("/proc").join(pid.to_string()).exists()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = pid;
+        true
+    }
 }
 
 /// Point-in-time view of one accountant (for reports and assertions).
@@ -715,21 +741,53 @@ mod tests {
         assert_eq!(c.offset(), 16);
     }
 
+    /// A pid guaranteed dead on any platform the sweep reclaims on: above
+    /// linux's compile-time `PID_MAX_LIMIT` (4 << 22), so no process can
+    /// ever hold it.
+    const DEAD_PID: u32 = (4 << 22) + 17;
+
     #[test]
     fn orphan_sweep_spares_the_live_process() {
         let dir = std::env::temp_dir().join(format!("asj-orphan-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).expect("test dir");
         let own = dir.join(format!("asj-spill-{}-9999.bin", std::process::id()));
-        let orphan = dir.join(format!("asj-spill-{}-0.bin", std::process::id() + 1));
+        let orphan = dir.join(format!("asj-spill-{DEAD_PID}-0.bin"));
+        let unparseable = dir.join("asj-spill-nopid-0.bin");
         let unrelated = dir.join("keep.txt");
         std::fs::write(&own, b"live").expect("write own");
         std::fs::write(&orphan, b"stale-bytes").expect("write orphan");
+        std::fs::write(&unparseable, b"???").expect("write unparseable");
         std::fs::write(&unrelated, b"other").expect("write unrelated");
         let reclaimed = clean_orphaned_spills(&dir).expect("sweep");
-        assert_eq!(reclaimed, 11, "only the orphan's bytes are reclaimed");
+        if cfg!(target_os = "linux") {
+            assert_eq!(reclaimed, 11, "only the dead pid's bytes are reclaimed");
+            assert!(!orphan.exists(), "orphans from dead pids are removed");
+        } else {
+            // Without a liveness probe the sweep must spare everything.
+            assert_eq!(reclaimed, 0);
+            assert!(orphan.exists());
+        }
         assert!(own.exists(), "own spills are spared");
-        assert!(!orphan.exists(), "orphans from other pids are removed");
+        assert!(unparseable.exists(), "unparseable pids are spared, not swept");
         assert!(unrelated.exists(), "non-spill files are untouched");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn orphan_sweep_spares_a_live_sibling_process() {
+        // pid 1 is always alive on linux; a sibling server that spilled
+        // under it must survive this process's startup sweep.
+        let dir = std::env::temp_dir().join(format!("asj-sibling-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("test dir");
+        let sibling = dir.join("asj-spill-1-0.bin");
+        let dead = dir.join(format!("asj-spill-{DEAD_PID}-0.bin"));
+        std::fs::write(&sibling, b"sibling-live").expect("write sibling");
+        std::fs::write(&dead, b"stale").expect("write dead");
+        let reclaimed = clean_orphaned_spills(&dir).expect("sweep");
+        assert_eq!(reclaimed, 5, "only the dead process's spill is reclaimed");
+        assert!(sibling.exists(), "a live sibling's spills are never deleted");
+        assert!(!dead.exists());
         std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 

@@ -1,6 +1,10 @@
 use crate::{JoinOutput, JoinSpec, Record};
 use asj_core::{AgreementPolicy, KernelKind};
-use asj_engine::{Cluster, Dataset, ExecStats, KeyedDataset, Partitioner, ShuffleStats};
+use asj_engine::{
+    ensure_remaining, Cluster, Dataset, ExecStats, KeyedDataset, Partitioner, ShuffleStats, Wire,
+    WireError,
+};
+use bytes::{Buf, BufMut};
 use asj_geom::Point;
 use asj_index::{kernels, PointBatch};
 
@@ -21,6 +25,13 @@ pub enum Algorithm {
     EpsGrid,
     /// QuadTree partitioning + per-partition R-tree (Sedona-like).
     Sedona,
+    /// LPiB with an unmarked (duplicate-producing) graph and the paper's
+    /// distributed-dedup operator bolted on — Table 6's comparison arm.
+    /// Not part of [`Algorithm::ALL`] (the figures list six algorithms);
+    /// its distinguishing property for the serve stack is a *post-join*
+    /// stage, so a crash can land between a completed join and job
+    /// completion — the window join-phase checkpoints exist for.
+    LpibDedup,
 }
 
 impl Algorithm {
@@ -42,6 +53,7 @@ impl Algorithm {
             Algorithm::UniS => "UNI(S)",
             Algorithm::EpsGrid => "eps-grid",
             Algorithm::Sedona => "Sedona",
+            Algorithm::LpibDedup => "LPiB+dedup",
         }
     }
 
@@ -60,6 +72,9 @@ impl Algorithm {
             Algorithm::UniS => crate::pbsm_join(cluster, spec, crate::ReplicateSide::S, r, s),
             Algorithm::EpsGrid => crate::eps_grid_join(cluster, spec, r, s),
             Algorithm::Sedona => crate::sedona_like_join(cluster, spec, r, s),
+            Algorithm::LpibDedup => {
+                crate::adaptive_join_dedup(cluster, spec, AgreementPolicy::Lpib, r, s)
+            }
         }
     }
 }
@@ -161,8 +176,12 @@ where
         .into_iter()
         .zip(keyed_s.into_partitions())
         .collect();
+    // `run_placed_stage_checkpointed`: with a checkpoint store attached the
+    // per-partition `(pairs, tally)` outputs are persisted after the stage
+    // and replayed on recovery, so a recovered server skips the join phase —
+    // the ε-grid's memory-pressure peak — entirely, not just the shuffles.
     let (folded, join_exec) = recorder.phase("local_join", || {
-        cluster.run_placed_stage("cogroup_join", tasks, &placement, |_, (rs, ss)| {
+        cluster.run_placed_stage_checkpointed("cogroup_join", tasks, &placement, |_, (rs, ss)| {
             let pos = |r: &Record| r.point;
             let rid = |r: &Record| r.id;
             let br = PointBatch::from_keyed(&rs, pos, rid);
@@ -254,6 +273,21 @@ impl KernelTally {
         self.batch_points += other.batch_points;
     }
 
+    /// The tally's eight counters in field order — one place to keep the
+    /// wire layout and the struct in sync.
+    fn fields(&self) -> [u64; 8] {
+        [
+            self.candidates,
+            self.results,
+            self.worst_case,
+            self.picks_nl,
+            self.picks_ps,
+            self.picks_bucket,
+            self.batches,
+            self.batch_points,
+        ]
+    }
+
     /// Publishes the tally as observability counters under `phase`.
     pub fn publish(&self, cluster: &Cluster, phase: &str) {
         let recorder = cluster.recorder();
@@ -269,6 +303,35 @@ impl KernelTally {
             "candidates_pruned",
             self.worst_case.saturating_sub(self.candidates),
         );
+    }
+}
+
+/// Join-phase checkpointing serializes the per-partition accumulator next
+/// to the emitted pairs: eight fixed-width little-endian `u64`s in field
+/// order.
+impl Wire for KernelTally {
+    fn encoded_size(&self) -> usize {
+        8 * std::mem::size_of::<u64>()
+    }
+
+    fn encode(&self, buf: &mut impl BufMut) {
+        for field in self.fields() {
+            field.encode(buf);
+        }
+    }
+
+    fn try_decode(buf: &mut impl Buf) -> Result<Self, WireError> {
+        ensure_remaining(buf, 8 * std::mem::size_of::<u64>())?;
+        Ok(KernelTally {
+            candidates: u64::decode(buf),
+            results: u64::decode(buf),
+            worst_case: u64::decode(buf),
+            picks_nl: u64::decode(buf),
+            picks_ps: u64::decode(buf),
+            picks_bucket: u64::decode(buf),
+            batches: u64::decode(buf),
+            batch_points: u64::decode(buf),
+        })
     }
 }
 
@@ -342,6 +405,29 @@ mod tests {
         assert_eq!(out_ps.result_count, 1);
         assert_eq!(out_ps.pairs, vec![(0, 0)]);
         assert_eq!(out_ps.candidates, 1, "sweep window must prune");
+    }
+
+    #[test]
+    fn kernel_tally_round_trips_over_the_wire() {
+        let tally = KernelTally {
+            candidates: 101,
+            results: 7,
+            worst_case: 10_000,
+            picks_nl: 1,
+            picks_ps: 2,
+            picks_bucket: 3,
+            batches: 4,
+            batch_points: 555,
+        };
+        let mut buf = Vec::new();
+        tally.encode(&mut buf);
+        assert_eq!(buf.len(), tally.encoded_size());
+        let got = KernelTally::try_decode(&mut buf.as_slice()).expect("decode");
+        assert_eq!(got.fields(), tally.fields());
+        assert!(
+            KernelTally::try_decode(&mut &buf[..buf.len() - 1]).is_err(),
+            "truncated tally is a decode error, not garbage"
+        );
     }
 
     #[test]

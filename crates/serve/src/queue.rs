@@ -75,6 +75,7 @@ fn algorithm_token(algo: Algorithm) -> &'static str {
         Algorithm::UniS => "uni-s",
         Algorithm::EpsGrid => "eps-grid",
         Algorithm::Sedona => "sedona",
+        Algorithm::LpibDedup => "lpib-dedup",
     }
 }
 
@@ -147,6 +148,7 @@ fn algorithm_by_name(name: &str) -> Result<Algorithm, String> {
         "uni-s" => Algorithm::UniS,
         "eps-grid" => Algorithm::EpsGrid,
         "sedona" => Algorithm::Sedona,
+        "lpib-dedup" => Algorithm::LpibDedup,
         other => return Err(format!("unknown algorithm '{other}'")),
     })
 }

@@ -274,6 +274,9 @@ pub struct RecoveryOptions {
     /// Resume from the journal: finished tenants replay their journaled
     /// outcomes, in-flight tenants re-run against their checkpoints.
     pub recover: bool,
+    /// Compact the journal after every N durable completions (the server's
+    /// `--compact-every` option); `None` leaves the journal append-only.
+    pub compact_every: Option<u64>,
 }
 
 /// Runs a whole tenant queue on `cluster` under `policy` and reports every
@@ -333,6 +336,9 @@ pub fn run_queue_recoverable(
                 message: e.to_string(),
             })?
         };
+        if let Some(every) = options.compact_every {
+            server = server.with_compact_every(every);
+        }
     }
     let run = server.run();
     let tenants = run
@@ -602,6 +608,7 @@ mod tests {
             journal: Some(journal.clone()),
             checkpoint_dir: Some(dir.clone()),
             recover: false,
+            compact_every: None,
         };
         let crashed =
             run_queue_recoverable(&crash_cluster, &tenants, SchedPolicy::FairShare, &opts)
@@ -615,6 +622,7 @@ mod tests {
             journal: Some(journal),
             checkpoint_dir: Some(dir.clone()),
             recover: true,
+            compact_every: None,
         };
         let recovered =
             run_queue_recoverable(&test_cluster(), &tenants, SchedPolicy::FairShare, &opts)

@@ -12,7 +12,7 @@
 use adaptive_spatial_join::data::{
     read_points_csv, write_points_csv, DatasetSpec, GenKind, PAPER_BBOX,
 };
-use adaptive_spatial_join::engine::{clean_orphaned_spills, set_spill_dir, SchedPolicy};
+use adaptive_spatial_join::engine::{clean_orphaned_spills, set_spill_dir, Journal, SchedPolicy};
 use adaptive_spatial_join::geom::{Point, Rect};
 use adaptive_spatial_join::join::{
     knn_join, self_join, Algorithm, JoinOutput, JoinSpec, LocalKernel, PartitionedPoints, Record,
@@ -58,7 +58,9 @@ usage:
   asj serve     --jobs FILE [--policy fair-share|fifo] [--nodes N]
                 [--memory-budget B] [--verify]
                 [--journal FILE] [--checkpoint-dir DIR] [--recover]
+                [--compact-every N]
                 [--trace FILE] [--trace-format chrome|jsonl]
+  asj journal   compact FILE
 
 Every command accepts --spill-dir DIR (or ASJ_SPILL_DIR) to route spill and
 checkpoint segments somewhere other than the system temp dir; orphaned spill
@@ -87,9 +89,14 @@ tenant solo and fails unless results are byte-identical.
 
 --journal FILE appends a crash-consistent record of every admission, grant
 and completed job to FILE; --checkpoint-dir DIR persists each completed
-shuffle stage so a restarted server can skip recomputation. --recover replays
-FILE before running: journaled results are served without re-execution and
-in-flight jobs resume from their checkpoints.";
+shuffle and join stage so a restarted server can skip recomputation.
+--recover replays FILE before running: journaled results are served without
+re-execution and in-flight jobs resume from their checkpoints. A finished
+job's checkpoints are garbage-collected once its result is durable in the
+journal, and --compact-every N rewrites the journal down to live records
+after every N completions, so long-lived servers keep bounded disk.
+'asj journal compact FILE' runs the same compaction offline (atomic:
+tmp file + fsync + rename).";
 
 /// Flags that take no value: their presence means "on".
 const BOOL_FLAGS: &[&str] = &["speculation", "verify", "recover"];
@@ -169,6 +176,10 @@ fn run(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
         return Err("no subcommand".into());
     };
+    if cmd == "journal" {
+        // Positional operands (`journal compact FILE`), not --flags.
+        return cmd_journal(&args[1..]);
+    }
     let flags = parse_flags(&args[1..])?;
     if let Some(dir) = flags.get("spill-dir") {
         set_spill_dir(PathBuf::from(dir));
@@ -551,6 +562,34 @@ fn cmd_heatmap(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Journal maintenance: `asj journal compact FILE` rewrites a server
+/// journal down to its live records (atomically — tmp, fsync, rename), for
+/// operators trimming a long-lived server's disk offline.
+fn cmd_journal(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("compact") => {
+            let [_, path] = args else {
+                return Err("usage: asj journal compact FILE".into());
+            };
+            let stats = Journal::compact_file(std::path::Path::new(path))
+                .map_err(|e| format!("compacting {path}: {e}"))?;
+            println!(
+                "compacted {path}: kept {kept} record(s), dropped {dropped}, \
+                 {before} -> {after} bytes",
+                kept = stats.kept,
+                dropped = stats.dropped,
+                before = stats.bytes_before,
+                after = stats.bytes_after,
+            );
+            Ok(())
+        }
+        Some(other) => Err(format!(
+            "unknown journal action '{other}' (expected 'compact')"
+        )),
+        None => Err("usage: asj journal compact FILE".into()),
+    }
+}
+
 /// Multi-tenant job server: run a queue file of tenant joins on one
 /// simulated cluster under admission control and a scheduling policy.
 fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -571,13 +610,24 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     if let Some(budget) = flags.get("memory-budget") {
         cluster = cluster.with_memory_budget(parse_bytes(budget)?);
     }
+    let compact_every = flags
+        .get("compact-every")
+        .map(|s| parse::<u64>(s, "--compact-every"))
+        .transpose()?;
+    if compact_every == Some(0) {
+        return Err("--compact-every must be positive".into());
+    }
     let recovery = RecoveryOptions {
         journal: flags.get("journal").map(PathBuf::from),
         checkpoint_dir: flags.get("checkpoint-dir").map(PathBuf::from),
         recover: flags.contains_key("recover"),
+        compact_every,
     };
     if recovery.recover && recovery.journal.is_none() {
         return Err("--recover requires --journal FILE".into());
+    }
+    if recovery.compact_every.is_some() && recovery.journal.is_none() {
+        return Err("--compact-every requires --journal FILE".into());
     }
     let run =
         run_queue_recoverable(&cluster, &tenants, policy, &recovery).map_err(|e| e.to_string())?;
@@ -950,6 +1000,81 @@ mod tests {
             arg("--jobs"),
             arg(jobs_path.to_str().unwrap()),
             arg("--recover"),
+        ])
+        .unwrap_err();
+        assert!(err.contains("--journal"), "{err}");
+        let _ = std::fs::remove_file(jobs_path);
+        let _ = std::fs::remove_file(journal_path);
+        let _ = std::fs::remove_dir_all(ckpt_dir);
+    }
+
+    #[test]
+    fn serve_compacts_the_journal_and_cli_compacts_offline() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let jobs_path = dir.join(format!("asj-serve-compact-jobs-{pid}.txt"));
+        let journal_path = dir.join(format!("asj-serve-compact-{pid}.jsonl"));
+        let ckpt_dir = dir.join(format!("asj-serve-compact-ckpt-{pid}"));
+        std::fs::write(
+            &jobs_path,
+            "job alpha algo=lpib eps=0.5 n=600 partitions=8 seed=11\n\
+             job beta algo=uni-r eps=0.3 n=900 partitions=8 seed=23 weight=2\n",
+        )
+        .unwrap();
+        let arg = |s: &str| s.to_string();
+        run(&[
+            arg("serve"),
+            arg("--jobs"),
+            arg(jobs_path.to_str().unwrap()),
+            arg("--nodes"),
+            arg("4"),
+            arg("--journal"),
+            arg(journal_path.to_str().unwrap()),
+            arg("--checkpoint-dir"),
+            arg(ckpt_dir.to_str().unwrap()),
+            arg("--compact-every"),
+            arg("1"),
+        ])
+        .expect("serve with --compact-every");
+        // Retention GC: every tenant finished, so no stage checkpoints
+        // survive the run.
+        let leftovers = std::fs::read_dir(&ckpt_dir)
+            .map(|rd| rd.count())
+            .unwrap_or(0);
+        assert_eq!(leftovers, 0, "finished tenants' checkpoints were GC'd");
+        // Recovery after in-run compaction still replays every tenant.
+        run(&[
+            arg("serve"),
+            arg("--jobs"),
+            arg(jobs_path.to_str().unwrap()),
+            arg("--nodes"),
+            arg("4"),
+            arg("--journal"),
+            arg(journal_path.to_str().unwrap()),
+            arg("--checkpoint-dir"),
+            arg(ckpt_dir.to_str().unwrap()),
+            arg("--recover"),
+        ])
+        .expect("recover after compaction");
+        // Offline compaction shrinks (or keeps) the file and stays readable.
+        let before = std::fs::metadata(&journal_path).unwrap().len();
+        run(&[
+            arg("journal"),
+            arg("compact"),
+            arg(journal_path.to_str().unwrap()),
+        ])
+        .expect("journal compact");
+        let after = std::fs::metadata(&journal_path).unwrap().len();
+        assert!(after <= before, "compaction never grows the journal");
+        // Usage errors, not crashes.
+        assert!(run(&[arg("journal")]).is_err());
+        assert!(run(&[arg("journal"), arg("prune")]).is_err());
+        let err = run(&[
+            arg("serve"),
+            arg("--jobs"),
+            arg(jobs_path.to_str().unwrap()),
+            arg("--compact-every"),
+            arg("2"),
         ])
         .unwrap_err();
         assert!(err.contains("--journal"), "{err}");

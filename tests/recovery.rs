@@ -8,11 +8,13 @@
 //! The crash mechanism is deterministic (the fault plan counts scheduler
 //! grants, not wall time), so every case in the sweep is reproducible.
 
-use adaptive_spatial_join::engine::{Cluster, ClusterConfig, FaultPlan, RetryPolicy, SchedPolicy};
+use adaptive_spatial_join::engine::{
+    Cluster, ClusterConfig, FaultPlan, Journal, RetryPolicy, SchedPolicy,
+};
 use adaptive_spatial_join::join::Algorithm;
 use adaptive_spatial_join::serve::{run_queue, run_queue_recoverable, RecoveryOptions, TenantSpec};
 use proptest::prelude::*;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Fault plans tenants may carry *in addition to* the server-level crash:
 /// recovery has to compose with ordinary retry/slowdown faults.
@@ -29,9 +31,23 @@ struct GenTenant {
     fault_seed: u64,
 }
 
+/// The generated algorithm pool: the six figure algorithms plus the
+/// distributed-dedup variant, whose *post-join* dedup stage is the only
+/// workload shape where a crash can strand a completed join in an
+/// in-flight job (the window join-phase checkpoints close).
+const ALGO_POOL: [Algorithm; 7] = [
+    Algorithm::Lpib,
+    Algorithm::Diff,
+    Algorithm::UniR,
+    Algorithm::UniS,
+    Algorithm::EpsGrid,
+    Algorithm::Sedona,
+    Algorithm::LpibDedup,
+];
+
 fn tenant_strategy() -> impl Strategy<Value = GenTenant> {
     (
-        0usize..Algorithm::ALL.len(),
+        0usize..ALGO_POOL.len(),
         80usize..200,
         0.2f64..0.8,
         any::<u64>(),
@@ -58,7 +74,7 @@ fn materialize(tenants: &[GenTenant]) -> Vec<TenantSpec> {
         .enumerate()
         .map(|(i, g)| {
             let mut t = TenantSpec::new(format!("t{i}"), g.eps, g.cardinality);
-            t.algorithm = Algorithm::ALL[g.algo_idx];
+            t.algorithm = ALGO_POOL[g.algo_idx];
             t.seed = g.seed;
             t.weight = g.weight;
             t.partitions = 6;
@@ -121,6 +137,7 @@ proptest! {
             journal: Some(journal.clone()),
             checkpoint_dir: Some(dir.clone()),
             recover: false,
+            compact_every: None,
         };
         let crashed =
             run_queue_recoverable(&crash_cluster, &specs, SchedPolicy::FairShare, &opts)
@@ -138,6 +155,7 @@ proptest! {
             journal: Some(journal),
             checkpoint_dir: Some(dir.clone()),
             recover: true,
+            compact_every: None,
         };
         let recovered =
             run_queue_recoverable(&cluster(nodes), &specs, SchedPolicy::FairShare, &opts)
@@ -165,6 +183,161 @@ proptest! {
         }
 
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// Compaction transparency, swept across queues, crash points and
+    /// crash-during-maintenance debris: recovering from a *compacted*
+    /// journal must be indistinguishable from recovering from the
+    /// uncompacted original — identical journaled grant prefix, identical
+    /// byte-for-byte outcomes — even when the compaction finds the wreckage
+    /// of a crash that hit mid-GC (a checkpoint's segment unlinked but its
+    /// manifest still present) or mid-compaction (a stale rewrite temp
+    /// file).
+    #[test]
+    fn compaction_is_transparent_to_recovery(
+        tenants in prop::collection::vec(tenant_strategy(), 2..4),
+        nodes in 2usize..4,
+        crash_pick in any::<u64>(),
+        crash_mid_gc in any::<bool>(),
+        crash_mid_compaction in any::<bool>(),
+        case in any::<u64>(),
+    ) {
+        let specs = materialize(&tenants);
+        let oracle = run_queue(&cluster(nodes), &specs, SchedPolicy::FairShare)
+            .expect("oracle run");
+        prop_assert!(oracle.grants.len() >= 2, "queue too small to crash");
+        let crash_at = 1 + crash_pick % (oracle.grants.len() as u64 - 1);
+
+        // One crash leg produces the durable state both recoveries start
+        // from; the copy is taken before either recovery mutates anything.
+        let dir_a = scratch("compact-a", case);
+        let journal_a = dir_a.join("server.journal");
+        let crash_cluster = cluster(nodes).with_fault_policy(
+            FaultPlan::none().with_crash_after_grants(crash_at),
+            RetryPolicy::default(),
+        );
+        let crashed = run_queue_recoverable(
+            &crash_cluster,
+            &specs,
+            SchedPolicy::FairShare,
+            &RecoveryOptions {
+                journal: Some(journal_a.clone()),
+                checkpoint_dir: Some(dir_a.clone()),
+                recover: false,
+                compact_every: None,
+            },
+        )
+        .expect("crashing run");
+        prop_assert!(crashed.crashed, "crash clause must fire");
+
+        let dir_b = scratch("compact-b", case);
+        copy_dir_files(&dir_a, &dir_b);
+        let journal_b = dir_b.join("server.journal");
+
+        // Simulate a crash *during* retention GC: the delete order is
+        // segment first, so the worst interleaving leaves a manifest whose
+        // segment is gone. Recovery must self-heal it into a miss.
+        if crash_mid_gc {
+            let seg = std::fs::read_dir(&dir_b)
+                .expect("read dir_b")
+                .flatten()
+                .map(|e| e.path())
+                .find(|p| p.extension().is_some_and(|e| e == "seg"));
+            if let Some(seg) = seg {
+                std::fs::remove_file(seg).expect("unlink seg");
+            }
+        }
+        // Simulate a crash *during* a previous compaction attempt: the
+        // atomic rewrite never renamed, leaving only its temp file, which
+        // the next compaction (and recovery) must ignore and replace.
+        if crash_mid_compaction {
+            std::fs::write(
+                journal_b.with_extension("compact.tmp"),
+                b"{\"type\":\"torn",
+            )
+            .expect("write tmp debris");
+        }
+        let stats = Journal::compact_file(&journal_b).expect("compact crashed journal");
+        // A crashed journal may have nothing droppable (no done records
+        // yet), in which case the only growth allowed is the compact
+        // marker line itself.
+        prop_assert!(
+            stats.dropped > 0 || stats.bytes_after <= stats.bytes_before + 128,
+            "compaction dropped nothing yet grew {} -> {} bytes",
+            stats.bytes_before, stats.bytes_after
+        );
+        prop_assert!(
+            !journal_b.with_extension("compact.tmp").exists(),
+            "compaction leaves no temp debris"
+        );
+
+        // Recover both: A from the untouched original, B from the
+        // compacted (and possibly debris-ridden) copy.
+        let recover = |journal: PathBuf, dir: PathBuf| {
+            run_queue_recoverable(
+                &cluster(nodes),
+                &specs,
+                SchedPolicy::FairShare,
+                &RecoveryOptions {
+                    journal: Some(journal),
+                    checkpoint_dir: Some(dir),
+                    recover: true,
+                    compact_every: None,
+                },
+            )
+            .expect("recovered run")
+        };
+        let rec_a = recover(journal_a, dir_a.clone());
+        let rec_b = recover(journal_b, dir_b.clone());
+        prop_assert!(!rec_a.crashed && !rec_b.crashed);
+
+        // Identical grant-log prefix — the compacted journal must read as
+        // the same era the uncompacted one ends in.
+        prop_assert_eq!(
+            &rec_a.journal_grants[..],
+            &oracle.grants[..crash_at as usize],
+            "uncompacted recovery must see the oracle prefix"
+        );
+        prop_assert_eq!(
+            &rec_b.journal_grants[..],
+            &rec_a.journal_grants[..],
+            "compaction must preserve the journaled grant prefix"
+        );
+        // Byte-identical outcomes, both ways.
+        for (a, b) in rec_a.tenants.iter().zip(&rec_b.tenants) {
+            prop_assert_eq!(
+                a.outcome.as_ref().expect("uncompacted ok"),
+                b.outcome.as_ref().expect("compacted ok"),
+                "tenant '{}' must recover identically through compaction", a.name
+            );
+        }
+        for (o, b) in oracle.tenants.iter().zip(&rec_b.tenants) {
+            prop_assert_eq!(
+                o.outcome.as_ref().expect("oracle ok"),
+                b.outcome.as_ref().expect("compacted ok"),
+                "tenant '{}' must match the oracle", o.name
+            );
+        }
+        // Tenants replayed from the journal must match too — compaction
+        // hoists done records, it never drops them.
+        let replayed_a: Vec<bool> = rec_a.tenants.iter().map(|t| t.recovered).collect();
+        let replayed_b: Vec<bool> = rec_b.tenants.iter().map(|t| t.recovered).collect();
+        prop_assert_eq!(replayed_a, replayed_b);
+
+        let _ = std::fs::remove_dir_all(dir_a);
+        let _ = std::fs::remove_dir_all(dir_b);
+    }
+}
+
+/// Copies every regular file directly under `src` into `dst` (the journal
+/// plus the checkpoint manifests/segments — exactly what a crashed server
+/// leaves durable).
+fn copy_dir_files(src: &Path, dst: &Path) {
+    for entry in std::fs::read_dir(src).expect("read src").flatten() {
+        let path = entry.path();
+        if path.is_file() {
+            std::fs::copy(&path, dst.join(entry.file_name())).expect("copy file");
+        }
     }
 }
 
@@ -213,6 +386,7 @@ fn late_crash_resumes_from_checkpoints() {
             journal: Some(journal.clone()),
             checkpoint_dir: Some(dir.clone()),
             recover: false,
+            compact_every: None,
         },
     )
     .expect("crashing run");
@@ -230,6 +404,7 @@ fn late_crash_resumes_from_checkpoints() {
             journal: Some(journal),
             checkpoint_dir: Some(dir.clone()),
             recover: true,
+            compact_every: None,
         },
     )
     .expect("recovered run");
